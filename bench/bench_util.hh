@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ */
+
+#ifndef PICOSIM_BENCH_BENCH_UTIL_HH
+#define PICOSIM_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "runtime/harness.hh"
+
+namespace picosim::bench
+{
+
+/** Geometric mean of positive values. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** True when PICOSIM_QUICK is set: benches subsample their sweeps. */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("PICOSIM_QUICK");
+    return env && *env && *env != '0';
+}
+
+/**
+ * Measure the Figure 7 lifetime-overhead metric: single-core run (the
+ * measuring thread both generates and executes tasks, as in the paper's
+ * deadlock discussion), near-empty payloads, overhead = wall / tasks.
+ */
+inline double
+lifetimeOverhead(rt::RuntimeKind kind, const rt::Program &prog,
+                 const rt::HarnessParams &base = {})
+{
+    rt::HarnessParams hp = base;
+    hp.numCores = 1;
+    const rt::RunResult res = rt::runProgram(kind, prog, hp);
+    if (!res.completed) {
+        std::fprintf(stderr, "warning: %s did not complete %s\n",
+                     res.runtime.c_str(), res.program.c_str());
+        return 0.0;
+    }
+    return res.overheadPerTask();
+}
+
+} // namespace picosim::bench
+
+#endif // PICOSIM_BENCH_BENCH_UTIL_HH

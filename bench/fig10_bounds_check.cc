@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Figure 10: experimental speedups of every benchmark input
+ * compared with the platform's MTT-derived theoretical bound
+ * MS(t) = min(t / Lo, 8), Lo measured on Task-Chain (1 dep) -- one panel
+ * per platform. Points should sit at or below their bound, approaching
+ * it for well-parallelizable workloads.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/workloads.hh"
+#include "bench/bench_util.hh"
+#include "bench/fig_common.hh"
+
+using namespace picosim;
+using namespace picosim::bench;
+
+namespace
+{
+
+void
+panel(const char *name, const std::vector<MatrixRow> &rows, double lo,
+      double (MatrixRow::*speedup)() const)
+{
+    std::printf("\n# Figure 10 panel: %s (Lo = %.0f cycles)\n", name, lo);
+    std::printf("%-14s %-12s %10s %9s %9s %9s\n", "program", "input",
+                "task_size", "speedup", "bound", "bound_ok");
+    unsigned violations = 0;
+    for (const auto &r : rows) {
+        const double s = (r.*speedup)();
+        const double bound =
+            lo > 0 ? std::min(r.meanTaskSize / lo, 8.0) : 8.0;
+        // Allow 15% slack: Lo is measured on a different workload.
+        const bool ok = s <= bound * 1.15;
+        violations += ok ? 0 : 1;
+        std::printf("%-14s %-12s %10.0f %9.2f %9.2f %9s\n",
+                    r.program.c_str(), r.label.c_str(), r.meanTaskSize, s,
+                    bound, ok ? "yes" : "NO");
+    }
+    std::printf("# bound violations: %u / %zu\n", violations, rows.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned n = quickMode() ? 64 : 256;
+    const rt::Program chain = apps::taskChain(n, 1, 10);
+
+    const double lo_ph =
+        lifetimeOverhead(rt::RuntimeKind::Phentos, chain);
+    const double lo_rv =
+        lifetimeOverhead(rt::RuntimeKind::NanosRV, chain);
+    const double lo_sw =
+        lifetimeOverhead(rt::RuntimeKind::NanosSW, chain);
+
+    const auto rows = runFigure9Matrix();
+
+    panel("Phentos", rows, lo_ph, &MatrixRow::speedupPh);
+    panel("Nanos-RV", rows, lo_rv, &MatrixRow::speedupRv);
+    panel("Nanos-SW", rows, lo_sw, &MatrixRow::speedupSw);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Figure 6: MTT-derived maximum-speedup bounds for an 8-core
+ * system, MS(t) = min(t / Lo, 8), with Lo measured from the Task-Chain
+ * (1 dep) workload on each platform (Section VI-B2, Equation 1).
+ *
+ * Paper landmarks: at ~1000-cycle tasks Phentos bounds just below 3x
+ * while every other platform is far below 1x; at ~10000 cycles Phentos
+ * has saturated to 8x while the others remain under 1x.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/workloads.hh"
+#include "bench/bench_util.hh"
+
+using namespace picosim;
+using namespace picosim::bench;
+
+int
+main()
+{
+    const unsigned n = quickMode() ? 64 : 256;
+    const rt::Program chain = apps::taskChain(n, 1, 10);
+
+    const rt::RuntimeKind kinds[] = {
+        rt::RuntimeKind::Phentos,
+        rt::RuntimeKind::NanosRV,
+        rt::RuntimeKind::NanosAXI,
+        rt::RuntimeKind::NanosSW,
+    };
+
+    double lo[4];
+    for (unsigned k = 0; k < 4; ++k)
+        lo[k] = lifetimeOverhead(kinds[k], chain);
+
+    std::printf("# Figure 6: MTT-derived maximum speedup, 8 cores\n");
+    std::printf("# MS(t) = min(t / Lo, 8); Lo from Task-Chain (1 dep)\n");
+    std::printf("%-12s", "task_size");
+    for (unsigned k = 0; k < 4; ++k)
+        std::printf(" %10s", std::string(rt::kindName(kinds[k])).c_str());
+    std::printf("\n");
+
+    for (double t = 100.0; t <= 100'000.0 * 1.01; t *= 1.2589254) { // 10^0.1
+        std::printf("%-12.0f", t);
+        for (unsigned k = 0; k < 4; ++k) {
+            const double ms =
+                lo[k] > 0 ? std::min(t / lo[k], 8.0) : 0.0;
+            std::printf(" %10.3f", ms);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n# Landmarks (paper: Phentos <3x at 1k, 8x by 10k; "
+                "others <0.1x at 1k, <1x at 10k)\n");
+    std::printf("MS(1000)  Phentos=%.2f others_max=%.3f\n",
+                std::min(1000.0 / lo[0], 8.0),
+                std::max({1000.0 / lo[1], 1000.0 / lo[2], 1000.0 / lo[3]}));
+    std::printf("MS(10000) Phentos=%.2f others_max=%.3f\n",
+                std::min(10000.0 / lo[0], 8.0),
+                std::max({10000.0 / lo[1], 10000.0 / lo[2],
+                          10000.0 / lo[3]}));
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Figure 7: lifetime Task Scheduling overhead (cycles per task)
+ * for Task-Free / Task-Chain x {1, 15} dependences on the four platforms.
+ *
+ * Paper reference values (Rocket-Chip-equivalent cycles):
+ *
+ *                Task-Free 1   Task-Free 15   Task-Chain 1   Task-Chain 15
+ *   Phentos            185           320            329            423
+ *   Nanos-RV         12348         13143          12835          12393
+ *   Nanos-AXI        13426         17042          18459          18668
+ *   Nanos-SW         25208         99008          35867          58214
+ */
+
+#include <cstdio>
+
+#include "apps/workloads.hh"
+#include "bench/bench_util.hh"
+
+using namespace picosim;
+
+int
+main()
+{
+    const unsigned n = bench::quickMode() ? 64 : 256;
+    const Cycle payload = 10; // near-empty task bodies
+
+    struct Col
+    {
+        const char *label;
+        rt::Program prog;
+    };
+    Col cols[] = {
+        {"Task-Free 1dep", apps::taskFree(n, 1, payload)},
+        {"Task-Free 15deps", apps::taskFree(n, 15, payload)},
+        {"Task-Chain 1dep", apps::taskChain(n, 1, payload)},
+        {"Task-Chain 15deps", apps::taskChain(n, 15, payload)},
+    };
+    const rt::RuntimeKind kinds[] = {
+        rt::RuntimeKind::Phentos,
+        rt::RuntimeKind::NanosRV,
+        rt::RuntimeKind::NanosAXI,
+        rt::RuntimeKind::NanosSW,
+    };
+    const double paper[4][4] = {
+        {185, 320, 329, 423},
+        {12348, 13143, 12835, 12393},
+        {13426, 17042, 18459, 18668},
+        {25208, 99008, 35867, 58214},
+    };
+
+    std::printf("# Figure 7: lifetime Task Scheduling overhead "
+                "(cycles/task)\n");
+    std::printf("%-10s %-18s %12s %12s %8s\n", "platform", "workload",
+                "measured", "paper", "ratio");
+    for (unsigned k = 0; k < 4; ++k) {
+        for (unsigned c = 0; c < 4; ++c) {
+            const double lo =
+                bench::lifetimeOverhead(kinds[k], cols[c].prog);
+            std::printf("%-10s %-18s %12.0f %12.0f %8.2f\n",
+                        std::string(rt::kindName(kinds[k])).c_str(),
+                        cols[c].label, lo, paper[k][c],
+                        paper[k][c] > 0 ? lo / paper[k][c] : 0.0);
+        }
+    }
+    return 0;
+}

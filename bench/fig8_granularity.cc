@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Figure 8: per-input speedups as a function of mean task
+ * size, in three panels -- over serial execution, over Nanos-SW, and
+ * over Nanos-RV. The expected shape: gains over lower-MTT platforms are
+ * largest for fine tasks and converge toward 1x as granularity grows.
+ */
+
+#include <cstdio>
+
+#include "bench/fig_common.hh"
+
+using namespace picosim;
+using namespace picosim::bench;
+
+int
+main()
+{
+    const auto rows = runFigure9Matrix();
+
+    std::printf("# Figure 8, panel 1: speedup over serial version\n");
+    std::printf("%-14s %-12s %10s %9s %9s %9s\n", "program", "input",
+                "task_size", "Phentos", "Nanos-RV", "Nanos-SW");
+    for (const auto &r : rows) {
+        std::printf("%-14s %-12s %10.0f %9.2f %9.2f %9.2f\n",
+                    r.program.c_str(), r.label.c_str(), r.meanTaskSize,
+                    r.speedupPh(), r.speedupRv(), r.speedupSw());
+    }
+
+    std::printf("\n# Figure 8, panel 2: speedup over Nanos-SW\n");
+    std::printf("%-14s %-12s %10s %9s %9s\n", "program", "input",
+                "task_size", "Phentos", "Nanos-RV");
+    for (const auto &r : rows) {
+        std::printf("%-14s %-12s %10.0f %9.2f %9.2f\n", r.program.c_str(),
+                    r.label.c_str(), r.meanTaskSize,
+                    MatrixRow::ratio(r.nanosSw, r.phentos),
+                    MatrixRow::ratio(r.nanosSw, r.nanosRv));
+    }
+
+    std::printf("\n# Figure 8, panel 3: speedup over Nanos-RV\n");
+    std::printf("%-14s %-12s %10s %9s\n", "program", "input", "task_size",
+                "Phentos");
+    for (const auto &r : rows) {
+        std::printf("%-14s %-12s %10.0f %9.2f\n", r.program.c_str(),
+                    r.label.c_str(), r.meanTaskSize,
+                    MatrixRow::ratio(r.nanosRv, r.phentos));
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Figure 9 (normalized benchmark performance for all 37 inputs
+ * and the three runtimes) plus the Section VI-B1 headline geomeans:
+ * Nanos-RV 2.13x over Nanos-SW, Phentos 13.19x over Nanos-SW and 6.20x
+ * over Nanos-RV; max speedups vs serial of 5.62x (Nanos-RV) and 5.72x
+ * (Phentos).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "bench/fig_common.hh"
+
+using namespace picosim;
+using namespace picosim::bench;
+
+int
+main()
+{
+    std::printf("# Figure 9: speedup over serial, 8 cores\n");
+    std::printf("%-14s %-12s %7s %10s %9s %9s %9s\n", "program", "input",
+                "tasks", "task_size", "Nanos-SW", "Nanos-RV", "Phentos");
+
+    const auto rows = runFigure9Matrix();
+
+    std::vector<double> rv_over_sw, ph_over_sw, ph_over_rv;
+    double max_rv = 0.0, max_ph = 0.0;
+    for (const auto &row : rows) {
+        std::printf("%-14s %-12s %7llu %10.0f %9.2f %9.2f %9.2f\n",
+                    row.program.c_str(), row.label.c_str(),
+                    static_cast<unsigned long long>(row.tasks),
+                    row.meanTaskSize, row.speedupSw(), row.speedupRv(),
+                    row.speedupPh());
+        if (row.nanosSw && row.nanosRv)
+            rv_over_sw.push_back(MatrixRow::ratio(row.nanosSw, row.nanosRv));
+        if (row.nanosSw && row.phentos)
+            ph_over_sw.push_back(MatrixRow::ratio(row.nanosSw, row.phentos));
+        if (row.nanosRv && row.phentos)
+            ph_over_rv.push_back(MatrixRow::ratio(row.nanosRv, row.phentos));
+        max_rv = std::max(max_rv, row.speedupRv());
+        max_ph = std::max(max_ph, row.speedupPh());
+    }
+
+    std::printf("\n# Headline aggregates (paper Section VI-B1)\n");
+    std::printf("%-36s %9s %9s\n", "metric", "measured", "paper");
+    std::printf("%-36s %9.2f %9.2f\n", "geomean Nanos-RV over Nanos-SW",
+                geomean(rv_over_sw), 2.13);
+    std::printf("%-36s %9.2f %9.2f\n", "geomean Phentos over Nanos-SW",
+                geomean(ph_over_sw), 13.19);
+    std::printf("%-36s %9.2f %9.2f\n", "geomean Phentos over Nanos-RV",
+                geomean(ph_over_rv), 6.20);
+    std::printf("%-36s %9.2f %9.2f\n", "max Nanos-RV speedup vs serial",
+                max_rv, 5.62);
+    std::printf("%-36s %9.2f %9.2f\n", "max Phentos speedup vs serial",
+                max_ph, 5.72);
+
+    unsigned rv_wins = 0, ph_wins_sw = 0, ph_wins_rv = 0;
+    for (const auto &row : rows) {
+        if (row.nanosRv && row.nanosSw && row.nanosRv < row.nanosSw)
+            ++rv_wins;
+        if (row.phentos && row.nanosSw && row.phentos < row.nanosSw)
+            ++ph_wins_sw;
+        if (row.phentos && row.nanosRv && row.phentos < row.nanosRv)
+            ++ph_wins_rv;
+    }
+    std::printf("\n# Win counts out of %zu inputs "
+                "(paper: 34/37, 36/37, 34/37)\n",
+                rows.size());
+    std::printf("Nanos-RV beats Nanos-SW : %u\n", rv_wins);
+    std::printf("Phentos beats Nanos-SW  : %u\n", ph_wins_sw);
+    std::printf("Phentos beats Nanos-RV  : %u\n", ph_wins_rv);
+    return 0;
+}

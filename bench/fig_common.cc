@@ -1,0 +1,54 @@
+#include "bench/fig_common.hh"
+
+#include <cstdio>
+
+#include "apps/workloads.hh"
+#include "bench/bench_util.hh"
+
+namespace picosim::bench
+{
+
+std::vector<MatrixRow>
+runFigure9Matrix(bool progress)
+{
+    const auto inputs = apps::figure9Inputs();
+    const bool quick = quickMode();
+
+    std::vector<MatrixRow> rows;
+    unsigned index = 0;
+    for (const auto &input : inputs) {
+        ++index;
+        if (quick && index % 3 != 1)
+            continue; // subsample in quick mode
+
+        const rt::Program prog = input.build();
+        rt::HarnessParams hp;
+
+        MatrixRow row;
+        row.program = input.program;
+        row.label = input.label;
+        row.tasks = prog.numTasks();
+        row.meanTaskSize = prog.meanTaskSize();
+
+        const rt::RunResult serial =
+            rt::runProgram(rt::RuntimeKind::Serial, prog, hp);
+        row.serialCycles = serial.completed ? serial.cycles : 0;
+
+        const auto measure = [&](rt::RuntimeKind kind) -> Cycle {
+            const rt::RunResult res = rt::runProgram(kind, prog, hp);
+            return res.completed ? res.cycles : 0;
+        };
+        row.nanosSw = measure(rt::RuntimeKind::NanosSW);
+        row.nanosRv = measure(rt::RuntimeKind::NanosRV);
+        row.phentos = measure(rt::RuntimeKind::Phentos);
+        if (progress) {
+            std::fprintf(stderr, "  [%2u/%zu] %s %s done\n", index,
+                         inputs.size(), row.program.c_str(),
+                         row.label.c_str());
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace picosim::bench

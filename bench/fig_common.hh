@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared evaluation matrix used by the Figure 8/9/10 benches: every
+ * Figure-9 input run under serial + the three runtimes of the figure.
+ */
+
+#ifndef PICOSIM_BENCH_FIG_COMMON_HH
+#define PICOSIM_BENCH_FIG_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/harness.hh"
+
+namespace picosim::bench
+{
+
+struct MatrixRow
+{
+    std::string program;
+    std::string label;
+    std::uint64_t tasks = 0;
+    double meanTaskSize = 0.0;
+    Cycle serialCycles = 0;
+    // Parallel makespans per runtime (0 if not run / incomplete).
+    Cycle nanosSw = 0;
+    Cycle nanosRv = 0;
+    Cycle phentos = 0;
+
+    double speedupSw() const { return ratio(serialCycles, nanosSw); }
+    double speedupRv() const { return ratio(serialCycles, nanosRv); }
+    double speedupPh() const { return ratio(serialCycles, phentos); }
+
+    static double
+    ratio(Cycle num, Cycle den)
+    {
+        return den == 0 ? 0.0
+                        : static_cast<double>(num) /
+                              static_cast<double>(den);
+    }
+};
+
+/**
+ * Run the full Figure 9 matrix (or a subsample in quick mode).
+ * @param progress When true, prints one line per input to stderr.
+ */
+std::vector<MatrixRow> runFigure9Matrix(bool progress = true);
+
+} // namespace picosim::bench
+
+#endif // PICOSIM_BENCH_FIG_COMMON_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Table II: FPGA resource usage breakdown. Cell counts come
+ * from the analytic area model (DESIGN.md substitution #5); the headline
+ * claim to preserve is that the whole scheduling subsystem (Picos, Picos
+ * Manager and the Delegates) stays below 2% of the octa-core SoC.
+ */
+
+#include <cstdio>
+
+#include "area/resource_model.hh"
+
+using namespace picosim;
+using namespace picosim::area;
+
+int
+main()
+{
+    const AreaParams a{};
+    const picos::PicosParams pp{};
+    const manager::ManagerParams mp{};
+
+    std::printf("# Table II: resource usage breakdown (FPGA cells)\n");
+    std::printf("# paper: top 384K 100%%, Core 44K 11.56%%, fpuOpt 18K "
+                "4.77%%,\n#        dcache 6K 1.57%%, icache 1K 0.32%%, "
+                "SSystem 7K 1.79%%\n");
+    std::printf("%-10s %10s %9s  %s\n", "module", "cells", "fraction",
+                "description");
+    for (const ModuleUsage &m : tableII(a, pp, mp)) {
+        std::printf("%-10s %10llu %8.2f%%  %s\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.cells),
+                    m.fraction * 100.0, m.description.c_str());
+    }
+
+    const std::uint64_t ssystem = schedulingSystemCells(a, pp, mp);
+    std::printf("\nScheduling subsystem below 2%% of the SoC: %s\n",
+                tableII(a, pp, mp).back().fraction < 0.02 ? "yes" : "NO");
+    std::printf("State bits: picosFF=%llu picosBRAM=%llu manager(8 cores)=%llu\n",
+                static_cast<unsigned long long>(picosStateBits(pp)),
+                static_cast<unsigned long long>(picosTableBits(pp)),
+                static_cast<unsigned long long>(managerStateBits(mp, 8)));
+    std::printf("SSystem cells: %llu\n",
+                static_cast<unsigned long long>(ssystem));
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * blackscholes (parsec-ompss): Black-Scholes PDE evaluation for European
+ * options. Highly data-parallel: the option array is partitioned into
+ * blocks of B options; each task prices one block (Section VI-A2).
+ */
+
+#include "apps/workloads.hh"
+
+#include "sim/log.hh"
+
+namespace picosim::apps
+{
+
+namespace
+{
+constexpr Addr kOptionData = 0x5100'0000;
+constexpr Addr kPriceData = 0x5200'0000;
+
+/**
+ * Serial cost of pricing one option at -O3 on the 80 MHz Rocket core:
+ * CNDF twice (exp/log/sqrt/div on the FPU) plus bookkeeping. Rocket's FPU
+ * is pipelined but these transcendentals are library calls.
+ */
+constexpr Cycle kCyclesPerOption = 520;
+constexpr Cycle kTaskFixed = 180;
+} // namespace
+
+rt::Program
+blackscholes(unsigned num_options, unsigned block_size)
+{
+    if (block_size == 0 || num_options % block_size != 0)
+        sim::fatal("blackscholes: block size must divide option count");
+    rt::Program prog;
+    prog.name = "blackscholes " + std::to_string(num_options / 1024) +
+                "K B" + std::to_string(block_size);
+
+    const unsigned num_blocks = num_options / block_size;
+    // One OptionData record is 36 bytes; price output 4 bytes.
+    const unsigned in_stride = 64 * ((block_size * 36 + 63) / 64);
+    const unsigned out_stride = 64 * ((block_size * 4 + 63) / 64);
+
+    for (unsigned b = 0; b < num_blocks; ++b) {
+        std::vector<rt::TaskDep> deps{
+            {kOptionData + static_cast<Addr>(b) * in_stride, rt::Dir::In},
+            {kPriceData + static_cast<Addr>(b) * out_stride, rt::Dir::Out},
+        };
+        prog.spawn(kTaskFixed + kCyclesPerOption * block_size,
+                   std::move(deps));
+    }
+    prog.taskwait();
+    return prog;
+}
+
+} // namespace picosim::apps

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The 37 benchmark inputs of Figure 9, in figure order.
+ *
+ * Input mapping (DESIGN.md substitutions): blackscholes and jacobi use the
+ * paper's sizes directly; sparseLU "N32"/"N128" block grids are scaled to
+ * 8x8 / 12x12 blocks with block size 6*M elements so the granularity sweep
+ * spans the same decades while full Nanos-SW sweeps stay tractable;
+ * stream sizes "NxM" map to N blocks of M doubles.
+ */
+
+#include "apps/workloads.hh"
+
+namespace picosim::apps
+{
+
+namespace
+{
+
+BenchInput
+input(std::string program, std::string label,
+      std::function<rt::Program()> build)
+{
+    return BenchInput{std::move(program), std::move(label),
+                      std::move(build)};
+}
+
+} // namespace
+
+std::vector<BenchInput>
+figure9Inputs()
+{
+    std::vector<BenchInput> inputs;
+
+    // blackscholes: 4K and 16K options, block size 8..256.
+    for (unsigned opts : {4096u, 16384u}) {
+        for (unsigned b : {8u, 16u, 32u, 64u, 128u, 256u}) {
+            const std::string sz = opts == 4096 ? "4K" : "16K";
+            inputs.push_back(input(
+                "blackscholes", sz + " B" + std::to_string(b),
+                [opts, b] { return blackscholes(opts, b); }));
+        }
+    }
+
+    // jacobi: N in {128, 256, 512}, one-row blocks, 8 sweeps.
+    for (unsigned n : {128u, 256u, 512u}) {
+        inputs.push_back(input("jacobi", "N" + std::to_string(n) + " B1",
+                               [n] { return jacobi(n, 1, 8); }));
+    }
+
+    // sparselu: two grid sizes x block-size multiplier M in {1..16}.
+    for (unsigned n : {32u, 128u}) {
+        const unsigned nb = n == 32 ? 8 : 12;
+        for (unsigned m : {1u, 2u, 4u, 8u, 16u}) {
+            inputs.push_back(
+                input("sparselu",
+                      "N" + std::to_string(n) + " M" + std::to_string(m),
+                      [nb, m] { return sparseLu(nb, 6 * m); }));
+        }
+    }
+
+    // stream-barr and stream-deps: same six sizes each.
+    struct StreamSize { const char *label; unsigned blocks, elems; };
+    const StreamSize sizes[] = {
+        {"64", 8, 8},          {"16x16", 16, 16},
+        {"16x128", 16, 128},   {"128x128", 128, 128},
+        {"128x1024", 128, 1024}, {"4096x4096", 1024, 4096},
+    };
+    for (const auto &s : sizes) {
+        inputs.push_back(input("stream-barr", s.label, [s] {
+            return streamBarr(s.blocks, s.elems, 2);
+        }));
+    }
+    for (const auto &s : sizes) {
+        inputs.push_back(input("stream-deps", s.label, [s] {
+            return streamDeps(s.blocks, s.elems, 2);
+        }));
+    }
+
+    return inputs;
+}
+
+} // namespace picosim::apps

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * sparseLU (KaStORS): LU factorization of a sparse blocked matrix with
+ * the classic lu0 / fwd / bdiv / bmod task graph (Section VI-A2).
+ *
+ * The matrix is nb x nb blocks of bs x bs doubles; a pseudo-random subset
+ * of blocks is null and skipped (allocated lazily by bmod, as in the
+ * original benchmark).
+ */
+
+#include "apps/workloads.hh"
+
+#include <vector>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace picosim::apps
+{
+
+namespace
+{
+constexpr Addr kMatrixBase = 0x5500'0000;
+
+/** ~1.6 cycles per FLOP at -O3 on the in-order Rocket FPU. */
+constexpr double kCyclesPerFlop = 1.6;
+constexpr Cycle kTaskFixed = 220;
+
+Cycle
+flops(double count)
+{
+    return kTaskFixed + static_cast<Cycle>(kCyclesPerFlop * count);
+}
+} // namespace
+
+rt::Program
+sparseLu(unsigned nb, unsigned bs, std::uint64_t seed)
+{
+    if (nb == 0 || bs == 0)
+        sim::fatal("sparseLu: empty matrix");
+    rt::Program prog;
+    prog.name = "sparselu nb" + std::to_string(nb) + " bs" +
+                std::to_string(bs);
+
+    const double b3 = static_cast<double>(bs) * bs * bs;
+    const auto blockAddr = [&](unsigned i, unsigned j) {
+        return kMatrixBase +
+               (static_cast<Addr>(i) * nb + j) * bs * bs * sizeof(double);
+    };
+
+    // Initial sparsity pattern of the KaStORS generator: diagonal and a
+    // pseudo-random ~45% of off-diagonal blocks are present.
+    sim::Rng rng(seed);
+    std::vector<char> present(static_cast<std::size_t>(nb) * nb, 0);
+    for (unsigned i = 0; i < nb; ++i) {
+        for (unsigned j = 0; j < nb; ++j) {
+            present[i * nb + j] =
+                (i == j) || rng.uniform() < 0.45 ? 1 : 0;
+        }
+    }
+
+    for (unsigned k = 0; k < nb; ++k) {
+        // lu0: factorize the diagonal block.
+        prog.spawn(flops(2.0 / 3.0 * b3),
+                   {{blockAddr(k, k), rt::Dir::InOut}});
+
+        // fwd: row panel.
+        for (unsigned j = k + 1; j < nb; ++j) {
+            if (!present[k * nb + j])
+                continue;
+            prog.spawn(flops(b3), {{blockAddr(k, k), rt::Dir::In},
+                                   {blockAddr(k, j), rt::Dir::InOut}});
+        }
+        // bdiv: column panel.
+        for (unsigned i = k + 1; i < nb; ++i) {
+            if (!present[i * nb + k])
+                continue;
+            prog.spawn(flops(b3), {{blockAddr(k, k), rt::Dir::In},
+                                   {blockAddr(i, k), rt::Dir::InOut}});
+        }
+        // bmod: trailing update; fills in blocks (they become present).
+        for (unsigned i = k + 1; i < nb; ++i) {
+            if (!present[i * nb + k])
+                continue;
+            for (unsigned j = k + 1; j < nb; ++j) {
+                if (!present[k * nb + j])
+                    continue;
+                present[i * nb + j] = 1;
+                prog.spawn(flops(2.0 * b3),
+                           {{blockAddr(i, k), rt::Dir::In},
+                            {blockAddr(k, j), rt::Dir::In},
+                            {blockAddr(i, j), rt::Dir::InOut}});
+            }
+        }
+    }
+    prog.taskwait();
+    return prog;
+}
+
+} // namespace picosim::apps

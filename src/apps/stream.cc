@@ -1,0 +1,94 @@
+/**
+ * @file
+ * STREAM-style micro-benchmarks (ompss-ee): copy/scale/add/triad kernels
+ * over blocked arrays. stream-deps chains the kernels through per-block
+ * data dependences; stream-barr separates them with taskwait barriers and
+ * spawns dependence-free tasks (Section VI-A2).
+ */
+
+#include "apps/workloads.hh"
+
+#include "sim/log.hh"
+
+namespace picosim::apps
+{
+
+namespace
+{
+constexpr Addr kArrayA = 0x5600'0000;
+constexpr Addr kArrayB = 0x5700'0000;
+constexpr Addr kArrayC = 0x5800'0000;
+
+/**
+ * Memory-bound kernels on a core with no L2: ~6 cycles per element
+ * (load/store plus FP op, partially hidden by the 667 MHz memory).
+ */
+constexpr Cycle kCyclesPerElem = 6;
+constexpr Cycle kTaskFixed = 140;
+
+Addr
+blockAddr(Addr base, unsigned block, unsigned block_elems)
+{
+    return base + static_cast<Addr>(block) * block_elems * sizeof(double);
+}
+} // namespace
+
+rt::Program
+streamDeps(unsigned num_blocks, unsigned block_elems, unsigned iterations)
+{
+    rt::Program prog;
+    prog.name = "stream-deps " + std::to_string(num_blocks) + "x" +
+                std::to_string(block_elems);
+    const Cycle payload = kTaskFixed + kCyclesPerElem * block_elems;
+
+    for (unsigned it = 0; it < iterations; ++it) {
+        for (unsigned b = 0; b < num_blocks; ++b) {
+            // copy: c = a
+            prog.spawn(payload,
+                       {{blockAddr(kArrayA, b, block_elems), rt::Dir::In},
+                        {blockAddr(kArrayC, b, block_elems), rt::Dir::Out}});
+        }
+        for (unsigned b = 0; b < num_blocks; ++b) {
+            // scale: b = s * c
+            prog.spawn(payload,
+                       {{blockAddr(kArrayC, b, block_elems), rt::Dir::In},
+                        {blockAddr(kArrayB, b, block_elems), rt::Dir::Out}});
+        }
+        for (unsigned b = 0; b < num_blocks; ++b) {
+            // add: c = a + b
+            prog.spawn(payload,
+                       {{blockAddr(kArrayA, b, block_elems), rt::Dir::In},
+                        {blockAddr(kArrayB, b, block_elems), rt::Dir::In},
+                        {blockAddr(kArrayC, b, block_elems), rt::Dir::Out}});
+        }
+        for (unsigned b = 0; b < num_blocks; ++b) {
+            // triad: a = b + s * c
+            prog.spawn(payload,
+                       {{blockAddr(kArrayB, b, block_elems), rt::Dir::In},
+                        {blockAddr(kArrayC, b, block_elems), rt::Dir::In},
+                        {blockAddr(kArrayA, b, block_elems), rt::Dir::Out}});
+        }
+    }
+    prog.taskwait();
+    return prog;
+}
+
+rt::Program
+streamBarr(unsigned num_blocks, unsigned block_elems, unsigned iterations)
+{
+    rt::Program prog;
+    prog.name = "stream-barr " + std::to_string(num_blocks) + "x" +
+                std::to_string(block_elems);
+    const Cycle payload = kTaskFixed + kCyclesPerElem * block_elems;
+
+    for (unsigned it = 0; it < iterations; ++it) {
+        for (unsigned kernel = 0; kernel < 4; ++kernel) {
+            for (unsigned b = 0; b < num_blocks; ++b)
+                prog.spawn(payload); // dependence-free
+            prog.taskwait(); // barrier between kernels
+        }
+    }
+    return prog;
+}
+
+} // namespace picosim::apps

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Task Free / Task Chain lifetime-overhead microbenchmarks (Section VI-B2).
+ */
+
+#include "apps/workloads.hh"
+
+#include "sim/log.hh"
+
+namespace picosim::apps
+{
+
+namespace
+{
+/** Disjoint data region for microbenchmark monitored addresses. */
+constexpr Addr kTaskbenchBase = 0x5000'0000;
+} // namespace
+
+rt::Program
+taskFree(unsigned num_tasks, unsigned num_deps, Cycle payload)
+{
+    if (num_deps > rocc::kMaxDeps)
+        sim::fatal("taskFree: more than 15 dependences");
+    rt::Program prog;
+    prog.name = "task-free d" + std::to_string(num_deps);
+
+    Addr next = kTaskbenchBase;
+    for (unsigned t = 0; t < num_tasks; ++t) {
+        std::vector<rt::TaskDep> deps;
+        deps.reserve(num_deps);
+        // Output parameters on fresh addresses: the scheduler must track
+        // them all, but no inter-task edge ever forms.
+        for (unsigned d = 0; d < num_deps; ++d) {
+            deps.push_back({next, rt::Dir::Out});
+            next += 64;
+        }
+        prog.spawn(payload, std::move(deps));
+    }
+    prog.taskwait();
+    return prog;
+}
+
+rt::Program
+taskChain(unsigned num_tasks, unsigned num_deps, Cycle payload)
+{
+    if (num_deps > rocc::kMaxDeps)
+        sim::fatal("taskChain: more than 15 dependences");
+    rt::Program prog;
+    prog.name = "task-chain d" + std::to_string(num_deps);
+
+    // All tasks reuse the same monitored addresses with inout direction:
+    // every task depends on its predecessor through every parameter.
+    std::vector<rt::TaskDep> deps;
+    deps.reserve(num_deps);
+    for (unsigned d = 0; d < num_deps; ++d)
+        deps.push_back({kTaskbenchBase + d * 64, rt::Dir::InOut});
+
+    for (unsigned t = 0; t < num_tasks; ++t)
+        prog.spawn(payload, deps);
+    prog.taskwait();
+    return prog;
+}
+
+} // namespace picosim::apps

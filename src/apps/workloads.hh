@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Workload generators for every benchmark of the paper (Section VI-A2)
+ * plus the two lifetime-overhead microbenchmarks (Section VI-B2).
+ *
+ * Each generator emits a rt::Program: the trace of task spawns (payload
+ * cycle costs + annotated pointer parameters) and taskwait barriers the
+ * real OmpSs source would produce. Payload costs model the -O3 serial
+ * execution of the task bodies on the 80 MHz Rocket core; the per-element
+ * constants are documented at each builder.
+ *
+ * Scaling note (DESIGN.md): sparseLU block-grid sizes are scaled down
+ * relative to the labels so full sweeps stay tractable in simulation; the
+ * M parameter still sweeps task granularity across three decades, which is
+ * what Figures 8-10 need.
+ */
+
+#ifndef PICOSIM_APPS_WORKLOADS_HH
+#define PICOSIM_APPS_WORKLOADS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/task_types.hh"
+
+namespace picosim::apps
+{
+
+// -- Lifetime-overhead microbenchmarks (Figure 7) --
+
+/**
+ * Task Free: independent tasks with @p num_deps monitored parameters, all
+ * output-directed on distinct addresses (no inter-task edges).
+ */
+rt::Program taskFree(unsigned num_tasks, unsigned num_deps, Cycle payload);
+
+/**
+ * Task Chain: fully serialized chain; every task carries @p num_deps
+ * inout parameters on the same shared addresses.
+ */
+rt::Program taskChain(unsigned num_tasks, unsigned num_deps, Cycle payload);
+
+// -- Application benchmarks (Figure 9) --
+
+/** blackscholes (parsec-ompss): embarrassingly parallel option pricing. */
+rt::Program blackscholes(unsigned num_options, unsigned block_size);
+
+/** jacobi (KaStORS): 1D-blocked 2D Poisson sweeps with halo dependences. */
+rt::Program jacobi(unsigned n, unsigned block_rows, unsigned sweeps);
+
+/** sparseLU (KaStORS): blocked LU with lu0/fwd/bdiv/bmod task graph. */
+rt::Program sparseLu(unsigned num_blocks, unsigned block_elems,
+                     std::uint64_t seed = 42);
+
+/** stream with per-block data dependences (ompss-ee stream-deps). */
+rt::Program streamDeps(unsigned num_blocks, unsigned block_elems,
+                       unsigned iterations);
+
+/** stream with taskwait barriers between kernels (stream-barr). */
+rt::Program streamBarr(unsigned num_blocks, unsigned block_elems,
+                       unsigned iterations);
+
+// -- The 37 Figure-9 inputs --
+
+struct BenchInput
+{
+    std::string program;             ///< e.g. "blackscholes"
+    std::string label;               ///< e.g. "4K B8"
+    std::function<rt::Program()> build;
+};
+
+/** All 37 inputs of Figure 9, grouped per program, in figure order. */
+std::vector<BenchInput> figure9Inputs();
+
+} // namespace picosim::apps
+
+#endif // PICOSIM_APPS_WORKLOADS_HH

@@ -1,0 +1,102 @@
+#include "area/resource_model.hh"
+
+#include "rocc/task_packets.hh"
+
+namespace picosim::area
+{
+
+std::uint64_t
+picosStateBits(const picos::PicosParams &p)
+{
+    std::uint64_t bits = 0;
+    // Packet queues: 32-bit entries.
+    bits += 32ull * (p.subQueueDepth + p.readyQueueDepth +
+                     p.retireQueueDepth);
+    // Gateway collect buffer: a full 48-packet descriptor.
+    bits += 32ull * rocc::kDescriptorPackets;
+    return bits;
+}
+
+std::uint64_t
+picosTableBits(const picos::PicosParams &p)
+{
+    std::uint64_t bits = 0;
+    // Task reservation station: swId(64) + state(2) + pending count(4) +
+    // a dependents list sized for 4 average out-edges (id+gen ~ 20b).
+    bits += static_cast<std::uint64_t>(p.trsEntries) * (64 + 2 + 4 + 4 * 20);
+    // Dependence table: address tag (58) + writer ref (20) + 4 reader
+    // refs (20 each) + valid.
+    bits += static_cast<std::uint64_t>(p.dctSets) * p.dctWays *
+            (58 + 20 + 4 * 20 + 1);
+    return bits;
+}
+
+std::uint64_t
+managerStateBits(const manager::ManagerParams &p, unsigned num_cores)
+{
+    std::uint64_t per_core = 0;
+    per_core += 6ull * p.requestQueueDepth;        // burst sizes (<= 48)
+    per_core += 96ull * p.coreReadyQueueDepth;     // ready tuples
+    per_core += 32ull * p.retireBufferDepth;       // picos ids
+
+    std::uint64_t shared = 0;
+    shared += 32ull * p.finalBufferDepth;
+    shared += 4ull * p.routingQueueDepth;          // core ids
+    shared += 96ull * p.roccReadyQueueDepth;
+    shared += 96;                                  // packet encoder regs
+
+    return per_core * num_cores + shared;
+}
+
+std::uint64_t
+managerTableBits(const manager::ManagerParams &p, unsigned num_cores)
+{
+    // The 48-entry per-core submission buffers map to distributed RAM.
+    return 32ull * p.subBufferDepth * num_cores;
+}
+
+std::uint64_t
+schedulingSystemCells(const AreaParams &a, const picos::PicosParams &pp,
+                      const manager::ManagerParams &mp)
+{
+    const double ff_bits =
+        static_cast<double>(picosStateBits(pp)) +
+        static_cast<double>(managerStateBits(mp, a.numCores));
+    const double bram_bits =
+        static_cast<double>(picosTableBits(pp)) +
+        static_cast<double>(managerTableBits(mp, a.numCores));
+    std::uint64_t cells =
+        static_cast<std::uint64_t>(ff_bits * a.cellsPerStateBit +
+                                   bram_bits * a.cellsPerBramBit);
+    cells += a.picosControlCells + a.managerControlCells;
+    cells += static_cast<std::uint64_t>(a.numCores) * a.delegateCells;
+    return cells;
+}
+
+std::vector<ModuleUsage>
+tableII(const AreaParams &a, const picos::PicosParams &pp,
+        const manager::ManagerParams &mp)
+{
+    const std::uint64_t ssystem = schedulingSystemCells(a, pp, mp);
+    const std::uint64_t top =
+        static_cast<std::uint64_t>(a.numCores) * a.coreCells +
+        a.uncoreCells + ssystem;
+
+    const auto frac = [top](std::uint64_t cells) {
+        return static_cast<double>(cells) / static_cast<double>(top);
+    };
+
+    return {
+        {"top", "Whole system", top, 1.0},
+        {"Core", "Core with FPU and L1$", a.coreCells, frac(a.coreCells)},
+        {"fpuOpt", "Floating-point unit", a.fpuCells, frac(a.fpuCells)},
+        {"dcache", "D-cache of a single core", a.dcacheCells,
+         frac(a.dcacheCells)},
+        {"icache", "I-cache of a single core", a.icacheCells,
+         frac(a.icacheCells)},
+        {"SSystem", "Picos, Picos Manager, and Delegates", ssystem,
+         frac(ssystem)},
+    };
+}
+
+} // namespace picosim::area

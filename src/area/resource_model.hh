@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analytic FPGA resource model reproducing Table II (DESIGN.md
+ * substitution #5).
+ *
+ * We cannot synthesize the design, so each module's cell count is
+ * estimated from its structural parameters: state bits (queues, tables,
+ * registers) weighted by a cells-per-bit factor plus per-module control
+ * overhead, with the per-core constants (FPU, caches) taken from the
+ * published breakdown of the ZCU102 build. The model is parametric: tests
+ * check that it responds monotonically to queue depths and core counts,
+ * and the Table II bench prints the breakdown for the paper's
+ * configuration.
+ */
+
+#ifndef PICOSIM_AREA_RESOURCE_MODEL_HH
+#define PICOSIM_AREA_RESOURCE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "manager/manager_params.hh"
+#include "picos/picos_params.hh"
+
+namespace picosim::area
+{
+
+struct ModuleUsage
+{
+    std::string name;
+    std::string description;
+    std::uint64_t cells = 0;
+    double fraction = 0.0; ///< of the whole SoC
+};
+
+struct AreaParams
+{
+    unsigned numCores = 8;
+
+    /** Per-core constants from Table II (FPGA cells). */
+    std::uint64_t coreCells = 44'000;   ///< core incl. FPU and L1$
+    std::uint64_t fpuCells = 18'330;    ///< floating-point unit
+    std::uint64_t dcacheCells = 6'030;  ///< D-cache of a single core
+    std::uint64_t icacheCells = 1'230;  ///< I-cache of a single core
+
+    /** Uncore (interconnect, DRAM controller, peripherals). */
+    std::uint64_t uncoreCells = 25'000;
+
+    /** Synthesis-quality factors for the scheduling subsystem. Large
+     *  tables (reservation station, dependence table) map to block RAM,
+     *  which costs almost no cells -- only addressing/control logic. */
+    double cellsPerStateBit = 0.45;  ///< registers+LUTs per flip-flop bit
+    double cellsPerBramBit = 0.012;  ///< BRAM-backed storage overhead
+    std::uint64_t picosControlCells = 1'100;
+    std::uint64_t managerControlCells = 420;
+    std::uint64_t delegateCells = 130; ///< per-core RoCC stub
+};
+
+/** Register (flip-flop) state bits of Picos: queues + gateway buffer. */
+std::uint64_t picosStateBits(const picos::PicosParams &p);
+
+/** BRAM-backed storage bits of Picos: reservation station + dep table. */
+std::uint64_t picosTableBits(const picos::PicosParams &p);
+
+/** Flip-flop state bits of the Picos Manager (small queues, encoder). */
+std::uint64_t managerStateBits(const manager::ManagerParams &p,
+                               unsigned num_cores);
+
+/** BRAM-backed bits of the Manager (per-core submission buffers). */
+std::uint64_t managerTableBits(const manager::ManagerParams &p,
+                               unsigned num_cores);
+
+/**
+ * Full Table II breakdown: top / Core / fpuOpt / dcache / icache /
+ * SSystem rows, with fractions of the whole SoC.
+ */
+std::vector<ModuleUsage> tableII(const AreaParams &a,
+                                 const picos::PicosParams &pp,
+                                 const manager::ManagerParams &mp);
+
+/** Cells of the scheduling subsystem (Picos + Manager + Delegates). */
+std::uint64_t schedulingSystemCells(const AreaParams &a,
+                                    const picos::PicosParams &pp,
+                                    const manager::ManagerParams &mp);
+
+} // namespace picosim::area
+
+#endif // PICOSIM_AREA_RESOURCE_MODEL_HH

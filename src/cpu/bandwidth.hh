@@ -1,0 +1,58 @@
+/**
+ * @file
+ * First-order memory-bandwidth contention model.
+ *
+ * The prototype has no shared L2, so concurrently running task payloads
+ * contend for the single main-memory port; this is one of the two reasons
+ * the paper's speedups saturate below 6x on 8 cores (Section VI-A1). We
+ * model it as a linear inflation of payload execution time with the number
+ * of concurrently executing payloads: alpha is calibrated so that 8
+ * fully-busy cores yield the paper's ~5.7x ceiling (8 / (1 + 7*alpha)).
+ */
+
+#ifndef PICOSIM_CPU_BANDWIDTH_HH
+#define PICOSIM_CPU_BANDWIDTH_HH
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace picosim::cpu
+{
+
+class BandwidthModel
+{
+  public:
+    /** alpha = 0.058 makes 8 cores saturate at ~5.7x (Figures 9/10). */
+    explicit BandwidthModel(double alpha = 0.058) : alpha_(alpha) {}
+
+    void beginPayload() { ++active_; }
+
+    void
+    endPayload()
+    {
+        if (active_ == 0)
+            sim::panic("BandwidthModel underflow");
+        --active_;
+    }
+
+    unsigned activePayloads() const { return active_; }
+
+    /** Inflate a payload duration given current concurrency. */
+    Cycle
+    inflate(Cycle base) const
+    {
+        const unsigned others = active_ > 0 ? active_ - 1 : 0;
+        return static_cast<Cycle>(static_cast<double>(base) *
+                                  (1.0 + alpha_ * others));
+    }
+
+    double alpha() const { return alpha_; }
+
+  private:
+    double alpha_;
+    unsigned active_ = 0;
+};
+
+} // namespace picosim::cpu
+
+#endif // PICOSIM_CPU_BANDWIDTH_HH

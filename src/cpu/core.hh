@@ -1,0 +1,62 @@
+/**
+ * @file
+ * One in-order Rocket-style hart. The hart's software (runtime + benchmark
+ * glue) is a coroutine installed via install(); the core resumes it
+ * whenever its wake condition is met.
+ */
+
+#ifndef PICOSIM_CPU_CORE_HH
+#define PICOSIM_CPU_CORE_HH
+
+#include <string>
+
+#include "sim/cotask.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace picosim::cpu
+{
+
+class Core : public sim::Ticked
+{
+  public:
+    Core(const sim::Clock &clock, CoreId id, sim::StatGroup &stats)
+        : sim::Ticked("core" + std::to_string(id)), clock_(clock), id_(id),
+          ctx_(clock), stats_(stats)
+    {
+    }
+
+    CoreId id() const { return id_; }
+
+    /** Install (and arm) the software thread of this hart. */
+    void install(sim::CoTask<void> thread) { ctx_.start(std::move(thread)); }
+
+    bool threadDone() const { return !ctx_.started() || ctx_.done(); }
+
+    sim::HartContext &context() { return ctx_; }
+
+    void
+    tick() override
+    {
+        if (ctx_.tick())
+            ++stats_.scalar("core" + std::to_string(id_) + ".resumes");
+    }
+
+    bool
+    active() const override
+    {
+        return ctx_.wakeAt() <= clock_.now() + 1;
+    }
+
+    Cycle wakeAt() const override { return ctx_.wakeAt(); }
+
+  private:
+    const sim::Clock &clock_;
+    CoreId id_;
+    sim::HartContext ctx_;
+    sim::StatGroup &stats_;
+};
+
+} // namespace picosim::cpu
+
+#endif // PICOSIM_CPU_CORE_HH

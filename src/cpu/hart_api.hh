@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The per-hart programming interface used by simulated runtime software.
+ *
+ * Every method is an awaitable operation on the simulated timeline of one
+ * hart: custom RoCC instructions charge the 2-cycle RoCC round trip
+ * (Section IV-F2), memory operations charge MESI model latencies, and
+ * executePayload models a task body including bandwidth contention.
+ */
+
+#ifndef PICOSIM_CPU_HART_API_HH
+#define PICOSIM_CPU_HART_API_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "cpu/bandwidth.hh"
+#include "delegate/picos_delegate.hh"
+#include "mem/coherent_memory.hh"
+#include "sim/cotask.hh"
+#include "sim/types.hh"
+
+namespace picosim::cpu
+{
+
+struct HartApiParams
+{
+    /** Core-side occupancy of one RoCC custom instruction. */
+    Cycle roccLatency = 2;
+};
+
+class HartApi
+{
+  public:
+    HartApi(CoreId core, delegate::PicosDelegate &del,
+            mem::CoherentMemory &mem, BandwidthModel &bw,
+            const HartApiParams &params = {})
+        : core_(core), delegate_(del), mem_(mem), bw_(bw), params_(params)
+    {
+    }
+
+    CoreId coreId() const { return core_; }
+    delegate::PicosDelegate &delegateRef() { return delegate_; }
+    mem::CoherentMemory &memRef() { return mem_; }
+    BandwidthModel &bandwidthRef() { return bw_; }
+
+    /** Pure compute: advance this hart's clock. */
+    sim::CoTask<void>
+    delay(Cycle cycles)
+    {
+        co_await sim::Delay{cycles};
+    }
+
+    // -- Custom task-scheduling instructions (Table I) --
+
+    sim::CoTask<bool>
+    submissionRequest(unsigned num_packets)
+    {
+        co_await sim::Delay{params_.roccLatency};
+        co_return delegate_.submissionRequest(num_packets);
+    }
+
+    sim::CoTask<bool>
+    submitPacket(std::uint32_t packet)
+    {
+        co_await sim::Delay{params_.roccLatency};
+        co_return delegate_.submitPacket(packet);
+    }
+
+    sim::CoTask<bool>
+    submitThreePackets(std::uint64_t rs1, std::uint64_t rs2)
+    {
+        co_await sim::Delay{params_.roccLatency};
+        co_return delegate_.submitThreePackets(rs1, rs2);
+    }
+
+    sim::CoTask<bool>
+    readyTaskRequest()
+    {
+        co_await sim::Delay{params_.roccLatency};
+        co_return delegate_.readyTaskRequest();
+    }
+
+    sim::CoTask<std::optional<std::uint64_t>>
+    fetchSwId()
+    {
+        co_await sim::Delay{params_.roccLatency};
+        co_return delegate_.fetchSwId();
+    }
+
+    sim::CoTask<std::optional<std::uint32_t>>
+    fetchPicosId()
+    {
+        co_await sim::Delay{params_.roccLatency};
+        co_return delegate_.fetchPicosId();
+    }
+
+    /** Retire Task: the one blocking instruction (Section IV-B). */
+    sim::CoTask<void>
+    retireTask(std::uint32_t picos_id)
+    {
+        co_await sim::Delay{params_.roccLatency};
+        if (!delegate_.retireCanAccept()) {
+            delegate::PicosDelegate *del = &delegate_;
+            co_await sim::WaitUntil{
+                [del] { return del->retireCanAccept(); }};
+        }
+        delegate_.retireTask(picos_id);
+    }
+
+    // -- Memory operations (runtime data structures) --
+
+    sim::CoTask<void>
+    read(Addr addr)
+    {
+        co_await sim::Delay{mem_.read(core_, addr)};
+    }
+
+    sim::CoTask<void>
+    write(Addr addr)
+    {
+        co_await sim::Delay{mem_.write(core_, addr)};
+    }
+
+    sim::CoTask<void>
+    atomicRmw(Addr addr)
+    {
+        co_await sim::Delay{mem_.atomicRmw(core_, addr)};
+    }
+
+    /** Touch @p lines consecutive cache lines starting at @p base. */
+    sim::CoTask<void>
+    streamTouch(Addr base, unsigned lines, bool is_write)
+    {
+        co_await sim::Delay{mem_.streamTouch(core_, base, lines, is_write)};
+    }
+
+    // -- Task payload execution --
+
+    /**
+     * Execute a task body of @p base_cycles, inflated by memory-bandwidth
+     * contention with other concurrently executing payloads.
+     */
+    sim::CoTask<void>
+    executePayload(Cycle base_cycles)
+    {
+        bw_.beginPayload();
+        const Cycle cost = bw_.inflate(base_cycles);
+        co_await sim::Delay{cost};
+        bw_.endPayload();
+    }
+
+  private:
+    CoreId core_;
+    delegate::PicosDelegate &delegate_;
+    mem::CoherentMemory &mem_;
+    BandwidthModel &bw_;
+    HartApiParams params_;
+};
+
+} // namespace picosim::cpu
+
+#endif // PICOSIM_CPU_HART_API_HH

@@ -1,0 +1,51 @@
+#include "cpu/system.hh"
+
+#include <algorithm>
+
+namespace picosim::cpu
+{
+
+System::System(const SystemParams &params)
+    : params_(params), bandwidth_(params.bandwidthAlpha)
+{
+    memory_ = std::make_unique<mem::CoherentMemory>(params.numCores,
+                                                    params.mem);
+    picos_ = std::make_unique<picos::Picos>(sim_.clock(), params.picos,
+                                            sim_.stats());
+    manager_ = std::make_unique<manager::PicosManager>(
+        sim_.clock(), *picos_, params.numCores, params.manager, sim_.stats());
+
+    cores_.reserve(params.numCores);
+    delegates_.reserve(params.numCores);
+    hartApis_.reserve(params.numCores);
+    for (CoreId i = 0; i < params.numCores; ++i) {
+        cores_.push_back(
+            std::make_unique<Core>(sim_.clock(), i, sim_.stats()));
+        delegates_.push_back(std::make_unique<delegate::PicosDelegate>(
+            i, *manager_, sim_.stats()));
+        hartApis_.push_back(std::make_unique<HartApi>(
+            i, *delegates_.back(), *memory_, bandwidth_, params.hartApi));
+    }
+
+    // Evaluation order each cycle: cores produce transactions, the manager
+    // moves them, Picos consumes them.
+    for (auto &core : cores_)
+        sim_.addTicked(core.get());
+    sim_.addTicked(manager_.get());
+    sim_.addTicked(picos_.get());
+}
+
+bool
+System::allThreadsDone() const
+{
+    return std::all_of(cores_.begin(), cores_.end(),
+                       [](const auto &c) { return c->threadDone(); });
+}
+
+bool
+System::run(Cycle limit)
+{
+    return sim_.run([this] { return allThreadsDone(); }, limit);
+}
+
+} // namespace picosim::cpu

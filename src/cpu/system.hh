@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Assembly of one complete simulated system: N cores with delegates, the
+ * Picos Manager, Picos, the coherent memory model and the kernel
+ * (paper Figure 2).
+ */
+
+#ifndef PICOSIM_CPU_SYSTEM_HH
+#define PICOSIM_CPU_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/bandwidth.hh"
+#include "cpu/core.hh"
+#include "cpu/hart_api.hh"
+#include "delegate/picos_delegate.hh"
+#include "manager/picos_manager.hh"
+#include "mem/coherent_memory.hh"
+#include "picos/picos.hh"
+#include "sim/kernel.hh"
+
+namespace picosim::cpu
+{
+
+struct SystemParams
+{
+    unsigned numCores = 8;
+    picos::PicosParams picos{};
+    manager::ManagerParams manager{};
+    mem::MemParams mem{};
+    HartApiParams hartApi{};
+    double bandwidthAlpha = 0.058;
+};
+
+class System
+{
+  public:
+    explicit System(const SystemParams &params = {});
+
+    unsigned numCores() const { return static_cast<unsigned>(cores_.size()); }
+
+    sim::Simulator &simulator() { return sim_; }
+    const sim::Clock &clock() const { return sim_.clock(); }
+    sim::StatGroup &stats() { return sim_.stats(); }
+
+    Core &core(CoreId i) { return *cores_.at(i); }
+    delegate::PicosDelegate &delegateOf(CoreId i) { return *delegates_.at(i); }
+    HartApi &hartApi(CoreId i) { return *hartApis_.at(i); }
+    mem::CoherentMemory &memory() { return *memory_; }
+    picos::Picos &picos() { return *picos_; }
+    manager::PicosManager &manager() { return *manager_; }
+    BandwidthModel &bandwidth() { return bandwidth_; }
+
+    /** Install a software thread on core @p i. */
+    void
+    installThread(CoreId i, sim::CoTask<void> thread)
+    {
+        cores_.at(i)->install(std::move(thread));
+    }
+
+    /** True when every installed hart thread has finished. */
+    bool allThreadsDone() const;
+
+    /**
+     * Run until all hart threads complete. @return true on completion,
+     * false when the cycle limit was hit (likely deadlock).
+     */
+    bool run(Cycle limit = kCycleNever);
+
+    const SystemParams &params() const { return params_; }
+
+  private:
+    SystemParams params_;
+    sim::Simulator sim_;
+    BandwidthModel bandwidth_;
+    std::unique_ptr<mem::CoherentMemory> memory_;
+    std::unique_ptr<picos::Picos> picos_;
+    std::unique_ptr<manager::PicosManager> manager_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<delegate::PicosDelegate>> delegates_;
+    std::vector<std::unique_ptr<HartApi>> hartApis_;
+};
+
+} // namespace picosim::cpu
+
+#endif // PICOSIM_CPU_SYSTEM_HH

@@ -1,0 +1,137 @@
+#include "delegate/picos_delegate.hh"
+
+#include <string>
+
+#include "sim/log.hh"
+
+namespace picosim::delegate
+{
+
+PicosDelegate::PicosDelegate(CoreId core, manager::PicosManager &mgr,
+                             sim::StatGroup &stats)
+    : core_(core), mgr_(mgr), stats_(stats)
+{
+}
+
+void
+PicosDelegate::count(const char *name)
+{
+    ++stats_.scalar("delegate." + std::to_string(core_) + "." + name);
+}
+
+bool
+PicosDelegate::submissionRequest(unsigned num_packets)
+{
+    count("submissionRequest");
+    return mgr_.submissionRequest(core_, num_packets);
+}
+
+bool
+PicosDelegate::submitPacket(std::uint32_t packet)
+{
+    count("submitPacket");
+    return mgr_.submitPacket(core_, packet);
+}
+
+bool
+PicosDelegate::submitThreePackets(std::uint64_t rs1, std::uint64_t rs2)
+{
+    count("submitThreePackets");
+    const auto p1 = static_cast<std::uint32_t>(rs1 >> 32);
+    const auto p2 = static_cast<std::uint32_t>(rs1 & 0xffffffffu);
+    const auto p3 = static_cast<std::uint32_t>(rs2 & 0xffffffffu);
+    return mgr_.submitThreePackets(core_, p1, p2, p3);
+}
+
+bool
+PicosDelegate::readyTaskRequest()
+{
+    count("readyTaskRequest");
+    return mgr_.readyTaskRequest(core_);
+}
+
+std::optional<std::uint64_t>
+PicosDelegate::fetchSwId()
+{
+    count("fetchSwId");
+    const auto front = mgr_.peekReady(core_);
+    if (!front)
+        return std::nullopt;
+    swIdFetched_ = true;
+    return front->swId;
+}
+
+std::optional<std::uint32_t>
+PicosDelegate::fetchPicosId()
+{
+    count("fetchPicosId");
+    if (!swIdFetched_ || !mgr_.peekReady(core_))
+        return std::nullopt;
+    swIdFetched_ = false;
+    return mgr_.popReady(core_).picosId;
+}
+
+bool
+PicosDelegate::retireCanAccept() const
+{
+    return mgr_.retireCanAccept(core_);
+}
+
+void
+PicosDelegate::retireTask(std::uint32_t picos_id)
+{
+    count("retireTask");
+    if (!mgr_.retirePush(core_, picos_id))
+        sim::panic("retireTask pushed without retireCanAccept");
+}
+
+InstResult
+PicosDelegate::execute(const rocc::RoccInst &inst, std::uint64_t rs1,
+                       std::uint64_t rs2)
+{
+    using rocc::TaskFunct;
+    InstResult res;
+    switch (inst.funct) {
+      case TaskFunct::SubmissionRequest:
+        res.success = submissionRequest(static_cast<unsigned>(rs1));
+        res.value = res.success ? 0 : kFailureValue;
+        break;
+      case TaskFunct::SubmitPacket:
+        res.success = submitPacket(static_cast<std::uint32_t>(rs1));
+        res.value = res.success ? 0 : kFailureValue;
+        break;
+      case TaskFunct::SubmitThreePackets:
+        res.success = submitThreePackets(rs1, rs2);
+        res.value = res.success ? 0 : kFailureValue;
+        break;
+      case TaskFunct::ReadyTaskRequest:
+        res.success = readyTaskRequest();
+        res.value = res.success ? 0 : kFailureValue;
+        break;
+      case TaskFunct::FetchSwId:
+        if (auto id = fetchSwId()) {
+            res.success = true;
+            res.value = *id;
+        } else {
+            res.value = kFailureValue;
+        }
+        break;
+      case TaskFunct::FetchPicosId:
+        if (auto id = fetchPicosId()) {
+            res.success = true;
+            res.value = *id;
+        } else {
+            res.value = kFailureValue;
+        }
+        break;
+      case TaskFunct::RetireTask:
+        // Blocking semantics are modeled by the issuing hart (cpu layer);
+        // by the time execute() is called acceptance must hold.
+        retireTask(static_cast<std::uint32_t>(rs1));
+        res.success = true;
+        break;
+    }
+    return res;
+}
+
+} // namespace picosim::delegate

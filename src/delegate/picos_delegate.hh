@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The Picos Delegate: the per-core RoCC accelerator stub that implements
+ * the seven custom task-scheduling instructions (paper Section IV-E).
+ *
+ * Each core owns one delegate. The delegate is intentionally thin: it
+ * translates instruction executions into transactions against the shared
+ * Picos Manager and holds the single bit of per-core architectural state
+ * the ISA defines (the "SW ID fetched" flag that sequences Fetch SW ID /
+ * Fetch Picos ID).
+ */
+
+#ifndef PICOSIM_DELEGATE_PICOS_DELEGATE_HH
+#define PICOSIM_DELEGATE_PICOS_DELEGATE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "manager/picos_manager.hh"
+#include "rocc/rocc_inst.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace picosim::delegate
+{
+
+/**
+ * Result of a non-blocking instruction: success flag plus optional payload.
+ * Failure maps to the architectural failure value in rd.
+ */
+struct InstResult
+{
+    bool success = false;
+    std::uint64_t value = 0;
+};
+
+/** Architectural failure value returned in rd by failing instructions. */
+inline constexpr std::uint64_t kFailureValue = ~std::uint64_t{0};
+
+class PicosDelegate
+{
+  public:
+    PicosDelegate(CoreId core, manager::PicosManager &mgr,
+                  sim::StatGroup &stats);
+
+    CoreId coreId() const { return core_; }
+
+    /**
+     * Execute one decoded RoCC instruction against the manager. rs1/rs2
+     * carry the operand register values. Used by tests and by the
+     * convenience wrappers below (which the runtimes call).
+     */
+    InstResult execute(const rocc::RoccInst &inst, std::uint64_t rs1,
+                       std::uint64_t rs2);
+
+    // -- Typed wrappers, one per Table I instruction --
+
+    /** Announce a submission of @p num_packets non-zero packets. */
+    bool submissionRequest(unsigned num_packets);
+
+    /** Submit the low 32 bits of the operand. */
+    bool submitPacket(std::uint32_t packet);
+
+    /** Submit P1=rs1[63:32], P2=rs1[31:0], P3=rs2[31:0]. */
+    bool submitThreePackets(std::uint64_t rs1, std::uint64_t rs2);
+
+    /** Ask the manager to route one ready task to this core. */
+    bool readyTaskRequest();
+
+    /** Peek the SW ID at the front of the private ready queue. */
+    std::optional<std::uint64_t> fetchSwId();
+
+    /** Pop the front entry and return its Picos ID (requires a preceding
+     *  successful Fetch SW ID on the same entry). */
+    std::optional<std::uint32_t> fetchPicosId();
+
+    /** True when the retirement buffer can accept a packet this cycle
+     *  (Retire Task is the one blocking instruction). */
+    bool retireCanAccept() const;
+
+    /** Push the retirement packet; only call when retireCanAccept(). */
+    void retireTask(std::uint32_t picos_id);
+
+    bool swIdFetched() const { return swIdFetched_; }
+
+  private:
+    CoreId core_;
+    manager::PicosManager &mgr_;
+    sim::StatGroup &stats_;
+
+    /** Set by a successful Fetch SW ID, cleared by Fetch Picos ID. */
+    bool swIdFetched_ = false;
+
+    void count(const char *name);
+};
+
+} // namespace picosim::delegate
+
+#endif // PICOSIM_DELEGATE_PICOS_DELEGATE_HH

@@ -1,0 +1,291 @@
+#include "manager/picos_manager.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace picosim::manager
+{
+
+PicosManager::PicosManager(const sim::Clock &clock, picos::Picos &picos,
+                           unsigned num_cores, const ManagerParams &params,
+                           sim::StatGroup &stats)
+    : sim::Ticked("picosManager"), clock_(clock), picos_(picos),
+      params_(params), stats_(stats),
+      finalBuffer_(clock, params.finalBufferDepth),
+      routingQueue_(clock, params.routingQueueDepth, /*latency=*/1),
+      roccReadyQueue_(clock, params.roccReadyQueueDepth)
+{
+    if (num_cores == 0)
+        sim::fatal("PicosManager needs at least one core");
+    ports_.reserve(num_cores);
+    for (unsigned i = 0; i < num_cores; ++i)
+        ports_.emplace_back(clock, params);
+}
+
+void
+PicosManager::reset()
+{
+    for (auto &port : ports_) {
+        port.requestQueue.clear();
+        port.subBuffer.clear();
+        port.readyQueue.clear();
+        port.retireBuffer.clear();
+    }
+    grantedCore_ = -1;
+    burstRemaining_ = 0;
+    padRemaining_ = 0;
+    rrSubNext_ = 0;
+    finalBuffer_.clear();
+    routingQueue_.clear();
+    roccReadyQueue_.clear();
+    encodeCount_ = 0;
+    rrRetireNext_ = 0;
+    errorCode_ = 0;
+}
+
+// -- Delegate-facing interface ----------------------------------------
+
+bool
+PicosManager::submissionRequest(CoreId core, unsigned num_packets)
+{
+    if (num_packets == 0 || num_packets > rocc::kDescriptorPackets ||
+        num_packets % 3 != 0) {
+        errorCode_ |= 0x1;
+        return false;
+    }
+    if (!ports_.at(core).requestQueue.push(num_packets))
+        return false;
+    ++stats_.scalar("manager.submissionRequests");
+    return true;
+}
+
+bool
+PicosManager::submitPacket(CoreId core, std::uint32_t packet)
+{
+    if (!ports_.at(core).subBuffer.push(packet))
+        return false;
+    ++stats_.scalar("manager.packetsSubmitted");
+    return true;
+}
+
+bool
+PicosManager::submitThreePackets(CoreId core, std::uint32_t p1,
+                                 std::uint32_t p2, std::uint32_t p3)
+{
+    CorePort &port = ports_.at(core);
+    if (port.subBuffer.capacity() - port.subBuffer.size() < 3)
+        return false;
+    port.subBuffer.push(p1);
+    port.subBuffer.push(p2);
+    port.subBuffer.push(p3);
+    stats_.scalar("manager.packetsSubmitted") += 3;
+    ++stats_.scalar("manager.tripleSubmits");
+    return true;
+}
+
+bool
+PicosManager::readyTaskRequest(CoreId core)
+{
+    if (!routingQueue_.push(core))
+        return false;
+    ++stats_.scalar("manager.workFetchRequests");
+    return true;
+}
+
+std::optional<rocc::ReadyTuple>
+PicosManager::peekReady(CoreId core) const
+{
+    const CorePort &port = ports_.at(core);
+    if (!port.readyQueue.frontReady())
+        return std::nullopt;
+    return port.readyQueue.front();
+}
+
+rocc::ReadyTuple
+PicosManager::popReady(CoreId core)
+{
+    return ports_.at(core).readyQueue.pop();
+}
+
+bool
+PicosManager::retireCanAccept(CoreId core) const
+{
+    return ports_.at(core).retireBuffer.canPush();
+}
+
+bool
+PicosManager::retirePush(CoreId core, std::uint32_t picos_id)
+{
+    if (!ports_.at(core).retireBuffer.push(picos_id))
+        return false;
+    ++stats_.scalar("manager.retirePackets");
+    return true;
+}
+
+// -- Internal pipelines -------------------------------------------------
+
+void
+PicosManager::tickSubmissionHandler()
+{
+    // Final Buffer -> Picos (protocol crossing), one packet per cycle.
+    if (finalBuffer_.frontReady() && picos_.subCanAccept())
+        picos_.subPush(finalBuffer_.pop());
+
+    // Grant a new core when idle: in-order round-robin over cores with a
+    // pending Submission Request (Guided Arbiter).
+    if (grantedCore_ < 0) {
+        for (unsigned i = 0; i < ports_.size(); ++i) {
+            const unsigned c = (rrSubNext_ + i) % ports_.size();
+            if (ports_[c].requestQueue.frontReady()) {
+                grantedCore_ = static_cast<int>(c);
+                burstRemaining_ = ports_[c].requestQueue.pop();
+                padRemaining_ =
+                    rocc::kDescriptorPackets - burstRemaining_;
+                rrSubNext_ = (c + 1) % ports_.size();
+                ++stats_.scalar("manager.burstsGranted");
+                break;
+            }
+        }
+    }
+    if (grantedCore_ < 0)
+        return;
+
+    // Stream one packet per cycle from the granted core (then from the
+    // Zero Padder) into the Final Buffer.
+    if (!finalBuffer_.canPush())
+        return;
+    CorePort &port = ports_[grantedCore_];
+    if (burstRemaining_ > 0) {
+        if (!port.subBuffer.frontReady())
+            return; // core has not produced the next packet yet
+        finalBuffer_.push(port.subBuffer.pop());
+        --burstRemaining_;
+    } else if (padRemaining_ > 0) {
+        finalBuffer_.push(0);
+        --padRemaining_;
+        ++stats_.scalar("manager.zeroPadPackets");
+    }
+    if (burstRemaining_ == 0 && padRemaining_ == 0)
+        grantedCore_ = -1; // release the port for the next burst
+}
+
+void
+PicosManager::tickPacketEncoder()
+{
+    // Collect one 32-bit ready packet per cycle from Picos; emit the
+    // compressed 96-bit tuple into the central RoCC Ready Queue.
+    if (encodeCount_ == 3) {
+        if (!roccReadyQueue_.canPush())
+            return;
+        rocc::ReadyTuple tuple;
+        tuple.picosId = encodeBuf_[0];
+        tuple.swId = (static_cast<std::uint64_t>(encodeBuf_[1]) << 32) |
+                     encodeBuf_[2];
+        roccReadyQueue_.push(tuple);
+        encodeCount_ = 0;
+        ++stats_.scalar("manager.tuplesEncoded");
+        return;
+    }
+    if (picos_.readyValid())
+        encodeBuf_[encodeCount_++] = picos_.readyPop();
+}
+
+void
+PicosManager::tickWorkFetchArbiter()
+{
+    // Serve requests strictly in arrival order (InOrderArbiter).
+    if (!routingQueue_.frontReady() || !roccReadyQueue_.frontReady())
+        return;
+    const CoreId core = routingQueue_.front();
+    CorePort &port = ports_.at(core);
+    if (!port.readyQueue.canPush())
+        return;
+    routingQueue_.pop();
+    port.readyQueue.push(roccReadyQueue_.pop());
+    ++stats_.scalar("manager.readyDelivered");
+}
+
+void
+PicosManager::tickRetireArbiter()
+{
+    if (!picos_.retireCanAccept())
+        return;
+    for (unsigned i = 0; i < ports_.size(); ++i) {
+        const unsigned c = (rrRetireNext_ + i) % ports_.size();
+        if (ports_[c].retireBuffer.frontReady()) {
+            picos_.retirePush(ports_[c].retireBuffer.pop());
+            rrRetireNext_ = (c + 1) % ports_.size();
+            return;
+        }
+    }
+}
+
+void
+PicosManager::tick()
+{
+    tickRetireArbiter();
+    tickPacketEncoder();
+    tickWorkFetchArbiter();
+    tickSubmissionHandler();
+}
+
+bool
+PicosManager::active() const
+{
+    const Cycle next = clock_.now() + 1;
+    if (grantedCore_ >= 0)
+        return true;
+    // The encoder makes progress when collecting packets or when it can
+    // emit its tuple; a stalled encoder (central queue full) sleeps until
+    // the work-fetch path drains it.
+    if (encodeCount_ == 3 ? roccReadyQueue_.canPush() : picos_.readyValid())
+        return true;
+    if (finalBuffer_.nextReadyCycle() <= next)
+        return true;
+    if (routingQueue_.nextReadyCycle() <= next && !roccReadyQueue_.empty())
+        return true;
+    for (const CorePort &port : ports_) {
+        if (port.requestQueue.nextReadyCycle() <= next)
+            return true;
+        if (port.retireBuffer.nextReadyCycle() <= next)
+            return true;
+    }
+    return false;
+}
+
+Cycle
+PicosManager::wakeAt() const
+{
+    Cycle wake = kCycleNever;
+    wake = std::min(wake, finalBuffer_.nextReadyCycle());
+    if (!roccReadyQueue_.empty() || encodeCount_ > 0 ||
+        picos_.readyValid()) {
+        wake = std::min(wake, routingQueue_.nextReadyCycle());
+    }
+    for (const CorePort &port : ports_) {
+        wake = std::min(wake, port.requestQueue.nextReadyCycle());
+        wake = std::min(wake, port.retireBuffer.nextReadyCycle());
+        // Not work for the manager itself, but the kernel must advance
+        // the clock across the private-queue latency so a polling
+        // consumer (or a run predicate) can observe the delivery.
+        wake = std::min(wake, port.readyQueue.nextReadyCycle());
+    }
+    return wake;
+}
+
+bool
+PicosManager::drained() const
+{
+    if (grantedCore_ >= 0 || encodeCount_ > 0 || !finalBuffer_.empty() ||
+        !roccReadyQueue_.empty())
+        return false;
+    for (const CorePort &port : ports_) {
+        if (!port.requestQueue.empty() || !port.subBuffer.empty() ||
+            !port.readyQueue.empty() || !port.retireBuffer.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace picosim::manager

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The Picos Manager (paper Section IV-F): mediates between the per-core
+ * Picos Delegates and Picos itself without modifying the Picos interface.
+ *
+ * Responsibilities (Figures 4 and 5):
+ *  - Submission Handler: Guided Arbiter serializes per-core submission
+ *    bursts (task submissions are atomic from Picos's point of view); the
+ *    Zero Padder completes each burst to the 48 packets Picos expects; a
+ *    Final Buffer hides short Picos downtimes.
+ *  - Work-Fetch Arbiter: distributes ready tasks to cores in the exact
+ *    order their Ready Task Requests arrived (in-order arbiter over the
+ *    routing queue).
+ *  - Packet Encoder: compresses the three 32-bit ready packets into one
+ *    96-bit tuple stored in the central RoCC Ready Queue.
+ *  - Round Robin Arbiter: merges per-core retirement streams into the
+ *    single Picos retirement interface.
+ *  - Per-core ready queues: hide half of the 8-cycle ready-fetch latency.
+ */
+
+#ifndef PICOSIM_MANAGER_PICOS_MANAGER_HH
+#define PICOSIM_MANAGER_PICOS_MANAGER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "manager/manager_params.hh"
+#include "picos/picos.hh"
+#include "rocc/task_packets.hh"
+#include "sim/clock.hh"
+#include "sim/queue.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace picosim::manager
+{
+
+class PicosManager : public sim::Ticked
+{
+  public:
+    PicosManager(const sim::Clock &clock, picos::Picos &picos,
+                 unsigned num_cores, const ManagerParams &params,
+                 sim::StatGroup &stats);
+
+    // -- Delegate-facing interface (one "port" per core) --
+
+    /** Announce a burst of @p num_packets non-zero submission packets. */
+    bool submissionRequest(CoreId core, unsigned num_packets);
+
+    /** Submit one 32-bit packet. */
+    bool submitPacket(CoreId core, std::uint32_t packet);
+
+    /** Submit three 32-bit packets (needs three buffer slots). */
+    bool submitThreePackets(CoreId core, std::uint32_t p1, std::uint32_t p2,
+                            std::uint32_t p3);
+
+    /** Enqueue a work-fetch request into the routing queue. */
+    bool readyTaskRequest(CoreId core);
+
+    /** Front of this core's private ready queue, if consumable now. */
+    std::optional<rocc::ReadyTuple> peekReady(CoreId core) const;
+
+    /** Pop this core's private ready queue (front must be ready). */
+    rocc::ReadyTuple popReady(CoreId core);
+
+    /** True when this core's retirement buffer can take a packet. */
+    bool retireCanAccept(CoreId core) const;
+
+    /** Push a retirement packet (Picos ID). */
+    bool retirePush(CoreId core, std::uint32_t picos_id);
+
+    // -- Ticked --
+    void tick() override;
+    bool active() const override;
+    Cycle wakeAt() const override;
+
+    // -- Introspection --
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(ports_.size());
+    }
+    const ManagerParams &params() const { return params_; }
+    std::size_t routingQueueSize() const { return routingQueue_.size(); }
+    bool drained() const;
+
+    /** Debug interface (Section IV-F1): sticky 4-bit error code. */
+    std::uint8_t errorCode() const { return errorCode_; }
+
+    void reset();
+
+  private:
+    struct CorePort
+    {
+        CorePort(const sim::Clock &clock, const ManagerParams &p)
+            : requestQueue(clock, p.requestQueueDepth),
+              subBuffer(clock, p.subBufferDepth),
+              readyQueue(clock, p.coreReadyQueueDepth, /*latency=*/1),
+              retireBuffer(clock, p.retireBufferDepth, /*latency=*/1)
+        {
+        }
+
+        sim::TimedFifo<unsigned> requestQueue;       // announced burst sizes
+        sim::TimedFifo<std::uint32_t> subBuffer;     // submission packets
+        sim::TimedFifo<rocc::ReadyTuple> readyQueue; // private ready queue
+        sim::TimedFifo<std::uint32_t> retireBuffer;  // retirement packets
+    };
+
+    void tickSubmissionHandler();
+    void tickPacketEncoder();
+    void tickWorkFetchArbiter();
+    void tickRetireArbiter();
+
+    const sim::Clock &clock_;
+    picos::Picos &picos_;
+    ManagerParams params_;
+    sim::StatGroup &stats_;
+
+    std::vector<CorePort> ports_;
+
+    // Submission Handler state (Guided Arbiter + Zero Padder).
+    int grantedCore_ = -1;       ///< core currently owning the Picos port
+    unsigned burstRemaining_ = 0; ///< non-zero packets left in the burst
+    unsigned padRemaining_ = 0;   ///< zero packets left to inject
+    unsigned rrSubNext_ = 0;      ///< round-robin scan start
+    sim::TimedFifo<std::uint32_t> finalBuffer_;
+
+    // Work-fetch path.
+    sim::TimedFifo<CoreId> routingQueue_;
+    sim::TimedFifo<rocc::ReadyTuple> roccReadyQueue_;
+    std::uint32_t encodeBuf_[3] = {0, 0, 0};
+    unsigned encodeCount_ = 0;
+
+    // Retirement round-robin pointer.
+    unsigned rrRetireNext_ = 0;
+
+    std::uint8_t errorCode_ = 0;
+};
+
+} // namespace picosim::manager
+
+#endif // PICOSIM_MANAGER_PICOS_MANAGER_HH

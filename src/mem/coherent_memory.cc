@@ -1,0 +1,185 @@
+#include "mem/coherent_memory.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace picosim::mem
+{
+
+CoherentMemory::CoherentMemory(unsigned num_cores, const MemParams &params)
+    : params_(params)
+{
+    if (num_cores == 0)
+        sim::fatal("CoherentMemory needs at least one core");
+    l1s_.resize(num_cores);
+    for (auto &l1 : l1s_)
+        l1.ways.assign(std::size_t{params_.l1Sets} * params_.l1Ways, Way{});
+}
+
+void
+CoherentMemory::reset()
+{
+    for (auto &l1 : l1s_)
+        std::fill(l1.ways.begin(), l1.ways.end(), Way{});
+    useClock_ = 0;
+}
+
+CoherentMemory::Way *
+CoherentMemory::findLine(CoreId core, Addr line)
+{
+    L1 &l1 = l1s_.at(core);
+    const unsigned set = setIndex(line);
+    Way *base = &l1.ways[std::size_t{set} * params_.l1Ways];
+    for (unsigned w = 0; w < params_.l1Ways; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const CoherentMemory::Way *
+CoherentMemory::findLine(CoreId core, Addr line) const
+{
+    return const_cast<CoherentMemory *>(this)->findLine(core, line);
+}
+
+CoherentMemory::Way *
+CoherentMemory::allocLine(CoreId core, Addr line)
+{
+    L1 &l1 = l1s_.at(core);
+    const unsigned set = setIndex(line);
+    Way *base = &l1.ways[std::size_t{set} * params_.l1Ways];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < params_.l1Ways; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    // Writebacks of dirty victims are folded into missLatency; an explicit
+    // writeback port model is not needed for the paper's effects.
+    if (victim->state == LineState::Modified)
+        ++stats_.scalar("mem.victimWritebacks");
+    victim->valid = false;
+    victim->state = LineState::Invalid;
+    return victim;
+}
+
+Cycle
+CoherentMemory::snoopRemotes(CoreId core, Addr line, bool exclusive_intent,
+                             bool &had_sharers)
+{
+    Cycle extra = 0;
+    had_sharers = false;
+    for (CoreId c = 0; c < l1s_.size(); ++c) {
+        if (c == core)
+            continue;
+        Way *w = findLine(c, line);
+        if (!w || !w->valid)
+            continue;
+        had_sharers = true;
+        if (w->state == LineState::Modified) {
+            // MESI: dirty data travels through main memory.
+            extra += params_.dirtyRemoteExtra;
+            ++stats_.scalar("mem.dirtyRemoteTransfers");
+        }
+        if (exclusive_intent) {
+            w->valid = false;
+            w->state = LineState::Invalid;
+            ++stats_.scalar("mem.invalidations");
+        } else if (w->state == LineState::Modified ||
+                   w->state == LineState::Exclusive) {
+            w->state = LineState::Shared;
+        }
+    }
+    if (exclusive_intent && had_sharers)
+        extra += params_.invalidateExtra;
+    return extra;
+}
+
+Cycle
+CoherentMemory::read(CoreId core, Addr addr)
+{
+    ++useClock_;
+    const Addr line = lineAddr(addr);
+    ++stats_.scalar("mem.reads");
+
+    if (Way *w = findLine(core, line)) {
+        w->lastUse = useClock_;
+        return params_.hitLatency;
+    }
+
+    ++stats_.scalar("mem.readMisses");
+    bool had_sharers = false;
+    Cycle extra = snoopRemotes(core, line, /*exclusive_intent=*/false,
+                               had_sharers);
+    Way *w = allocLine(core, line);
+    w->valid = true;
+    w->tag = line;
+    w->lastUse = useClock_;
+    w->state = had_sharers ? LineState::Shared : LineState::Exclusive;
+    return params_.hitLatency + params_.missLatency + extra;
+}
+
+Cycle
+CoherentMemory::write(CoreId core, Addr addr)
+{
+    ++useClock_;
+    const Addr line = lineAddr(addr);
+    ++stats_.scalar("mem.writes");
+
+    Way *w = findLine(core, line);
+    if (w && (w->state == LineState::Modified ||
+              w->state == LineState::Exclusive)) {
+        w->state = LineState::Modified;
+        w->lastUse = useClock_;
+        return params_.hitLatency;
+    }
+
+    bool had_sharers = false;
+    Cycle extra = snoopRemotes(core, line, /*exclusive_intent=*/true,
+                               had_sharers);
+    Cycle lat = params_.hitLatency + extra;
+    if (w) {
+        // Shared -> Modified upgrade; no refill needed.
+        ++stats_.scalar("mem.upgrades");
+    } else {
+        ++stats_.scalar("mem.writeMisses");
+        lat += params_.missLatency;
+        w = allocLine(core, line);
+        w->valid = true;
+        w->tag = line;
+    }
+    w->state = LineState::Modified;
+    w->lastUse = useClock_;
+    return lat;
+}
+
+Cycle
+CoherentMemory::atomicRmw(CoreId core, Addr addr)
+{
+    ++stats_.scalar("mem.atomics");
+    return write(core, addr) + params_.atomicExtra;
+}
+
+Cycle
+CoherentMemory::streamTouch(CoreId core, Addr base, unsigned lines,
+                            bool is_write)
+{
+    Cycle total = 0;
+    for (unsigned i = 0; i < lines; ++i) {
+        const Addr addr = base + std::uint64_t{i} * params_.lineBytes;
+        total += is_write ? write(core, addr) : read(core, addr);
+    }
+    return total;
+}
+
+LineState
+CoherentMemory::lineState(CoreId core, Addr addr) const
+{
+    const Way *w = findLine(core, lineAddr(addr));
+    return w && w->valid ? w->state : LineState::Invalid;
+}
+
+} // namespace picosim::mem

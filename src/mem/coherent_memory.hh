@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Whole-system MESI L1 + main-memory latency model.
+ *
+ * This is a functional-latency coherence model: every access updates the
+ * per-core set-associative tag arrays and the implied sharer/owner state,
+ * and returns the latency that the issuing hart must charge. Bus occupancy
+ * is not modeled (documented in DESIGN.md); the first-order effects the
+ * paper leans on — line bouncing of contended runtime structures and the
+ * through-memory dirty-transfer penalty of MESI — are.
+ */
+
+#ifndef PICOSIM_MEM_COHERENT_MEMORY_HH
+#define PICOSIM_MEM_COHERENT_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "mem/mem_params.hh"
+
+namespace picosim::mem
+{
+
+/** MESI stable states. */
+enum class LineState : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/**
+ * All L1s plus main memory of one simulated system.
+ */
+class CoherentMemory
+{
+  public:
+    CoherentMemory(unsigned num_cores, const MemParams &params);
+
+    /** Load one word in the line containing @p addr. @return latency. */
+    Cycle read(CoreId core, Addr addr);
+
+    /** Store to the line containing @p addr. @return latency. */
+    Cycle write(CoreId core, Addr addr);
+
+    /** Atomic read-modify-write (amoadd & friends). @return latency. */
+    Cycle atomicRmw(CoreId core, Addr addr);
+
+    /**
+     * Charge the latency of touching @p lines distinct lines of payload
+     * data with hit ratio implied by footprint vs cache size; cheap summary
+     * path used for task payload traffic.
+     */
+    Cycle streamTouch(CoreId core, Addr base, unsigned lines, bool write);
+
+    /** State of @p addr's line in @p core's L1 (Invalid if not present). */
+    LineState lineState(CoreId core, Addr addr) const;
+
+    const MemParams &params() const { return params_; }
+    sim::StatGroup &stats() { return stats_; }
+
+    unsigned numCores() const { return static_cast<unsigned>(l1s_.size()); }
+
+    /** Drop all cached state (between experiment runs). */
+    void reset();
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        Addr tag = 0;
+        LineState state = LineState::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    struct L1
+    {
+        std::vector<Way> ways; // sets * waysPerSet, row-major
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
+    unsigned setIndex(Addr line) const { return line % params_.l1Sets; }
+
+    Way *findLine(CoreId core, Addr line);
+    const Way *findLine(CoreId core, Addr line) const;
+
+    /** Victimize the LRU way of the proper set; returns the slot. */
+    Way *allocLine(CoreId core, Addr line);
+
+    /**
+     * Downgrade/invalidate remote copies for an access of the given intent.
+     * @return extra latency due to remote state.
+     */
+    Cycle snoopRemotes(CoreId core, Addr line, bool exclusive_intent,
+                       bool &had_sharers);
+
+    MemParams params_;
+    std::vector<L1> l1s_;
+    std::uint64_t useClock_ = 0;
+    sim::StatGroup stats_;
+};
+
+} // namespace picosim::mem
+
+#endif // PICOSIM_MEM_COHERENT_MEMORY_HH

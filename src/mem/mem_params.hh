@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Parameters of the modeled memory system.
+ *
+ * The prototype (Section VI-A1): per-core 32 KiB, 8-way, cache-coherent L1
+ * data caches implementing MESI; no shared L2, so dirty lines move between
+ * cores through main memory. Main memory runs at 667 MHz against the 80 MHz
+ * core clock, which keeps miss penalties moderate in core cycles.
+ */
+
+#ifndef PICOSIM_MEM_MEM_PARAMS_HH
+#define PICOSIM_MEM_MEM_PARAMS_HH
+
+#include "sim/types.hh"
+
+namespace picosim::mem
+{
+
+struct MemParams
+{
+    unsigned lineBytes = 64;
+
+    /** 32 KiB / 64 B line / 8 ways = 64 sets. */
+    unsigned l1Sets = 64;
+    unsigned l1Ways = 8;
+
+    /** L1 load-use hit latency in core cycles. */
+    Cycle hitLatency = 2;
+
+    /**
+     * Clean-line fill from main memory, in core cycles. DRAM at 667 MHz
+     * serving an 80 MHz core keeps this low relative to desktop systems.
+     */
+    Cycle missLatency = 22;
+
+    /**
+     * Extra cost when the line is Modified in a remote L1: MESI (unlike
+     * MOESI) cannot forward dirty data cache-to-cache, so the owner writes
+     * back through main memory before the requester refills (Section V-B).
+     */
+    Cycle dirtyRemoteExtra = 28;
+
+    /** Invalidation round-trip added to a write that finds remote sharers. */
+    Cycle invalidateExtra = 8;
+
+    /** Extra cycles for an atomic read-modify-write beyond the write path. */
+    Cycle atomicExtra = 6;
+};
+
+} // namespace picosim::mem
+
+#endif // PICOSIM_MEM_MEM_PARAMS_HH

@@ -1,0 +1,78 @@
+#include "picos/dep_table.hh"
+
+#include "sim/log.hh"
+
+namespace picosim::picos
+{
+
+DepTable::DepTable(unsigned sets, unsigned ways) : sets_(sets), ways_(ways)
+{
+    if (sets == 0 || ways == 0)
+        sim::fatal("DepTable needs at least one set and one way");
+    entries_.assign(std::size_t{sets} * ways, DepEntry{});
+}
+
+unsigned
+DepTable::setOf(Addr addr) const
+{
+    // Full 64-bit finalizer (splitmix64): stride-64 access patterns
+    // (cache-line sized blocks) must spread over all sets, otherwise the
+    // gateway stalls long before the reservation station fills.
+    std::uint64_t h = addr >> 3;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<unsigned>(h % sets_);
+}
+
+DepEntry *
+DepTable::find(Addr addr)
+{
+    DepEntry *base = &entries_[std::size_t{setOf(addr)} * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].addr == addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+DepEntry *
+DepTable::alloc(Addr addr,
+                const std::function<bool(const DepEntry &)> &evictable)
+{
+    DepEntry *base = &entries_[std::size_t{setOf(addr)} * ways_];
+    DepEntry *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (!victim && evictable(base[w]))
+            victim = &base[w];
+    }
+    if (!victim)
+        return nullptr;
+    victim->valid = true;
+    victim->addr = addr;
+    victim->lastWriter = TaskRef{};
+    victim->readers.clear();
+    return victim;
+}
+
+std::size_t
+DepTable::validEntries() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+void
+DepTable::clear()
+{
+    for (auto &e : entries_)
+        e = DepEntry{};
+}
+
+} // namespace picosim::picos

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Set-associative dependence table (the DCT of Picos).
+ *
+ * Storage only: entries map a monitored address to the last writer and the
+ * readers since that writer. All dependence *logic* (RAW/WAW/WAR edges,
+ * liveness filtering, eviction legality) lives in picos::Picos, which owns
+ * the task table the references point into.
+ */
+
+#ifndef PICOSIM_PICOS_DEP_TABLE_HH
+#define PICOSIM_PICOS_DEP_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace picosim::picos
+{
+
+/** Generation-tagged reference to a task table entry (avoids ABA reuse). */
+struct TaskRef
+{
+    std::uint32_t id = 0;
+    std::uint32_t gen = 0;
+    bool valid = false;
+
+    bool operator==(const TaskRef &) const = default;
+};
+
+struct DepEntry
+{
+    bool valid = false;
+    Addr addr = 0;
+    TaskRef lastWriter;
+    std::vector<TaskRef> readers;
+};
+
+class DepTable
+{
+  public:
+    DepTable(unsigned sets, unsigned ways);
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Find the entry for @p addr, or nullptr. */
+    DepEntry *find(Addr addr);
+
+    /**
+     * Allocate an entry for @p addr in its set, evicting a victim for which
+     * @p evictable holds. @return nullptr when the set is full of
+     * non-evictable entries (the gateway must stall).
+     */
+    DepEntry *alloc(Addr addr,
+                    const std::function<bool(const DepEntry &)> &evictable);
+
+    /** Number of valid entries (for stats/tests). */
+    std::size_t validEntries() const;
+
+    void clear();
+
+  private:
+    unsigned setOf(Addr addr) const;
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<DepEntry> entries_; // sets * ways, row-major
+};
+
+} // namespace picosim::picos
+
+#endif // PICOSIM_PICOS_DEP_TABLE_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cycle-level model of the Picos task-dependence-management accelerator
+ * (Yazdanpanah et al. [24], Tan et al. [18,19,20]; paper Section IV-D).
+ *
+ * External interface (all 32-bit packet queues, as in the paper):
+ *  - submission queue: receives 48-packet task descriptors (Figure 3);
+ *  - ready queue: emits 3 packets (Picos ID, SW ID hi, SW ID lo) per
+ *    ready-to-run task;
+ *  - retirement queue: receives one Picos ID per retired task.
+ *
+ * Internals: a gateway FSM ingests one packet per cycle; a task reservation
+ * station holds in-flight tasks; the dependence table tracks, per monitored
+ * address, the last writer and the readers since then, from which RAW, WAW
+ * and WAR edges are derived (Section III-A). Retirement wakes dependents
+ * and re-feeds the ready scheduler.
+ */
+
+#ifndef PICOSIM_PICOS_PICOS_HH
+#define PICOSIM_PICOS_PICOS_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "picos/dep_table.hh"
+#include "picos/picos_params.hh"
+#include "rocc/task_packets.hh"
+#include "sim/clock.hh"
+#include "sim/queue.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+
+namespace picosim::picos
+{
+
+/** Lifecycle of a task reservation entry. */
+enum class TaskState : std::uint8_t {
+    Free,    ///< entry unused
+    Waiting, ///< has unresolved dependences
+    Ready,   ///< queued for / streaming to the ready interface
+    Running, ///< handed to a core, awaiting retirement
+};
+
+class Picos : public sim::Ticked
+{
+  public:
+    Picos(const sim::Clock &clock, const PicosParams &params,
+          sim::StatGroup &stats);
+
+    // -- Submission interface --
+    bool subCanAccept() const { return subQueue_.canPush(); }
+    bool subPush(std::uint32_t packet);
+
+    // -- Ready interface (3 packets per task) --
+    bool readyValid() const { return readyQueue_.frontReady(); }
+    std::uint32_t readyPop() { return readyQueue_.pop(); }
+
+    // -- Retirement interface --
+    bool retireCanAccept() const { return retireQueue_.canPush(); }
+    bool retirePush(std::uint32_t picos_id);
+
+    // -- Ticked --
+    void tick() override;
+    bool active() const override;
+    Cycle wakeAt() const override;
+
+    // -- Introspection (tests, stats) --
+    unsigned inFlightTasks() const { return inFlight_; }
+    bool quiescent() const;
+    const PicosParams &params() const { return params_; }
+    TaskState taskState(std::uint32_t picos_id) const;
+    std::size_t depTableEntries() const { return depTable_.validEntries(); }
+    std::uint64_t tasksProcessed() const { return tasksProcessed_; }
+    std::uint64_t tasksRetired() const { return tasksRetired_; }
+
+    void reset();
+
+  private:
+    struct TaskEntry
+    {
+        TaskState state = TaskState::Free;
+        std::uint32_t gen = 0;
+        std::uint64_t swId = 0;
+        unsigned pendingDeps = 0;
+        std::vector<TaskRef> dependents;
+    };
+
+    bool alive(const TaskRef &ref) const;
+    TaskRef refOf(std::uint32_t id) const;
+    bool entryEvictable(const DepEntry &entry) const;
+
+    /** Allocate a TRS entry; returns id or -1 when full. */
+    int allocTask();
+
+    /** Run the gateway FSM for one cycle. */
+    void tickGateway();
+
+    /** Apply dependence analysis for the decoded descriptor. @return true
+     *  if all table allocations succeeded (otherwise stall and retry). */
+    bool applyDescriptor();
+
+    /** Add edge producer -> consumer (consumer waits on producer). */
+    void addEdge(const TaskRef &producer, std::uint32_t consumer_id);
+
+    void tickReadyIssue();
+    void tickRetire();
+
+    void markReady(std::uint32_t id);
+
+    const sim::Clock &clock_;
+    PicosParams params_;
+    sim::StatGroup &stats_;
+
+    sim::TimedFifo<std::uint32_t> subQueue_;
+    sim::TimedFifo<std::uint32_t> readyQueue_;
+    sim::TimedFifo<std::uint32_t> retireQueue_;
+
+    // Gateway state.
+    std::vector<std::uint32_t> collectBuffer_;
+    enum class GwState : std::uint8_t { Collect, Process, Stalled };
+    GwState gwState_ = GwState::Collect;
+    Cycle gwBusyUntil_ = 0;
+    int gwTaskId_ = -1;
+    std::size_t gwDepIndex_ = 0; ///< resume point across table stalls
+    rocc::TaskDescriptor gwDesc_;
+
+    // Task reservation station.
+    std::vector<TaskEntry> tasks_;
+    std::deque<std::uint32_t> freeList_;
+    unsigned inFlight_ = 0;
+
+    // Dependence table.
+    DepTable depTable_;
+
+    // Ready scheduling.
+    std::deque<std::uint32_t> readyPending_;
+    Cycle readyBusyUntil_ = 0;
+    int readyIssuingId_ = -1;
+
+    // Retirement.
+    Cycle retireBusyUntil_ = 0;
+
+    std::uint64_t tasksProcessed_ = 0;
+    std::uint64_t tasksRetired_ = 0;
+};
+
+} // namespace picosim::picos
+
+#endif // PICOSIM_PICOS_PICOS_HH

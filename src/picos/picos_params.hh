@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Structural and timing parameters of the Picos accelerator model.
+ *
+ * Queue widths and packet counts come straight from the paper (Figures 3-5);
+ * internal pipeline cycle counts are calibrated so the end-to-end hardware
+ * contribution to task lifetime matches the published Phentos overhead
+ * (185-423 cycles, Figure 7) — see DESIGN.md substitution #2.
+ */
+
+#ifndef PICOSIM_PICOS_PICOS_PARAMS_HH
+#define PICOSIM_PICOS_PICOS_PARAMS_HH
+
+#include "sim/types.hh"
+
+namespace picosim::picos
+{
+
+struct PicosParams
+{
+    /** Task reservation entries (max in-flight tasks inside Picos). */
+    unsigned trsEntries = 256;
+
+    /** Dependence-table geometry (set-associative, keyed by address). */
+    unsigned dctSets = 64;
+    unsigned dctWays = 8;
+
+    /** Submission packet FIFO depth (32-bit packets). */
+    unsigned subQueueDepth = 64;
+
+    /** Ready packet FIFO depth (32-bit packets; 3 per ready task). */
+    unsigned readyQueueDepth = 24;
+
+    /** Retirement FIFO depth (one Picos ID per slot). */
+    unsigned retireQueueDepth = 16;
+
+    /** Cycles to process a decoded task header. */
+    Cycle headerCycles = 2;
+
+    /** Cycles per dependence lookup/insert in the dependence table. */
+    Cycle depCycles = 2;
+
+    /**
+     * Cycles to stream one ready task's three packets to the ready queue.
+     * Combined with the manager-side encoder this yields the 8-cycle
+     * ready-fetch latency called out in Section IV-F2.
+     */
+    Cycle readyIssueCycles = 5;
+
+    /** Cycles to process one retirement (graph update per dependent edge
+     *  is wakeupCycles extra). */
+    Cycle retireCycles = 30;
+    Cycle wakeupCycles = 6;
+};
+
+} // namespace picosim::picos
+
+#endif // PICOSIM_PICOS_PICOS_PARAMS_HH

@@ -1,0 +1,99 @@
+#include "rocc/rocc_inst.hh"
+
+#include "sim/log.hh"
+
+namespace picosim::rocc
+{
+
+std::string_view
+functName(TaskFunct funct)
+{
+    switch (funct) {
+      case TaskFunct::SubmissionRequest:  return "SubmissionRequest";
+      case TaskFunct::SubmitPacket:       return "SubmitPacket";
+      case TaskFunct::SubmitThreePackets: return "SubmitThreePackets";
+      case TaskFunct::ReadyTaskRequest:   return "ReadyTaskRequest";
+      case TaskFunct::FetchSwId:          return "FetchSwId";
+      case TaskFunct::FetchPicosId:       return "FetchPicosId";
+      case TaskFunct::RetireTask:         return "RetireTask";
+    }
+    return "Unknown";
+}
+
+std::uint32_t
+encode(const RoccInst &inst)
+{
+    std::uint32_t word = 0;
+    word |= static_cast<std::uint32_t>(inst.opcode) & 0x7f;
+    word |= (static_cast<std::uint32_t>(inst.rd) & 0x1f) << 7;
+    word |= (inst.xs2 ? 1u : 0u) << 12;
+    word |= (inst.xs1 ? 1u : 0u) << 13;
+    word |= (inst.xd ? 1u : 0u) << 14;
+    word |= (static_cast<std::uint32_t>(inst.rs1) & 0x1f) << 15;
+    word |= (static_cast<std::uint32_t>(inst.rs2) & 0x1f) << 20;
+    word |= (static_cast<std::uint32_t>(inst.funct) & 0x7f) << 25;
+    return word;
+}
+
+RoccInst
+decode(std::uint32_t word)
+{
+    RoccInst inst;
+    inst.opcode = static_cast<CustomOpcode>(word & 0x7f);
+    inst.rd = (word >> 7) & 0x1f;
+    inst.xs2 = ((word >> 12) & 1) != 0;
+    inst.xs1 = ((word >> 13) & 1) != 0;
+    inst.xd = ((word >> 14) & 1) != 0;
+    inst.rs1 = (word >> 15) & 0x1f;
+    inst.rs2 = (word >> 20) & 0x1f;
+    inst.funct = static_cast<TaskFunct>((word >> 25) & 0x7f);
+    return inst;
+}
+
+InstSignature
+signatureOf(TaskFunct funct)
+{
+    switch (funct) {
+      case TaskFunct::SubmissionRequest:
+        // rs1 = number of non-zero packets; rd = success flag.
+        return {true, false, true};
+      case TaskFunct::SubmitPacket:
+        // rs1 = packet (lower 32 bits); rd = success flag.
+        return {true, false, true};
+      case TaskFunct::SubmitThreePackets:
+        // rs1 = {P1,P2}, rs2 = {-,P3}; rd = success flag.
+        return {true, true, true};
+      case TaskFunct::ReadyTaskRequest:
+        // rd = success flag.
+        return {false, false, true};
+      case TaskFunct::FetchSwId:
+        // rd = SW ID or failure value.
+        return {false, false, true};
+      case TaskFunct::FetchPicosId:
+        // rd = Picos ID or failure value.
+        return {false, false, true};
+      case TaskFunct::RetireTask:
+        // rs1 = Picos ID; blocking, no result register (Section IV-B).
+        return {true, false, false};
+    }
+    return {false, false, false};
+}
+
+RoccInst
+makeTaskInst(TaskFunct funct, std::uint8_t rd, std::uint8_t rs1,
+             std::uint8_t rs2)
+{
+    const InstSignature sig = signatureOf(funct);
+    RoccInst inst;
+    inst.funct = funct;
+    inst.opcode = CustomOpcode::Custom0;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    inst.xd = sig.writesRd;
+    inst.xs1 = sig.usesRs1;
+    inst.xs2 = sig.usesRs2;
+    return inst;
+}
+
+} // namespace picosim::rocc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * RoCC custom-instruction word format (paper Figure 1) and the seven
+ * task-scheduling instructions implemented by the Picos Delegate (Table I).
+ *
+ * Layout of a RoCC instruction word:
+ *
+ *   31      25 24  20 19  15 14 13 12 11   7 6      0
+ *   [ funct7 ][ rs2 ][ rs1 ][xd|xs1|xs2][ rd ][ opcode ]
+ */
+
+#ifndef PICOSIM_ROCC_ROCC_INST_HH
+#define PICOSIM_ROCC_ROCC_INST_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace picosim::rocc
+{
+
+/** The four RoCC custom opcodes defined by RISC-V. */
+enum class CustomOpcode : std::uint8_t {
+    Custom0 = 0b0001011,
+    Custom1 = 0b0101011,
+    Custom2 = 0b1011011,
+    Custom3 = 0b1111011,
+};
+
+/** funct7 selectors of the task-scheduling instructions (Table I). */
+enum class TaskFunct : std::uint8_t {
+    SubmissionRequest = 0,
+    SubmitPacket = 1,
+    SubmitThreePackets = 2,
+    ReadyTaskRequest = 3,
+    FetchSwId = 4,
+    FetchPicosId = 5,
+    RetireTask = 6,
+};
+
+/** Number of distinct task-scheduling instructions. */
+inline constexpr unsigned kNumTaskInsts = 7;
+
+/** Human-readable mnemonic for a funct value. */
+std::string_view functName(TaskFunct funct);
+
+/** True for instructions that may return a failure flag (non-blocking). */
+constexpr bool
+isNonBlocking(TaskFunct funct)
+{
+    // Only Retire Task is blocking (Section IV-B).
+    return funct != TaskFunct::RetireTask;
+}
+
+/** Decoded RoCC instruction fields. */
+struct RoccInst
+{
+    TaskFunct funct = TaskFunct::SubmissionRequest;
+    std::uint8_t rs2 = 0;
+    std::uint8_t rs1 = 0;
+    bool xd = false;
+    bool xs1 = false;
+    bool xs2 = false;
+    std::uint8_t rd = 0;
+    CustomOpcode opcode = CustomOpcode::Custom0;
+
+    bool operator==(const RoccInst &) const = default;
+};
+
+/** Pack fields into a 32-bit instruction word. */
+std::uint32_t encode(const RoccInst &inst);
+
+/** Unpack a 32-bit instruction word. */
+RoccInst decode(std::uint32_t word);
+
+/**
+ * Canonical register usage of each task instruction: whether it consumes
+ * rs1/rs2 and produces rd. Used by the delegate model and by tests.
+ */
+struct InstSignature
+{
+    bool usesRs1;
+    bool usesRs2;
+    bool writesRd;
+};
+
+InstSignature signatureOf(TaskFunct funct);
+
+/** Build the canonical instruction word for a task instruction. */
+RoccInst makeTaskInst(TaskFunct funct, std::uint8_t rd = 0,
+                      std::uint8_t rs1 = 0, std::uint8_t rs2 = 0);
+
+} // namespace picosim::rocc
+
+#endif // PICOSIM_ROCC_ROCC_INST_HH

@@ -1,0 +1,57 @@
+#include "rocc/task_packets.hh"
+
+#include "sim/log.hh"
+
+namespace picosim::rocc
+{
+
+std::vector<std::uint32_t>
+encodeNonZero(const TaskDescriptor &desc)
+{
+    if (desc.deps.size() > kMaxDeps)
+        sim::fatal("task has more than 15 dependencies");
+
+    std::vector<std::uint32_t> packets;
+    packets.reserve(nonZeroPackets(desc.deps.size()));
+    packets.push_back(static_cast<std::uint32_t>(desc.swId >> 32));
+    packets.push_back(static_cast<std::uint32_t>(desc.swId & 0xffffffffu));
+    packets.push_back(static_cast<std::uint32_t>(desc.deps.size()));
+    for (const TaskDep &dep : desc.deps) {
+        packets.push_back(static_cast<std::uint32_t>(dep.addr >> 32));
+        packets.push_back(static_cast<std::uint32_t>(dep.addr & 0xffffffffu));
+        packets.push_back(static_cast<std::uint32_t>(dep.dir));
+    }
+    return packets;
+}
+
+TaskDescriptor
+decodeDescriptor(const std::vector<std::uint32_t> &packets)
+{
+    if (packets.size() != kDescriptorPackets)
+        sim::fatal("descriptor must be exactly 48 packets");
+
+    TaskDescriptor desc;
+    desc.swId = (static_cast<std::uint64_t>(packets[0]) << 32) | packets[1];
+    const std::uint32_t ndeps = packets[2];
+    if (ndeps > kMaxDeps)
+        sim::fatal("descriptor announces more than 15 dependencies");
+    for (std::uint32_t i = 0; i < ndeps; ++i) {
+        const std::size_t base = 3 + std::size_t{i} * 3;
+        TaskDep dep;
+        dep.addr = (static_cast<std::uint64_t>(packets[base]) << 32) |
+                   packets[base + 1];
+        const std::uint32_t dir = packets[base + 2];
+        if (dir < 1 || dir > 3)
+            sim::fatal("descriptor has invalid directionality");
+        dep.dir = static_cast<Dir>(dir);
+        desc.deps.push_back(dep);
+    }
+    // Padding must be all zeros.
+    for (std::size_t i = nonZeroPackets(ndeps); i < kDescriptorPackets; ++i) {
+        if (packets[i] != 0)
+            sim::fatal("descriptor padding contains non-zero packet");
+    }
+    return desc;
+}
+
+} // namespace picosim::rocc

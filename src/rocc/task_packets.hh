@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Picos task-descriptor packet format (paper Figure 3).
+ *
+ * Every task is described to Picos by 3*(15+1) = 48 32-bit packets:
+ *
+ *   header:  task-ID (high), task-ID (low), #deps
+ *   dep i:   address (high), address (low), directionality
+ *   padding: zero packets up to 48
+ *
+ * A task with N dependencies (0 <= N <= 15) has 3 + 3*N non-zero packets;
+ * the remaining (15 - N) * 3 packets are zeros appended by the Submission
+ * Handler's Zero Padder, not by software.
+ */
+
+#ifndef PICOSIM_ROCC_TASK_PACKETS_HH
+#define PICOSIM_ROCC_TASK_PACKETS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace picosim::rocc
+{
+
+/** Dependence directionality of a task pointer parameter. */
+enum class Dir : std::uint32_t {
+    In = 1,    ///< read
+    Out = 2,   ///< written
+    InOut = 3, ///< read and written
+};
+
+/** One monitored pointer parameter. */
+struct TaskDep
+{
+    Addr addr = 0;
+    Dir dir = Dir::In;
+
+    bool operator==(const TaskDep &) const = default;
+};
+
+/** Maximum dependencies per task supported by the Picos descriptor. */
+inline constexpr unsigned kMaxDeps = 15;
+
+/** Total packets in a full Picos descriptor. */
+inline constexpr unsigned kDescriptorPackets = 3 * (kMaxDeps + 1);
+
+/** A decoded task descriptor as Picos sees it. */
+struct TaskDescriptor
+{
+    std::uint64_t swId = 0; ///< software task id chosen by the runtime
+    std::vector<TaskDep> deps;
+
+    bool operator==(const TaskDescriptor &) const = default;
+};
+
+/** Number of non-zero packets for a task with @p num_deps dependencies. */
+constexpr unsigned
+nonZeroPackets(unsigned num_deps)
+{
+    return 3 + 3 * num_deps;
+}
+
+/** Number of zero packets the Zero Padder appends. */
+constexpr unsigned
+paddingPackets(unsigned num_deps)
+{
+    return (kMaxDeps - num_deps) * 3;
+}
+
+/** Encode the non-zero prefix (software's responsibility). */
+std::vector<std::uint32_t> encodeNonZero(const TaskDescriptor &desc);
+
+/**
+ * Decode a full 48-packet descriptor (hardware's view after padding).
+ * Throws via sim::fatal on malformed input.
+ */
+TaskDescriptor decodeDescriptor(const std::vector<std::uint32_t> &packets);
+
+/** Ready-task tuple flowing from Picos to a core (96 bits, Section IV-F2). */
+struct ReadyTuple
+{
+    std::uint32_t picosId = 0;
+    std::uint64_t swId = 0;
+
+    bool operator==(const ReadyTuple &) const = default;
+};
+
+} // namespace picosim::rocc
+
+#endif // PICOSIM_ROCC_TASK_PACKETS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Synthetic address-space layout of the simulated runtimes' shared data.
+ *
+ * The MESI model only needs stable, collision-free addresses for the
+ * structures whose cache-line behaviour the paper discusses (Section V-B):
+ * the Phentos task-metadata array and retirement counter, the Nanos central
+ * ready queue and locks, and the software dependence-graph hash.
+ */
+
+#ifndef PICOSIM_RUNTIME_ADDR_SPACE_HH
+#define PICOSIM_RUNTIME_ADDR_SPACE_HH
+
+#include "sim/types.hh"
+
+namespace picosim::rt::layout
+{
+
+inline constexpr Addr kLine = 64;
+
+/** Phentos Task Metadata Array (one or two cache lines per element). */
+inline constexpr Addr kPhentosMetadataBase = 0x1000'0000;
+
+/** Phentos single atomic retirement counter (its own line). */
+inline constexpr Addr kPhentosRetireCounter = 0x2000'0000;
+
+/** Phentos program-done flag. */
+inline constexpr Addr kPhentosDoneFlag = 0x2000'0040;
+
+/** Nanos scheduler singleton: lock line and queue head/slots. */
+inline constexpr Addr kNanosSchedLock = 0x3000'0000;
+inline constexpr Addr kNanosQueueHead = 0x3000'0040;
+inline constexpr Addr kNanosQueueSlots = 0x3000'0080;
+inline constexpr Addr kNanosCompletion = 0x3001'0000;
+inline constexpr Addr kNanosDoneFlag = 0x3001'0040;
+
+/** Nanos-SW dependence-domain lock and hash buckets. */
+inline constexpr Addr kSwDepLock = 0x4000'0000;
+inline constexpr Addr kSwDepHashBase = 0x4000'1000;
+inline constexpr unsigned kSwDepHashBuckets = 1024;
+
+/** Metadata line(s) of Phentos element @p sw_id (elemLines in {1,2}). */
+constexpr Addr
+phentosMetadataAddr(std::uint64_t sw_id, unsigned elem_lines)
+{
+    return kPhentosMetadataBase + sw_id * elem_lines * kLine;
+}
+
+/** Hash-bucket line of a monitored address in the SW dependence domain. */
+constexpr Addr
+swDepBucketAddr(Addr monitored)
+{
+    std::uint64_t h = monitored >> 3;
+    h ^= h >> 16;
+    h *= 0x45d9f3b;
+    h ^= h >> 16;
+    return kSwDepHashBase + (h % kSwDepHashBuckets) * kLine;
+}
+
+/** Ready-queue slot line for index @p i (8 slots per line). */
+constexpr Addr
+nanosQueueSlotAddr(std::uint64_t i)
+{
+    return kNanosQueueSlots + ((i % 64) / 8) * kLine;
+}
+
+} // namespace picosim::rt::layout
+
+#endif // PICOSIM_RUNTIME_ADDR_SPACE_HH

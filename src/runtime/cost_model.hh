@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Calibrated software cost model (DESIGN.md substitution #3).
+ *
+ * Every constant is the charge, in 80 MHz Rocket Chip cycles, of one
+ * straight-line software operation that our simulated runtimes execute but
+ * do not instruction-simulate. Values are calibrated so the measured
+ * lifetime task-scheduling overheads reproduce paper Figure 7:
+ *
+ *                Task-Free 1   Task-Free 15   Task-Chain 1   Task-Chain 15
+ *   Phentos            185           320            329            423
+ *   Nanos-RV         12348         13143          12835          12393
+ *   Nanos-AXI        13426         17042          18459          18668
+ *   Nanos-SW         25208         99008          35867          58214
+ */
+
+#ifndef PICOSIM_RUNTIME_COST_MODEL_HH
+#define PICOSIM_RUNTIME_COST_MODEL_HH
+
+#include "sim/types.hh"
+
+namespace picosim::rt
+{
+
+struct CostModel
+{
+    // -- Generic software costs --
+    Cycle call = 5;          ///< plain call, -O3
+    Cycle virtualCall = 18;  ///< virtual dispatch (Nanos plugin interface)
+    Cycle alloc = 420;       ///< operator new of a descriptor
+    Cycle dealloc = 260;
+    Cycle mutexLock = 240;   ///< pthread fast path incl. fences
+    Cycle mutexUnlock = 180;
+    Cycle condSignal = 900;  ///< futex syscall
+    Cycle condWake = 2600;   ///< sleep + wake round trip
+
+    // -- Nanos core machinery (both SW and RV variants pay these) --
+    Cycle nanosSubmitPath = 3200; ///< WorkDescriptor creation + plugin hops
+    Cycle nanosFetchPath = 1700;  ///< Scheduler singleton path per attempt
+    Cycle nanosExecWrap = 650;    ///< task begin/end bookkeeping
+    Cycle nanosRetirePath = 2000; ///< completion + notify path
+    Cycle nanosIdleBackoff = 700; ///< between failed work-fetch attempts
+
+    // -- Nanos-SW software dependence inference --
+    Cycle swDepBase = 4000;      ///< per-task domain entry/exit
+    Cycle swDepNewEntry = 3950;  ///< insert a new address entry
+    Cycle swDepHitEntry = 350;  ///< update an existing address entry
+    Cycle swDepEdge = 1450;   ///< create one edge (deduped per producer)
+    Cycle swDepBlock = 3000;  ///< bookkeeping when a task is born blocked
+    Cycle swDepRelease = 1300;   ///< per-dep release at retirement
+    Cycle swDepWake = 2600;      ///< promote a now-ready task (condvar)
+
+    // -- Phentos fly-weight runtime --
+    Cycle phentosLoop = 14;          ///< inlined per-iteration overhead
+    Cycle phentosSubmitFixed = 95;   ///< metadata id/function setup
+    Cycle phentosSubmitRetry = 3;    ///< spin between packet-buffer retries
+    unsigned phentosFlushThreshold = 4; ///< fetch fails before flushing
+    Cycle taskwaitPollMin = 10;      ///< paper Section V-B: N in [10,100]
+    Cycle taskwaitPollMax = 100;
+
+    // -- Nanos-AXI (Picos++ over AXI, Tan et al. [20], IPC-scaled) --
+    Cycle axiWrite = 75;     ///< posted MMIO write
+    Cycle axiRead = 160;     ///< MMIO read round trip
+    Cycle axiDmaSetup = 310; ///< DMA descriptor setup per submission
+    Cycle axiPerDep = 270;   ///< driver translation + DMA segment per dep
+    Cycle axiDmaBeat = 2;    ///< DMA streaming per packet
+};
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_COST_MODEL_HH

@@ -1,0 +1,84 @@
+#include "runtime/harness.hh"
+
+#include "runtime/nanos.hh"
+#include "runtime/phentos.hh"
+#include "runtime/serial.hh"
+#include "sim/log.hh"
+
+namespace picosim::rt
+{
+
+std::string_view
+kindName(RuntimeKind kind)
+{
+    switch (kind) {
+      case RuntimeKind::Serial:   return "serial";
+      case RuntimeKind::NanosSW:  return "Nanos-SW";
+      case RuntimeKind::NanosRV:  return "Nanos-RV";
+      case RuntimeKind::NanosAXI: return "Nanos-AXI";
+      case RuntimeKind::Phentos:  return "Phentos";
+    }
+    return "?";
+}
+
+std::unique_ptr<Runtime>
+makeRuntime(RuntimeKind kind, const CostModel &cm)
+{
+    switch (kind) {
+      case RuntimeKind::Serial:
+        return std::make_unique<Serial>(cm);
+      case RuntimeKind::NanosSW:
+        return std::make_unique<Nanos>(Nanos::Variant::SW, cm);
+      case RuntimeKind::NanosRV:
+        return std::make_unique<Nanos>(Nanos::Variant::RV, cm);
+      case RuntimeKind::NanosAXI:
+        return std::make_unique<Nanos>(Nanos::Variant::AXI, cm);
+      case RuntimeKind::Phentos:
+        return std::make_unique<Phentos>(cm);
+    }
+    sim::fatal("unknown runtime kind");
+}
+
+RunResult
+runProgram(RuntimeKind kind, const Program &prog,
+           const HarnessParams &params)
+{
+    cpu::SystemParams sp = params.system;
+    sp.numCores = kind == RuntimeKind::Serial ? 1 : params.numCores;
+
+    cpu::System sys(sp);
+    std::unique_ptr<Runtime> runtime = makeRuntime(kind, params.costs);
+    runtime->install(sys, prog);
+
+    const bool ok = sys.run(params.cycleLimit);
+
+    RunResult res;
+    res.runtime = runtime->name();
+    res.program = prog.name;
+    res.completed = ok && runtime->finished();
+    res.cycles = sys.clock().now();
+    res.serialPayload = prog.serialPayloadCycles();
+    res.tasks = prog.numTasks();
+    res.meanTaskSize = prog.meanTaskSize();
+    if (!res.completed) {
+        PSIM_WARN(sys.clock(), "harness",
+                  res.runtime << " did not complete " << prog.name << " ("
+                              << runtime->tasksExecuted() << "/"
+                              << prog.numTasks() << " tasks)");
+    }
+    return res;
+}
+
+RunResult
+runWithSpeedup(RuntimeKind kind, const Program &prog,
+               const HarnessParams &params)
+{
+    const RunResult serial = runProgram(RuntimeKind::Serial, prog, params);
+    RunResult res = kind == RuntimeKind::Serial
+                        ? serial
+                        : runProgram(kind, prog, params);
+    res.serialCycles = serial.cycles;
+    return res;
+}
+
+} // namespace picosim::rt

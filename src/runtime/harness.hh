@@ -1,0 +1,49 @@
+/**
+ * @file
+ * One-call experiment harness: build a fresh system, install a runtime,
+ * run a program, collect results.
+ */
+
+#ifndef PICOSIM_RUNTIME_HARNESS_HH
+#define PICOSIM_RUNTIME_HARNESS_HH
+
+#include <memory>
+#include <string_view>
+
+#include "cpu/system.hh"
+#include "runtime/cost_model.hh"
+#include "runtime/runtime.hh"
+
+namespace picosim::rt
+{
+
+enum class RuntimeKind { Serial, NanosSW, NanosRV, NanosAXI, Phentos };
+
+std::string_view kindName(RuntimeKind kind);
+
+/** Factory for the runtime model of @p kind. */
+std::unique_ptr<Runtime> makeRuntime(RuntimeKind kind, const CostModel &cm);
+
+struct HarnessParams
+{
+    unsigned numCores = 8;
+    CostModel costs{};
+    cpu::SystemParams system{};
+    Cycle cycleLimit = 50'000'000'000ull;
+};
+
+/**
+ * Run @p prog under @p kind on a fresh system. Serial runs are forced to
+ * one core. The serialCycles field is left zero; use measureSpeedup or
+ * fill it from a separate Serial run.
+ */
+RunResult runProgram(RuntimeKind kind, const Program &prog,
+                     const HarnessParams &params = {});
+
+/** Run serial + the given runtime and fill in the speedup baseline. */
+RunResult runWithSpeedup(RuntimeKind kind, const Program &prog,
+                         const HarnessParams &params = {});
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_HARNESS_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Model of the Nanos OmpSs runtime in its three evaluated configurations
+ * (paper Sections II, V-A and VI):
+ *
+ *  - Nanos-SW:  dependence inference by the software `plain` plugin;
+ *  - Nanos-RV:  dependence inference offloaded to Picos via the custom
+ *               instructions (`picos` plugin, NX_ARGS="-deps=picos");
+ *  - Nanos-AXI: literature baseline — Picos++ reached through AXI
+ *               MMIO/DMA transactions (Tan et al. [20]).
+ *
+ * All three share the Nanos machinery the paper blames for its overhead:
+ * virtual-function plugin hops, mutex-guarded shared structures, and the
+ * Scheduler singleton that funnels every ready task through one central
+ * queue instead of running it on the fetching core (Section V-A).
+ */
+
+#ifndef PICOSIM_RUNTIME_NANOS_HH
+#define PICOSIM_RUNTIME_NANOS_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "runtime/cost_model.hh"
+#include "runtime/runtime.hh"
+#include "runtime/sw_dep_graph.hh"
+#include "runtime/sync.hh"
+#include "runtime/task_trace.hh"
+
+namespace picosim::rt
+{
+
+class Nanos : public Runtime
+{
+  public:
+    enum class Variant { SW, RV, AXI };
+
+    explicit Nanos(Variant variant, const CostModel &cm = {});
+
+    std::string name() const override;
+
+    void install(cpu::System &sys, const Program &prog) override;
+
+    bool finished() const override;
+    std::uint64_t tasksExecuted() const override { return executed_; }
+
+    Variant variant() const { return variant_; }
+
+    /** Attach an optional per-task lifecycle trace (may be nullptr). */
+    void setTrace(TaskTrace *trace) { trace_ = trace; }
+
+  private:
+    sim::CoTask<void> master(cpu::HartApi &api);
+    sim::CoTask<void> worker(cpu::HartApi &api);
+
+    sim::CoTask<void> submitTask(cpu::HartApi &api, const Task &task);
+
+    /** Push a ready task into the Scheduler singleton's central queue. */
+    sim::CoTask<void> pushCentral(cpu::HartApi &api, std::uint64_t sw_id);
+
+    /** Pop the central queue; co_returns -1 when empty. */
+    sim::CoTask<std::int64_t> popCentral(cpu::HartApi &api);
+
+    /** RV/AXI: move one ready tuple from the HW to the central queue. */
+    sim::CoTask<bool> hwFetchToCentral(cpu::HartApi &api);
+
+    /** Fetch+execute+retire one task. co_returns success. */
+    sim::CoTask<bool> tryExecuteOne(cpu::HartApi &api);
+
+    sim::CoTask<void> retire(cpu::HartApi &api, const Task &task);
+
+    /** Submit the descriptor through the custom instructions (RV). */
+    sim::CoTask<void> hwSubmitRocc(cpu::HartApi &api, const Task &task);
+
+    /** Submit the descriptor over modeled AXI DMA (AXI baseline). */
+    sim::CoTask<void> hwSubmitAxi(cpu::HartApi &api, const Task &task);
+
+    sim::CoTask<void> taskwait(cpu::HartApi &api, std::uint64_t target);
+
+    Variant variant_;
+    CostModel cm_;
+    cpu::System *sys_ = nullptr;
+    const Program *prog_ = nullptr;
+    TaskTrace *trace_ = nullptr;
+
+    // Scheduler singleton state (central ready queue + its lock).
+    SimLock schedLock_;
+    std::deque<std::uint64_t> centralQueue_;
+    std::uint64_t queuePushes_ = 0;
+    std::uint64_t queuePops_ = 0;
+
+    // Dependence subsystem.
+    SwDepGraph swGraph_;                ///< SW variant
+    SimLock depLock_;                   ///< SW variant
+    std::unordered_map<std::uint64_t, std::uint32_t> picosIdBySw_; // RV/AXI
+    std::vector<unsigned> outstandingReq_; ///< RV/AXI, per core
+
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t executed_ = 0;
+    bool doneFlag_ = false;
+    bool masterDone_ = false;
+};
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_NANOS_HH

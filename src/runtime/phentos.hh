@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Phentos: the fly-weight, header-only-in-spirit Task Scheduling runtime
+ * built directly on the custom instructions (paper Section V-B).
+ *
+ * Design goals reproduced from the paper:
+ *  1. no non-IO syscalls (no mutexes / condition variables at all);
+ *  2/6. task metadata array sized at one or two cache lines per element
+ *     (7 or 15 dependencies), single-writer per element -> no locks;
+ *  3. ready-task metadata fetched with one or two line transfers;
+ *  4. API inlined in application code (modeled by the tiny loop costs);
+ *  5. contention on the single atomic retirement counter mitigated by
+ *     per-core private counters flushed only after a number of work-fetch
+ *     failures, and taskwait polls backed off to every 10..100 cycles.
+ */
+
+#ifndef PICOSIM_RUNTIME_PHENTOS_HH
+#define PICOSIM_RUNTIME_PHENTOS_HH
+
+#include <vector>
+
+#include "runtime/cost_model.hh"
+#include "runtime/runtime.hh"
+#include "runtime/task_trace.hh"
+
+namespace picosim::rt
+{
+
+class Phentos : public Runtime
+{
+  public:
+    explicit Phentos(const CostModel &cm = {}) : cm_(cm) {}
+
+    std::string name() const override { return "Phentos"; }
+
+    void install(cpu::System &sys, const Program &prog) override;
+
+    bool finished() const override;
+    std::uint64_t tasksExecuted() const override { return executed_; }
+
+    /** Metadata element size selected for the current program (lines). */
+    unsigned elemLines() const { return elemLines_; }
+
+    /** Attach an optional per-task lifecycle trace (may be nullptr). */
+    void setTrace(TaskTrace *trace) { trace_ = trace; }
+
+  private:
+    struct PerCore
+    {
+        std::uint64_t privateRetired = 0; ///< unflushed retirements
+        unsigned fetchFails = 0;          ///< fails since last flush
+        unsigned outstandingReq = 0;      ///< un-consumed ready requests
+    };
+
+    sim::CoTask<void> master(cpu::HartApi &api);
+    sim::CoTask<void> worker(cpu::HartApi &api);
+
+    /** Submit one task: metadata write + instruction burst. */
+    sim::CoTask<void> submitTask(cpu::HartApi &api, const Task &task);
+
+    /** Try to fetch and run one ready task. co_returns success. */
+    sim::CoTask<bool> tryExecuteOne(cpu::HartApi &api);
+
+    /** Flush this core's private retirement counter if non-zero. */
+    sim::CoTask<void> flushPrivate(cpu::HartApi &api);
+
+    /** Spin (with 10..100-cycle backoff) until @p target retirements. */
+    sim::CoTask<void> taskwait(cpu::HartApi &api, std::uint64_t target);
+
+    Cycle backoffOf(unsigned fails) const;
+
+    CostModel cm_;
+    cpu::System *sys_ = nullptr;
+    const Program *prog_ = nullptr;
+    TaskTrace *trace_ = nullptr;
+    unsigned elemLines_ = 1;
+
+    std::vector<PerCore> perCore_;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t sharedRetired_ = 0; ///< the single atomic counter
+    std::uint64_t executed_ = 0;
+    bool doneFlag_ = false;
+    bool masterDone_ = false;
+};
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_PHENTOS_HH

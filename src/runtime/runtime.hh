@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Abstract interface of a simulated Task Scheduling runtime plus the
+ * result record produced by the run harness.
+ */
+
+#ifndef PICOSIM_RUNTIME_RUNTIME_HH
+#define PICOSIM_RUNTIME_RUNTIME_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/system.hh"
+#include "runtime/task_types.hh"
+
+namespace picosim::rt
+{
+
+/**
+ * A Task Scheduling runtime. install() arms one coroutine per hart; the
+ * harness then drives the system until all harts finish.
+ */
+class Runtime
+{
+  public:
+    virtual ~Runtime() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Install master/worker threads for @p prog on @p sys's cores. */
+    virtual void install(cpu::System &sys, const Program &prog) = 0;
+
+    /** True when the whole program was executed and accounted for. */
+    virtual bool finished() const = 0;
+
+    /** Tasks actually executed (must equal prog.numTasks() when done). */
+    virtual std::uint64_t tasksExecuted() const = 0;
+};
+
+/** Outcome of one program run on one runtime. */
+struct RunResult
+{
+    std::string runtime;
+    std::string program;
+    bool completed = false;   ///< finished before the cycle limit
+    Cycle cycles = 0;         ///< parallel makespan
+    Cycle serialPayload = 0;  ///< sum of task payloads
+    std::uint64_t tasks = 0;
+    double meanTaskSize = 0.0;
+
+    /** Speedup over the measured serial execution (filled by harness). */
+    Cycle serialCycles = 0;
+
+    double
+    speedup() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(serialCycles) / cycles;
+    }
+
+    /**
+     * Mean lifetime scheduling overhead per task (Figure 7 metric):
+     * wall cycles minus pure payload, per task, on a single-worker run.
+     */
+    double
+    overheadPerTask() const
+    {
+        if (tasks == 0 || cycles <= serialPayload)
+            return 0.0;
+        return static_cast<double>(cycles - serialPayload) / tasks;
+    }
+};
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_RUNTIME_HH

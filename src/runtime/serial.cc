@@ -1,0 +1,25 @@
+#include "runtime/serial.hh"
+
+namespace picosim::rt
+{
+
+sim::CoTask<void>
+Serial::thread(cpu::HartApi &api, const Program &prog)
+{
+    for (const Action &a : prog.actions) {
+        if (a.kind != Action::Kind::Spawn)
+            continue; // taskwait is a no-op serially
+        co_await api.delay(cm_.call);
+        co_await api.executePayload(a.task.payload);
+        ++executed_;
+    }
+    finished_ = true;
+}
+
+void
+Serial::install(cpu::System &sys, const Program &prog)
+{
+    sys.installThread(0, thread(sys.hartApi(0), prog));
+}
+
+} // namespace picosim::rt

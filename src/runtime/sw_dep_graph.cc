@@ -1,0 +1,109 @@
+#include "runtime/sw_dep_graph.hh"
+
+#include <algorithm>
+
+#include "runtime/addr_space.hh"
+#include "sim/log.hh"
+
+namespace picosim::rt
+{
+
+void
+SwDepGraph::addEdge(std::uint64_t producer, std::uint64_t consumer,
+                    LiveTask &consumer_task, DepOpResult &res)
+{
+    auto it = live_.find(producer);
+    if (it == live_.end() || producer == consumer)
+        return; // producer already finished: no edge
+    // Nanos deduplicates repeated edges between the same task pair (a
+    // 15-parameter chain still creates a single predecessor link).
+    if (!it->second.dependents.empty() &&
+        it->second.dependents.back() == consumer)
+        return;
+    it->second.dependents.push_back(consumer);
+    ++consumer_task.pendingDeps;
+    res.cost += costs_.swDepEdge;
+}
+
+DepOpResult
+SwDepGraph::submit(const Task &task)
+{
+    DepOpResult res;
+    res.cost = costs_.swDepBase;
+
+    if (live_.count(task.id))
+        sim::fatal("SwDepGraph::submit: duplicate task id");
+    LiveTask &lt = live_[task.id];
+    lt.deps = task.deps;
+
+    for (const TaskDep &dep : task.deps) {
+        res.touchedLines.push_back(layout::swDepBucketAddr(dep.addr));
+        auto [it, inserted] = addrMap_.try_emplace(dep.addr);
+        res.cost += inserted ? costs_.swDepNewEntry : costs_.swDepHitEntry;
+        AddrEntry &entry = it->second;
+
+        switch (dep.dir) {
+          case Dir::In:
+            if (entry.lastWriter >= 0)
+                addEdge(entry.lastWriter, task.id, lt, res); // RAW
+            entry.readers.push_back(task.id);
+            break;
+          case Dir::Out:
+          case Dir::InOut:
+            if (entry.lastWriter >= 0)
+                addEdge(entry.lastWriter, task.id, lt, res); // WAW / RAW
+            for (std::uint64_t r : entry.readers)
+                addEdge(r, task.id, lt, res); // WAR
+            entry.lastWriter = static_cast<std::int64_t>(task.id);
+            entry.readers.clear();
+            break;
+        }
+    }
+
+    res.ready = (lt.pendingDeps == 0);
+    return res;
+}
+
+DepOpResult
+SwDepGraph::release(std::uint64_t task_id)
+{
+    DepOpResult res;
+    auto it = live_.find(task_id);
+    if (it == live_.end())
+        sim::fatal("SwDepGraph::release: unknown task id");
+    LiveTask &lt = it->second;
+
+    res.cost = costs_.swDepBase / 2;
+    for (const TaskDep &dep : lt.deps) {
+        res.cost += costs_.swDepRelease;
+        res.touchedLines.push_back(layout::swDepBucketAddr(dep.addr));
+        auto ait = addrMap_.find(dep.addr);
+        if (ait == addrMap_.end())
+            continue;
+        AddrEntry &entry = ait->second;
+        if (entry.lastWriter == static_cast<std::int64_t>(task_id))
+            entry.lastWriter = -1;
+        std::erase(entry.readers, task_id);
+        // Drop quiescent entries so the hash does not grow unboundedly
+        // (Nanos trims its domain the same way).
+        if (entry.lastWriter < 0 && entry.readers.empty())
+            addrMap_.erase(ait);
+    }
+
+    for (std::uint64_t dep_id : lt.dependents) {
+        auto dit = live_.find(dep_id);
+        if (dit == live_.end())
+            sim::panic("SwDepGraph: dangling dependent edge");
+        if (dit->second.pendingDeps == 0)
+            sim::panic("SwDepGraph: pending underflow");
+        if (--dit->second.pendingDeps == 0) {
+            res.becameReady.push_back(dep_id);
+            res.cost += costs_.swDepWake;
+        }
+    }
+
+    live_.erase(it);
+    return res;
+}
+
+} // namespace picosim::rt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Software dependence inference, as performed by Nanos-SW's `plain`
+ * dependence plugin (paper Section V-A).
+ *
+ * This is a functional reimplementation of the address-map dependence
+ * domain: per monitored address it tracks the last writer and subsequent
+ * readers, derives RAW/WAW/WAR edges and maintains per-task pending
+ * counts. Each operation *returns the cycle cost* the calling thread must
+ * charge (per the calibrated CostModel) along with the cache lines it
+ * touched, so the MESI model sees the traffic.
+ */
+
+#ifndef PICOSIM_RUNTIME_SW_DEP_GRAPH_HH
+#define PICOSIM_RUNTIME_SW_DEP_GRAPH_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/cost_model.hh"
+#include "runtime/task_types.hh"
+#include "sim/types.hh"
+
+namespace picosim::rt
+{
+
+/** Outcome of a graph operation: cycles to charge + lines to touch. */
+struct DepOpResult
+{
+    Cycle cost = 0;
+    std::vector<Addr> touchedLines;
+    std::vector<std::uint64_t> becameReady; ///< tasks promoted to ready
+    bool ready = false; ///< (submit) task was immediately ready
+};
+
+class SwDepGraph
+{
+  public:
+    explicit SwDepGraph(const CostModel &costs) : costs_(costs) {}
+
+    /** Register a submitted task; computes its dependences. */
+    DepOpResult submit(const Task &task);
+
+    /** Release a finished task; wakes dependents. */
+    DepOpResult release(std::uint64_t task_id);
+
+    std::size_t pendingTasks() const { return live_.size(); }
+    bool empty() const { return live_.empty(); }
+
+  private:
+    struct AddrEntry
+    {
+        std::int64_t lastWriter = -1;
+        std::vector<std::uint64_t> readers;
+    };
+
+    struct LiveTask
+    {
+        unsigned pendingDeps = 0;
+        std::vector<std::uint64_t> dependents;
+        std::vector<TaskDep> deps; ///< for release-time updates
+    };
+
+    void addEdge(std::uint64_t producer, std::uint64_t consumer,
+                 LiveTask &consumer_task, DepOpResult &res);
+
+    const CostModel &costs_;
+    std::unordered_map<Addr, AddrEntry> addrMap_;
+    std::unordered_map<std::uint64_t, LiveTask> live_;
+};
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_SW_DEP_GRAPH_HH

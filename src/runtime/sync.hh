@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simulated synchronization primitives used by the Nanos model.
+ *
+ * A SimLock combines real mutual exclusion on the simulated timeline with
+ * the calibrated cycle cost of a pthread mutex and the MESI traffic of its
+ * cache line — so lock convoys and line bouncing show up exactly where the
+ * paper says they hurt (Section V-A).
+ */
+
+#ifndef PICOSIM_RUNTIME_SYNC_HH
+#define PICOSIM_RUNTIME_SYNC_HH
+
+#include <algorithm>
+
+#include "cpu/hart_api.hh"
+#include "runtime/cost_model.hh"
+#include "sim/cotask.hh"
+
+namespace picosim::rt
+{
+
+struct SimLock
+{
+    bool held = false;
+    Addr lineAddr = 0;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contentions = 0;
+};
+
+/**
+ * Acquire: test-and-set with backoff. The CAS takes effect atomically at
+ * the end of the RMW latency (no suspension between the test and the set,
+ * so two harts waking in the same cycle cannot both win).
+ */
+inline sim::CoTask<void>
+lockAcquire(cpu::HartApi &api, SimLock &lock, const CostModel &cm)
+{
+    Cycle backoff = 24;
+    while (true) {
+        co_await api.atomicRmw(lock.lineAddr);
+        if (!lock.held) {
+            lock.held = true;
+            break;
+        }
+        ++lock.contentions;
+        co_await api.delay(backoff);
+        backoff = std::min<Cycle>(backoff * 2, 384);
+    }
+    ++lock.acquisitions;
+    co_await api.delay(cm.mutexLock);
+}
+
+/** Release: charge cost, write the lock line, free waiters. */
+inline sim::CoTask<void>
+lockRelease(cpu::HartApi &api, SimLock &lock, const CostModel &cm)
+{
+    co_await api.delay(cm.mutexUnlock);
+    co_await api.write(lock.lineAddr);
+    lock.held = false;
+}
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_SYNC_HH

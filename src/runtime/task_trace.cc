@@ -1,0 +1,64 @@
+#include "runtime/task_trace.hh"
+
+namespace picosim::rt
+{
+
+double
+TaskTrace::meanQueueLatency() const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const TaskRecord &r : records_) {
+        if (!r.valid || r.retired == 0)
+            continue;
+        sum += static_cast<double>(r.dispatched - r.submitted);
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double
+TaskTrace::meanServiceTime() const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const TaskRecord &r : records_) {
+        if (!r.valid || r.retired == 0)
+            continue;
+        sum += static_cast<double>(r.retired - r.dispatched);
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t
+TaskTrace::completedCount() const
+{
+    std::uint64_t n = 0;
+    for (const TaskRecord &r : records_)
+        n += (r.valid && r.retired != 0) ? 1 : 0;
+    return n;
+}
+
+void
+TaskTrace::writeChromeTrace(std::ostream &os,
+                            const std::string &name) const
+{
+    os << "[\n";
+    bool first = true;
+    for (std::size_t id = 0; id < records_.size(); ++id) {
+        const TaskRecord &r = records_[id];
+        if (!r.valid || r.retired == 0)
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  {\"name\": \"task" << id << "\", \"cat\": \"" << name
+           << "\", \"ph\": \"X\", \"ts\": " << r.dispatched
+           << ", \"dur\": " << (r.retired - r.dispatched)
+           << ", \"pid\": 0, \"tid\": " << r.core << "}";
+    }
+    os << "\n]\n";
+}
+
+} // namespace picosim::rt

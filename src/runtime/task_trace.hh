@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-task lifecycle tracing: submission, dispatch and retirement
+ * timestamps plus the executing core, for latency breakdowns and
+ * chrome://tracing visualization of schedules.
+ *
+ * Attach a TaskTrace to any runtime via Runtime-specific setTrace();
+ * recording is optional and free when disabled.
+ */
+
+#ifndef PICOSIM_RUNTIME_TASK_TRACE_HH
+#define PICOSIM_RUNTIME_TASK_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace picosim::rt
+{
+
+struct TaskRecord
+{
+    Cycle submitted = 0;  ///< runtime accepted the spawn
+    Cycle dispatched = 0; ///< a core started executing the body
+    Cycle retired = 0;    ///< retirement completed
+    CoreId core = 0;      ///< executing core
+    bool valid = false;
+};
+
+class TaskTrace
+{
+  public:
+    void
+    reset(std::uint64_t num_tasks)
+    {
+        records_.assign(num_tasks, TaskRecord{});
+    }
+
+    bool enabled() const { return !records_.empty(); }
+    std::size_t size() const { return records_.size(); }
+
+    void
+    onSubmit(std::uint64_t id, Cycle now)
+    {
+        if (id < records_.size()) {
+            records_[id].submitted = now;
+            records_[id].valid = true;
+        }
+    }
+
+    void
+    onDispatch(std::uint64_t id, Cycle now, CoreId core)
+    {
+        if (id < records_.size()) {
+            records_[id].dispatched = now;
+            records_[id].core = core;
+        }
+    }
+
+    void
+    onRetire(std::uint64_t id, Cycle now)
+    {
+        if (id < records_.size())
+            records_[id].retired = now;
+    }
+
+    const TaskRecord &record(std::uint64_t id) const
+    {
+        return records_.at(id);
+    }
+
+    /** Mean cycles from submission to dispatch (queueing latency). */
+    double meanQueueLatency() const;
+
+    /** Mean cycles from dispatch to retirement (service time). */
+    double meanServiceTime() const;
+
+    /** Number of records that completed the full lifecycle. */
+    std::uint64_t completedCount() const;
+
+    /**
+     * Emit the schedule as a Chrome trace-event JSON array (one lane per
+     * core; open in chrome://tracing or Perfetto). Cycle counts are
+     * reported as microseconds 1:1.
+     */
+    void writeChromeTrace(std::ostream &os,
+                          const std::string &name = "picosim") const;
+
+  private:
+    std::vector<TaskRecord> records_;
+};
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_TASK_TRACE_HH

@@ -1,0 +1,24 @@
+#include "runtime/task_types.hh"
+
+#include "sim/log.hh"
+
+namespace picosim::rt
+{
+
+const Task &
+Program::taskById(std::uint64_t id) const
+{
+    if (index_.size() != numTasks_) {
+        index_.clear();
+        index_.resize(numTasks_, nullptr);
+        for (const Action &a : actions) {
+            if (a.kind == Action::Kind::Spawn)
+                index_[a.task.id] = &a.task;
+        }
+    }
+    if (id >= index_.size() || !index_[id])
+        sim::fatal("Program::taskById: unknown task id");
+    return *index_[id];
+}
+
+} // namespace picosim::rt

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Task-parallel program representation consumed by the runtimes.
+ *
+ * A Program is the trace of OmpSs-style pragmas a benchmark would execute:
+ * an ordered list of task spawns (each with a payload cost and annotated
+ * pointer parameters) interleaved with taskwait barriers. Payload cost is
+ * the -O3 serial execution time of the task body in core cycles; the
+ * workload generators in src/apps compute it from their block sizes.
+ */
+
+#ifndef PICOSIM_RUNTIME_TASK_TYPES_HH
+#define PICOSIM_RUNTIME_TASK_TYPES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rocc/task_packets.hh"
+#include "sim/types.hh"
+
+namespace picosim::rt
+{
+
+using rocc::Dir;
+using rocc::TaskDep;
+
+/** One spawned task. */
+struct Task
+{
+    std::uint64_t id = 0; ///< dense software id (index in spawn order)
+    Cycle payload = 0;    ///< serial execution cost of the task body
+    std::vector<TaskDep> deps;
+};
+
+/** One program action, in program order. */
+struct Action
+{
+    enum class Kind : std::uint8_t { Spawn, Taskwait };
+
+    Kind kind = Kind::Spawn;
+    Task task; ///< valid when kind == Spawn
+};
+
+/** A whole task-parallel program. */
+struct Program
+{
+    std::string name;
+    std::vector<Action> actions;
+
+    /** Append a spawn; assigns and returns the task id. */
+    std::uint64_t
+    spawn(Cycle payload, std::vector<TaskDep> deps = {})
+    {
+        Action a;
+        a.kind = Action::Kind::Spawn;
+        a.task.id = numTasks_;
+        a.task.payload = payload;
+        a.task.deps = std::move(deps);
+        actions.push_back(std::move(a));
+        return numTasks_++;
+    }
+
+    /** Append a taskwait barrier. */
+    void
+    taskwait()
+    {
+        Action a;
+        a.kind = Action::Kind::Taskwait;
+        actions.push_back(std::move(a));
+    }
+
+    std::uint64_t numTasks() const { return numTasks_; }
+
+    /** Serial baseline: the task bodies executed back to back. */
+    Cycle
+    serialPayloadCycles() const
+    {
+        Cycle total = 0;
+        for (const Action &a : actions) {
+            if (a.kind == Action::Kind::Spawn)
+                total += a.task.payload;
+        }
+        return total;
+    }
+
+    /** Mean task payload in cycles (task granularity, Section III-E). */
+    double
+    meanTaskSize() const
+    {
+        return numTasks_ == 0
+                   ? 0.0
+                   : static_cast<double>(serialPayloadCycles()) / numTasks_;
+    }
+
+    /** The task for a given id (spawn order). O(actions) build, cached. */
+    const Task &taskById(std::uint64_t id) const;
+
+  private:
+    std::uint64_t numTasks_ = 0;
+    mutable std::vector<const Task *> index_;
+};
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_TASK_TYPES_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Global simulated-cycle clock shared by all components of one system.
+ */
+
+#ifndef PICOSIM_SIM_CLOCK_HH
+#define PICOSIM_SIM_CLOCK_HH
+
+#include "sim/types.hh"
+
+namespace picosim::sim
+{
+
+/**
+ * Monotonic cycle counter. Owned by the Simulator; every component holds a
+ * const reference and may only read it. Advancing is the kernel's job.
+ */
+class Clock
+{
+  public:
+    Clock() = default;
+
+    /** Current cycle. */
+    Cycle now() const { return now_; }
+
+    /** Advance to an absolute cycle; must be monotonic. */
+    void
+    advanceTo(Cycle c)
+    {
+        if (c > now_)
+            now_ = c;
+    }
+
+    /** Reset to cycle zero (used between experiment runs). */
+    void reset() { now_ = 0; }
+
+  private:
+    Cycle now_ = 0;
+};
+
+} // namespace picosim::sim
+
+#endif // PICOSIM_SIM_CLOCK_HH

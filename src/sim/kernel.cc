@@ -1,0 +1,80 @@
+#include "sim/kernel.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace picosim::sim
+{
+
+void
+Simulator::evaluate()
+{
+    for (Ticked *t : ticked_)
+        t->tick();
+    ++evaluatedCycles_;
+}
+
+bool
+Simulator::anyActive() const
+{
+    return std::any_of(ticked_.begin(), ticked_.end(),
+                       [](const Ticked *t) { return t->active(); });
+}
+
+Cycle
+Simulator::nextWake() const
+{
+    Cycle wake = kCycleNever;
+    for (const Ticked *t : ticked_)
+        wake = std::min(wake, t->wakeAt());
+    return wake;
+}
+
+bool
+Simulator::run(const std::function<bool()> &done, Cycle limit)
+{
+    const Cycle start = clock_.now();
+    while (true) {
+        if (done())
+            return true;
+        if (clock_.now() - start >= limit)
+            return false;
+
+        evaluate();
+
+        if (anyActive()) {
+            clock_.advanceTo(clock_.now() + 1);
+            continue;
+        }
+        const Cycle wake = nextWake();
+        if (wake == kCycleNever) {
+            // Fully idle system: either done() holds next check or the
+            // simulation can never progress again.
+            if (done())
+                return true;
+            return false;
+        }
+        clock_.advanceTo(std::max(wake, clock_.now() + 1));
+    }
+}
+
+void
+Simulator::runFor(Cycle n)
+{
+    const Cycle end = clock_.now() + n;
+    while (clock_.now() < end) {
+        evaluate();
+        Cycle next = clock_.now() + 1;
+        if (!anyActive()) {
+            const Cycle wake = nextWake();
+            if (wake != kCycleNever)
+                next = std::max(next, wake);
+            else
+                next = end;
+        }
+        clock_.advanceTo(std::min(next, end));
+    }
+}
+
+} // namespace picosim::sim

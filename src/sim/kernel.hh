@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The simulation kernel: owns the clock, ticks components, fast-forwards
+ * across quiescent periods.
+ */
+
+#ifndef PICOSIM_SIM_KERNEL_HH
+#define PICOSIM_SIM_KERNEL_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/stats.hh"
+#include "sim/ticked.hh"
+#include "sim/types.hh"
+
+namespace picosim::sim
+{
+
+/**
+ * Cycle-driven simulator with activity-based fast-forward.
+ *
+ * Components are ticked in registration order for every cycle in which at
+ * least one reports active(); when all are quiescent, the clock jumps to
+ * the minimum wakeAt() across components. This keeps queue/arbiter
+ * behaviour cycle-exact while skipping the long stretches in which every
+ * hart is merely burning payload cycles.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Clock &clock() { return clock_; }
+    const Clock &clock() const { return clock_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Register a component; order defines per-cycle evaluation order. */
+    void addTicked(Ticked *component) { ticked_.push_back(component); }
+
+    /**
+     * Run until the predicate holds (checked once per evaluated cycle) or
+     * the cycle limit is exceeded.
+     *
+     * @return true if the predicate was satisfied, false on cycle-limit.
+     */
+    bool run(const std::function<bool()> &done, Cycle limit = kCycleNever);
+
+    /** Run for exactly n cycles of simulated time. */
+    void runFor(Cycle n);
+
+    std::uint64_t evaluatedCycles() const { return evaluatedCycles_; }
+
+  private:
+    /** Tick everything once at the current cycle. */
+    void evaluate();
+
+    /** Earliest future cycle at which any component needs evaluation. */
+    Cycle nextWake() const;
+
+    bool anyActive() const;
+
+    Clock clock_;
+    StatGroup stats_;
+    std::vector<Ticked *> ticked_;
+    std::uint64_t evaluatedCycles_ = 0;
+};
+
+} // namespace picosim::sim
+
+#endif // PICOSIM_SIM_KERNEL_HH

@@ -1,0 +1,65 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace picosim::sim
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn:  return "WARN ";
+      case LogLevel::Info:  return "INFO ";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Trace: return "TRACE";
+      default:              return "?    ";
+    }
+}
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+logLine(LogLevel level, Cycle cycle, std::string_view component,
+        std::string_view message)
+{
+    std::fprintf(stderr, "[%12llu] %s %.*s: %.*s\n",
+                 static_cast<unsigned long long>(cycle), levelName(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+}
+
+void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    throw std::runtime_error(message);
+}
+
+void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+} // namespace picosim::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tiny leveled logging facility for the simulator.
+ *
+ * Follows the spirit of gem5's trace flags: each message names the component
+ * that produced it and is filtered by a global level so benchmark binaries
+ * run silent by default.
+ */
+
+#ifndef PICOSIM_SIM_LOG_HH
+#define PICOSIM_SIM_LOG_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/types.hh"
+
+namespace picosim::sim
+{
+
+enum class LogLevel : std::uint8_t {
+    None = 0,
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+};
+
+/** Global log level; defaults to Warn. Not thread safe by design: the
+ *  simulator is single-threaded. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/** Emit one line: "[cycle] level component: message". */
+void logLine(LogLevel level, Cycle cycle, std::string_view component,
+             std::string_view message);
+
+/**
+ * Fatal user-facing error (bad configuration): prints and throws
+ * std::runtime_error, mirroring gem5's fatal().
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Internal invariant violation (a simulator bug): prints and aborts,
+ * mirroring gem5's panic().
+ */
+[[noreturn]] void panic(const std::string &message);
+
+} // namespace picosim::sim
+
+/** Convenience macros; evaluate the stream expression lazily. */
+#define PSIM_LOG(level, clk, comp, expr)                                      \
+    do {                                                                      \
+        if (static_cast<int>(::picosim::sim::logLevel()) >=                   \
+            static_cast<int>(level)) {                                        \
+            std::ostringstream psim_log_oss_;                                 \
+            psim_log_oss_ << expr;                                            \
+            ::picosim::sim::logLine(level, (clk).now(), comp,                 \
+                                    psim_log_oss_.str());                     \
+        }                                                                     \
+    } while (0)
+
+#define PSIM_TRACE(clk, comp, expr)                                          \
+    PSIM_LOG(::picosim::sim::LogLevel::Trace, clk, comp, expr)
+#define PSIM_DEBUG(clk, comp, expr)                                          \
+    PSIM_LOG(::picosim::sim::LogLevel::Debug, clk, comp, expr)
+#define PSIM_INFO(clk, comp, expr)                                           \
+    PSIM_LOG(::picosim::sim::LogLevel::Info, clk, comp, expr)
+#define PSIM_WARN(clk, comp, expr)                                           \
+    PSIM_LOG(::picosim::sim::LogLevel::Warn, clk, comp, expr)
+
+#endif // PICOSIM_SIM_LOG_HH

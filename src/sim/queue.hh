@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Hardware FIFO queue models.
+ *
+ * TimedFifo models a Chisel Queue: bounded capacity, and an optional
+ * minimum residency latency so that non-fallthrough behaviour (an element
+ * pushed in cycle c is visible to the consumer in cycle c + latency) can be
+ * expressed. Latency 0 yields a fallthrough (combinational) queue, which is
+ * the Chisel default used inside Rocket Chip; the Picos-facing protocol
+ * crossing modules instantiate latency-1 queues (Section IV-F2).
+ */
+
+#ifndef PICOSIM_SIM_QUEUE_HH
+#define PICOSIM_SIM_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/clock.hh"
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace picosim::sim
+{
+
+template <typename T>
+class TimedFifo
+{
+  public:
+    /**
+     * @param clock Shared cycle clock.
+     * @param capacity Maximum number of resident elements.
+     * @param latency Cycles before a pushed element becomes visible.
+     */
+    TimedFifo(const Clock &clock, std::size_t capacity, Cycle latency = 0)
+        : clock_(clock), capacity_(capacity), latency_(latency)
+    {
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+
+    /** True when the consumer can see and pop the front element now. */
+    bool
+    frontReady() const
+    {
+        return !items_.empty() && items_.front().readyAt <= clock_.now();
+    }
+
+    /** True when a producer may push this cycle. */
+    bool canPush() const { return !full(); }
+
+    /** Push; returns false when full (producer must retry). */
+    bool
+    push(T value)
+    {
+        if (full())
+            return false;
+        items_.push_back(Slot{clock_.now() + latency_, std::move(value)});
+        return true;
+    }
+
+    /** Front element; only valid when frontReady(). */
+    const T &
+    front() const
+    {
+        if (!frontReady())
+            panic("TimedFifo::front on not-ready queue");
+        return items_.front().value;
+    }
+
+    /** Pop and return the front element; only valid when frontReady(). */
+    T
+    pop()
+    {
+        if (!frontReady())
+            panic("TimedFifo::pop on not-ready queue");
+        T value = std::move(items_.front().value);
+        items_.pop_front();
+        return value;
+    }
+
+    void clear() { items_.clear(); }
+
+    /**
+     * Earliest cycle at which the front element becomes consumable, or
+     * kCycleNever when empty. Used by the kernel's fast-forward logic.
+     */
+    Cycle
+    nextReadyCycle() const
+    {
+        return items_.empty() ? kCycleNever : items_.front().readyAt;
+    }
+
+  private:
+    struct Slot
+    {
+        Cycle readyAt;
+        T value;
+    };
+
+    const Clock &clock_;
+    std::size_t capacity_;
+    Cycle latency_;
+    std::deque<Slot> items_;
+};
+
+} // namespace picosim::sim
+
+#endif // PICOSIM_SIM_QUEUE_HH

@@ -1,0 +1,27 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace picosim::sim
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << std::left;
+    for (const auto &kv : scalars_) {
+        os << std::setw(48) << kv.first << ' ' << kv.second.value() << '\n';
+    }
+    for (const auto &kv : dists_) {
+        os << std::setw(48) << (kv.first + ".count") << ' '
+           << kv.second.count() << '\n';
+        os << std::setw(48) << (kv.first + ".mean") << ' '
+           << kv.second.mean() << '\n';
+        os << std::setw(48) << (kv.first + ".min") << ' '
+           << kv.second.min() << '\n';
+        os << std::setw(48) << (kv.first + ".max") << ' '
+           << kv.second.max() << '\n';
+    }
+}
+
+} // namespace picosim::sim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal gem5-flavoured statistics package.
+ *
+ * Components register named scalars/histograms with a StatGroup; harness
+ * code dumps them as text or consumes them programmatically.
+ */
+
+#ifndef PICOSIM_SIM_STATS_HH
+#define PICOSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace picosim::sim
+{
+
+/** A named accumulating counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A simple sample-statistics accumulator (count/sum/min/max/mean). */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0) {
+            min_ = max_ = v;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        sum_ += v;
+        sumSq_ += v * v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    double
+    variance() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        const double m = mean();
+        return sumSq_ / count_ - m * m;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = sumSq_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A flat registry of named statistics. Hierarchy is encoded in the names
+ * ("picos.readyQueue.pops") like gem5's stat dump.
+ */
+class StatGroup
+{
+  public:
+    Scalar &scalar(const std::string &name) { return scalars_[name]; }
+    Distribution &dist(const std::string &name) { return dists_[name]; }
+
+    bool hasScalar(const std::string &name) const
+    {
+        return scalars_.count(name) > 0;
+    }
+
+    double
+    scalarValue(const std::string &name) const
+    {
+        auto it = scalars_.find(name);
+        return it == scalars_.end() ? 0.0 : it->second.value();
+    }
+
+    void
+    reset()
+    {
+        for (auto &kv : scalars_)
+            kv.second.reset();
+        for (auto &kv : dists_)
+            kv.second.reset();
+    }
+
+    /** Dump all statistics, sorted by name, as "name value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Scalar> scalars_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace picosim::sim
+
+#endif // PICOSIM_SIM_STATS_HH

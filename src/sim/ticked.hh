@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Interface for cycle-ticked hardware components.
+ */
+
+#ifndef PICOSIM_SIM_TICKED_HH
+#define PICOSIM_SIM_TICKED_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace picosim::sim
+{
+
+/**
+ * A component that is evaluated once per simulated cycle while active.
+ *
+ * The kernel ticks all registered components in registration order for
+ * every cycle in which at least one of them reports activity; when all are
+ * quiescent it fast-forwards the clock to the minimum wakeAt().
+ */
+class Ticked
+{
+  public:
+    explicit Ticked(std::string name) : name_(std::move(name)) {}
+    virtual ~Ticked() = default;
+
+    Ticked(const Ticked &) = delete;
+    Ticked &operator=(const Ticked &) = delete;
+
+    /** Evaluate one cycle at the current clock value. */
+    virtual void tick() = 0;
+
+    /**
+     * True when the component has work to do in the immediate next cycle
+     * (non-empty internal queues, in-flight operations, resumable harts).
+     */
+    virtual bool active() const = 0;
+
+    /**
+     * When inactive, the earliest future cycle at which the component needs
+     * to be ticked again (kCycleNever when it is fully idle until external
+     * stimulus arrives).
+     */
+    virtual Cycle wakeAt() const { return kCycleNever; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace picosim::sim
+
+#endif // PICOSIM_SIM_TICKED_HH

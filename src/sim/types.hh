@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental simulator-wide type aliases and constants.
+ */
+
+#ifndef PICOSIM_SIM_TYPES_HH
+#define PICOSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace picosim
+{
+
+/** Simulated processor cycle count (80 MHz Rocket Chip domain). */
+using Cycle = std::uint64_t;
+
+/** Identifier of a hart / core, 0-based. */
+using CoreId = unsigned;
+
+/** Simulated byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel meaning "never" / "no pending wake-up". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Rocket Chip prototype clock (Section VI-A1). */
+inline constexpr std::uint64_t kCoreClockHz = 80'000'000;
+
+/** Main memory clock of the prototype (Section VI-A1). */
+inline constexpr std::uint64_t kMemClockHz = 667'000'000;
+
+} // namespace picosim
+
+#endif // PICOSIM_SIM_TYPES_HH

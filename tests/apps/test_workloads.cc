@@ -1,0 +1,198 @@
+/** @file Unit tests for the workload generators. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/workloads.hh"
+
+using namespace picosim;
+using namespace picosim::apps;
+using namespace picosim::rt;
+
+namespace
+{
+
+/** Count tasks and validate dep counts of a program. */
+void
+checkBasics(const Program &prog, std::uint64_t expected_tasks)
+{
+    EXPECT_EQ(prog.numTasks(), expected_tasks);
+    std::uint64_t next_id = 0;
+    for (const Action &a : prog.actions) {
+        if (a.kind != Action::Kind::Spawn)
+            continue;
+        EXPECT_EQ(a.task.id, next_id++);
+        EXPECT_LE(a.task.deps.size(), rocc::kMaxDeps);
+    }
+}
+
+/** Topologically execute the program honoring deps; returns true if it
+ *  completes (i.e., the dependence graph is executable in order). */
+bool
+executableInProgramOrder(const Program &prog)
+{
+    // Program order must be a valid serial order: simulate last-writer /
+    // readers and check each task only depends on earlier tasks.
+    std::map<Addr, std::uint64_t> last_writer;
+    for (const Action &a : prog.actions) {
+        if (a.kind != Action::Kind::Spawn)
+            continue;
+        for (const TaskDep &d : a.task.deps) {
+            auto it = last_writer.find(d.addr);
+            if (it != last_writer.end() && it->second >= a.task.id)
+                return false;
+            if (d.dir != Dir::In)
+                last_writer[d.addr] = a.task.id;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(TaskFree, TasksAreIndependent)
+{
+    const Program prog = taskFree(10, 3, 100);
+    checkBasics(prog, 10);
+    // All deps are outputs on distinct addresses.
+    std::set<Addr> addrs;
+    for (const Action &a : prog.actions) {
+        if (a.kind != Action::Kind::Spawn)
+            continue;
+        EXPECT_EQ(a.task.deps.size(), 3u);
+        for (const TaskDep &d : a.task.deps) {
+            EXPECT_EQ(d.dir, Dir::Out);
+            EXPECT_TRUE(addrs.insert(d.addr).second) << "address reused";
+        }
+    }
+}
+
+TEST(TaskChain, TasksShareAllAddresses)
+{
+    const Program prog = taskChain(10, 2, 100);
+    checkBasics(prog, 10);
+    const auto &first = prog.actions[0].task.deps;
+    for (const Action &a : prog.actions) {
+        if (a.kind != Action::Kind::Spawn)
+            continue;
+        EXPECT_EQ(a.task.deps, first);
+        for (const TaskDep &d : a.task.deps)
+            EXPECT_EQ(d.dir, Dir::InOut);
+    }
+}
+
+TEST(TaskBench, RejectsTooManyDeps)
+{
+    EXPECT_THROW(taskFree(1, 16, 10), std::runtime_error);
+    EXPECT_THROW(taskChain(1, 16, 10), std::runtime_error);
+}
+
+TEST(Blackscholes, BlockingMatchesOptionCount)
+{
+    const Program prog = blackscholes(4096, 8);
+    checkBasics(prog, 4096 / 8);
+    // Larger blocks -> proportionally larger tasks.
+    const Program coarse = blackscholes(4096, 256);
+    EXPECT_EQ(coarse.numTasks(), 16u);
+    EXPECT_GT(coarse.meanTaskSize(), prog.meanTaskSize() * 20);
+    EXPECT_TRUE(executableInProgramOrder(prog));
+}
+
+TEST(Blackscholes, RejectsIndivisibleBlock)
+{
+    EXPECT_THROW(blackscholes(100, 3), std::runtime_error);
+}
+
+TEST(Jacobi, SweepsProduceHaloDependences)
+{
+    const unsigned n = 16, sweeps = 3;
+    const Program prog = jacobi(n, 1, sweeps);
+    checkBasics(prog, static_cast<std::uint64_t>(n) * sweeps);
+    EXPECT_TRUE(executableInProgramOrder(prog));
+    // Interior tasks read three blocks and write one.
+    const Task &interior = prog.actions[1].task;
+    EXPECT_EQ(interior.deps.size(), 4u);
+}
+
+TEST(SparseLu, GraphIsExecutableAndSparse)
+{
+    const Program prog = sparseLu(8, 8);
+    EXPECT_GT(prog.numTasks(), 8u); // at least the lu0 diagonal
+    EXPECT_TRUE(executableInProgramOrder(prog));
+    // Determinism: same seed, same program.
+    const Program again = sparseLu(8, 8);
+    EXPECT_EQ(prog.numTasks(), again.numTasks());
+    // Block size scales payload cubically (coarse >> fine).
+    const Program coarse = sparseLu(8, 32);
+    EXPECT_GT(coarse.meanTaskSize(), prog.meanTaskSize() * 20);
+}
+
+TEST(Stream, DepsVariantChainsKernels)
+{
+    const Program prog = streamDeps(4, 64, 1);
+    checkBasics(prog, 16u); // 4 kernels x 4 blocks
+    EXPECT_TRUE(executableInProgramOrder(prog));
+    // No taskwait except the final one.
+    unsigned waits = 0;
+    for (const Action &a : prog.actions)
+        waits += a.kind == Action::Kind::Taskwait ? 1 : 0;
+    EXPECT_EQ(waits, 1u);
+}
+
+TEST(Stream, BarrVariantUsesBarriers)
+{
+    const Program prog = streamBarr(4, 64, 2);
+    checkBasics(prog, 32u);
+    unsigned waits = 0;
+    for (const Action &a : prog.actions) {
+        if (a.kind == Action::Kind::Spawn)
+            EXPECT_TRUE(a.task.deps.empty());
+        else
+            ++waits;
+    }
+    EXPECT_EQ(waits, 8u); // one per kernel per iteration
+}
+
+TEST(Figure9Inputs, ThirtySevenInputsInFigureOrder)
+{
+    const auto inputs = figure9Inputs();
+    ASSERT_EQ(inputs.size(), 37u);
+    unsigned counts[5] = {0, 0, 0, 0, 0};
+    for (const auto &in : inputs) {
+        if (in.program == "blackscholes") ++counts[0];
+        else if (in.program == "jacobi") ++counts[1];
+        else if (in.program == "sparselu") ++counts[2];
+        else if (in.program == "stream-barr") ++counts[3];
+        else if (in.program == "stream-deps") ++counts[4];
+    }
+    EXPECT_EQ(counts[0], 12u);
+    EXPECT_EQ(counts[1], 3u);
+    EXPECT_EQ(counts[2], 10u);
+    EXPECT_EQ(counts[3], 6u);
+    EXPECT_EQ(counts[4], 6u);
+}
+
+TEST(Figure9Inputs, BuildersProduceNonEmptyPrograms)
+{
+    for (const auto &in : figure9Inputs()) {
+        const Program prog = in.build();
+        EXPECT_GT(prog.numTasks(), 0u) << in.program << " " << in.label;
+        EXPECT_GT(prog.serialPayloadCycles(), 0u);
+        EXPECT_TRUE(executableInProgramOrder(prog))
+            << in.program << " " << in.label;
+    }
+}
+
+TEST(Figure9Inputs, GranularitySpansDecades)
+{
+    double min_size = 1e18, max_size = 0;
+    for (const auto &in : figure9Inputs()) {
+        const Program prog = in.build();
+        min_size = std::min(min_size, prog.meanTaskSize());
+        max_size = std::max(max_size, prog.meanTaskSize());
+    }
+    // Figure 8's x-axis spans roughly 10^3..10^6+ cycles.
+    EXPECT_LT(min_size, 5'000.0);
+    EXPECT_GT(max_size, 300'000.0);
+}

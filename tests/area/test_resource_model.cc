@@ -1,0 +1,83 @@
+/** @file Unit tests for the Table II area model. */
+
+#include <gtest/gtest.h>
+
+#include "area/resource_model.hh"
+
+using namespace picosim;
+using namespace picosim::area;
+
+TEST(ResourceModel, TableIIHasCanonicalRows)
+{
+    const auto rows = tableII(AreaParams{}, picos::PicosParams{},
+                              manager::ManagerParams{});
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].name, "top");
+    EXPECT_EQ(rows[5].name, "SSystem");
+    EXPECT_DOUBLE_EQ(rows[0].fraction, 1.0);
+}
+
+TEST(ResourceModel, MatchesPaperBreakdown)
+{
+    const auto rows = tableII(AreaParams{}, picos::PicosParams{},
+                              manager::ManagerParams{});
+    // Paper: top 384K, Core 11.56%, fpu 4.77%, dcache 1.57%, icache
+    // 0.32%, SSystem 1.79%. Allow a few tenths of slack.
+    EXPECT_NEAR(rows[0].cells / 1000.0, 384.0, 15.0);
+    EXPECT_NEAR(rows[1].fraction, 0.1156, 0.01);
+    EXPECT_NEAR(rows[2].fraction, 0.0477, 0.005);
+    EXPECT_NEAR(rows[3].fraction, 0.0157, 0.002);
+    EXPECT_NEAR(rows[4].fraction, 0.0032, 0.001);
+    EXPECT_NEAR(rows[5].fraction, 0.0179, 0.005);
+}
+
+TEST(ResourceModel, SchedulingSystemBelowTwoPercent)
+{
+    const auto rows = tableII(AreaParams{}, picos::PicosParams{},
+                              manager::ManagerParams{});
+    EXPECT_LE(rows[5].fraction, 0.0205);
+}
+
+TEST(ResourceModel, GrowsWithQueueDepths)
+{
+    const AreaParams a{};
+    const picos::PicosParams pp{};
+    manager::ManagerParams small{}, big{};
+    big.coreReadyQueueDepth = 8;
+    big.routingQueueDepth = 32;
+    EXPECT_GT(schedulingSystemCells(a, pp, big),
+              schedulingSystemCells(a, pp, small));
+}
+
+TEST(ResourceModel, GrowsWithTableGeometry)
+{
+    const AreaParams a{};
+    const manager::ManagerParams mp{};
+    picos::PicosParams small{}, big{};
+    big.trsEntries = 1024;
+    big.dctSets = 256;
+    EXPECT_GT(schedulingSystemCells(a, big, mp),
+              schedulingSystemCells(a, small, mp));
+    EXPECT_GT(picosTableBits(big), picosTableBits(small));
+}
+
+TEST(ResourceModel, DelegatesScaleWithCores)
+{
+    const picos::PicosParams pp{};
+    const manager::ManagerParams mp{};
+    AreaParams a4{}, a8{};
+    a4.numCores = 4;
+    a8.numCores = 8;
+    EXPECT_GT(schedulingSystemCells(a8, pp, mp),
+              schedulingSystemCells(a4, pp, mp));
+}
+
+TEST(ResourceModel, FractionsSumBelowOne)
+{
+    // Core/fpu/dcache/icache overlap (fpu and caches are inside Core),
+    // but Core*8 + SSystem must stay within top.
+    const AreaParams a{};
+    const auto rows = tableII(a, picos::PicosParams{},
+                              manager::ManagerParams{});
+    EXPECT_LE(rows[1].cells * a.numCores + rows[5].cells, rows[0].cells);
+}

@@ -1,0 +1,115 @@
+/** @file Unit tests for the RoCC instruction encoding (paper Figure 1). */
+
+#include <gtest/gtest.h>
+
+#include "rocc/rocc_inst.hh"
+
+using namespace picosim::rocc;
+
+TEST(RoccInst, EncodeDecodeRoundTrip)
+{
+    RoccInst inst;
+    inst.funct = TaskFunct::SubmitThreePackets;
+    inst.rs1 = 11;
+    inst.rs2 = 12;
+    inst.rd = 13;
+    inst.xd = true;
+    inst.xs1 = true;
+    inst.xs2 = true;
+    inst.opcode = CustomOpcode::Custom0;
+    EXPECT_EQ(decode(encode(inst)), inst);
+}
+
+TEST(RoccInst, FieldPlacementMatchesFigure1)
+{
+    RoccInst inst;
+    inst.funct = static_cast<TaskFunct>(0x7f);
+    inst.rs2 = 0x1f;
+    inst.rs1 = 0x1f;
+    inst.xd = inst.xs1 = inst.xs2 = true;
+    inst.rd = 0x1f;
+    inst.opcode = static_cast<CustomOpcode>(0x7f);
+    EXPECT_EQ(encode(inst), 0xffffffffu);
+
+    const std::uint32_t word = encode(makeTaskInst(TaskFunct::RetireTask,
+                                                   0, 5, 0));
+    EXPECT_EQ(word & 0x7f, static_cast<std::uint32_t>(
+                               CustomOpcode::Custom0)); // opcode [6:0]
+    EXPECT_EQ((word >> 25) & 0x7f,
+              static_cast<std::uint32_t>(TaskFunct::RetireTask));
+    EXPECT_EQ((word >> 15) & 0x1f, 5u); // rs1 [19:15]
+}
+
+TEST(RoccInst, OnlyRetireTaskIsBlocking)
+{
+    for (unsigned f = 0; f < kNumTaskInsts; ++f) {
+        const auto funct = static_cast<TaskFunct>(f);
+        EXPECT_EQ(isNonBlocking(funct), funct != TaskFunct::RetireTask)
+            << functName(funct);
+    }
+}
+
+TEST(RoccInst, SignaturesMatchTable1)
+{
+    // Submission Request: rs1 = packet count, writes rd (failure flag).
+    auto sig = signatureOf(TaskFunct::SubmissionRequest);
+    EXPECT_TRUE(sig.usesRs1);
+    EXPECT_FALSE(sig.usesRs2);
+    EXPECT_TRUE(sig.writesRd);
+
+    // Submit Three Packets is the only two-operand instruction.
+    for (unsigned f = 0; f < kNumTaskInsts; ++f) {
+        const auto funct = static_cast<TaskFunct>(f);
+        EXPECT_EQ(signatureOf(funct).usesRs2,
+                  funct == TaskFunct::SubmitThreePackets)
+            << functName(funct);
+    }
+
+    // Retire Task has no result register (reduces register pressure,
+    // Section IV-B).
+    EXPECT_FALSE(signatureOf(TaskFunct::RetireTask).writesRd);
+
+    // Fetches produce results, consume nothing.
+    for (auto funct : {TaskFunct::FetchSwId, TaskFunct::FetchPicosId,
+                       TaskFunct::ReadyTaskRequest}) {
+        sig = signatureOf(funct);
+        EXPECT_FALSE(sig.usesRs1);
+        EXPECT_TRUE(sig.writesRd);
+    }
+}
+
+TEST(RoccInst, MakeTaskInstSetsXBits)
+{
+    const RoccInst inst = makeTaskInst(TaskFunct::SubmitThreePackets,
+                                       1, 2, 3);
+    EXPECT_TRUE(inst.xd);
+    EXPECT_TRUE(inst.xs1);
+    EXPECT_TRUE(inst.xs2);
+    EXPECT_EQ(inst.rd, 1);
+    EXPECT_EQ(inst.rs1, 2);
+    EXPECT_EQ(inst.rs2, 3);
+}
+
+TEST(RoccInst, NamesAreDistinct)
+{
+    for (unsigned a = 0; a < kNumTaskInsts; ++a) {
+        for (unsigned b = a + 1; b < kNumTaskInsts; ++b) {
+            EXPECT_NE(functName(static_cast<TaskFunct>(a)),
+                      functName(static_cast<TaskFunct>(b)));
+        }
+    }
+}
+
+class RoccRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RoccRoundTrip, AllFunctsRoundTrip)
+{
+    const auto funct = static_cast<TaskFunct>(GetParam());
+    const RoccInst inst = makeTaskInst(funct, 3, 4, 5);
+    EXPECT_EQ(decode(encode(inst)), inst);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFuncts, RoccRoundTrip,
+                         ::testing::Range(0u, kNumTaskInsts));

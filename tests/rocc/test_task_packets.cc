@@ -1,0 +1,101 @@
+/** @file Unit tests for the Picos descriptor packet format (Figure 3). */
+
+#include <gtest/gtest.h>
+
+#include "rocc/task_packets.hh"
+
+using namespace picosim;
+using namespace picosim::rocc;
+
+namespace
+{
+
+TaskDescriptor
+sample(unsigned ndeps)
+{
+    TaskDescriptor desc;
+    desc.swId = 0xdeadbeef12345678ull;
+    for (unsigned i = 0; i < ndeps; ++i) {
+        desc.deps.push_back(
+            {0x1000'0000ull + i * 64,
+             static_cast<Dir>(1 + i % 3)});
+    }
+    return desc;
+}
+
+std::vector<std::uint32_t>
+padded(const TaskDescriptor &desc)
+{
+    auto pkts = encodeNonZero(desc);
+    pkts.resize(kDescriptorPackets, 0);
+    return pkts;
+}
+
+} // namespace
+
+TEST(TaskPackets, PacketCountsMatchFigure3)
+{
+    EXPECT_EQ(kDescriptorPackets, 48u);
+    for (unsigned d = 0; d <= kMaxDeps; ++d) {
+        EXPECT_EQ(nonZeroPackets(d), 3 + 3 * d);
+        EXPECT_EQ(paddingPackets(d), (15 - d) * 3);
+        EXPECT_EQ(nonZeroPackets(d) + paddingPackets(d), 48u);
+    }
+}
+
+TEST(TaskPackets, HeaderLayout)
+{
+    const TaskDescriptor desc = sample(0);
+    const auto pkts = encodeNonZero(desc);
+    ASSERT_EQ(pkts.size(), 3u);
+    EXPECT_EQ(pkts[0], 0xdeadbeefu); // task-ID high
+    EXPECT_EQ(pkts[1], 0x12345678u); // task-ID low
+    EXPECT_EQ(pkts[2], 0u);          // #deps
+}
+
+TEST(TaskPackets, DepEncoding)
+{
+    TaskDescriptor desc;
+    desc.swId = 1;
+    desc.deps.push_back({0xaabbccdd00112233ull, Dir::InOut});
+    const auto pkts = encodeNonZero(desc);
+    ASSERT_EQ(pkts.size(), 6u);
+    EXPECT_EQ(pkts[3], 0xaabbccddu); // address high
+    EXPECT_EQ(pkts[4], 0x00112233u); // address low
+    EXPECT_EQ(pkts[5], 3u);          // directionality (inout)
+}
+
+TEST(TaskPackets, RoundTripAllDepCounts)
+{
+    for (unsigned d = 0; d <= kMaxDeps; ++d) {
+        const TaskDescriptor desc = sample(d);
+        EXPECT_EQ(decodeDescriptor(padded(desc)), desc) << d << " deps";
+    }
+}
+
+TEST(TaskPackets, RejectsTooManyDeps)
+{
+    TaskDescriptor desc = sample(kMaxDeps);
+    desc.deps.push_back({0x42, Dir::In});
+    EXPECT_THROW(encodeNonZero(desc), std::runtime_error);
+}
+
+TEST(TaskPackets, RejectsWrongLength)
+{
+    std::vector<std::uint32_t> pkts(47, 0);
+    EXPECT_THROW(decodeDescriptor(pkts), std::runtime_error);
+}
+
+TEST(TaskPackets, RejectsBadDirectionality)
+{
+    auto pkts = padded(sample(1));
+    pkts[5] = 7; // invalid dir
+    EXPECT_THROW(decodeDescriptor(pkts), std::runtime_error);
+}
+
+TEST(TaskPackets, RejectsNonZeroPadding)
+{
+    auto pkts = padded(sample(1));
+    pkts[47] = 1;
+    EXPECT_THROW(decodeDescriptor(pkts), std::runtime_error);
+}

@@ -1,0 +1,151 @@
+/** @file Unit tests for the software dependence graph (Nanos-SW model). */
+
+#include <gtest/gtest.h>
+
+#include "runtime/sw_dep_graph.hh"
+
+using namespace picosim;
+using namespace picosim::rt;
+
+namespace
+{
+
+class SwDepGraphTest : public ::testing::Test
+{
+  protected:
+    SwDepGraphTest() : graph_(costs_) {}
+
+    Task
+    task(std::uint64_t id, std::vector<TaskDep> deps)
+    {
+        Task t;
+        t.id = id;
+        t.payload = 100;
+        t.deps = std::move(deps);
+        return t;
+    }
+
+    CostModel costs_;
+    SwDepGraph graph_;
+};
+
+} // namespace
+
+TEST_F(SwDepGraphTest, IndependentTaskIsReady)
+{
+    const auto r = graph_.submit(task(0, {{0x100, Dir::Out}}));
+    EXPECT_TRUE(r.ready);
+    EXPECT_GE(r.cost, costs_.swDepBase + costs_.swDepNewEntry);
+}
+
+TEST_F(SwDepGraphTest, RawBlocksReader)
+{
+    graph_.submit(task(0, {{0x100, Dir::Out}}));
+    const auto r = graph_.submit(task(1, {{0x100, Dir::In}}));
+    EXPECT_FALSE(r.ready);
+    const auto rel = graph_.release(0);
+    ASSERT_EQ(rel.becameReady.size(), 1u);
+    EXPECT_EQ(rel.becameReady[0], 1u);
+}
+
+TEST_F(SwDepGraphTest, WawSerializesWriters)
+{
+    graph_.submit(task(0, {{0x100, Dir::Out}}));
+    const auto r = graph_.submit(task(1, {{0x100, Dir::Out}}));
+    EXPECT_FALSE(r.ready);
+}
+
+TEST_F(SwDepGraphTest, WarBlocksWriterOnAllReaders)
+{
+    graph_.submit(task(0, {{0x100, Dir::In}}));
+    graph_.submit(task(1, {{0x100, Dir::In}}));
+    const auto r = graph_.submit(task(2, {{0x100, Dir::Out}}));
+    EXPECT_FALSE(r.ready);
+    auto rel = graph_.release(0);
+    EXPECT_TRUE(rel.becameReady.empty());
+    rel = graph_.release(1);
+    ASSERT_EQ(rel.becameReady.size(), 1u);
+    EXPECT_EQ(rel.becameReady[0], 2u);
+}
+
+TEST_F(SwDepGraphTest, ParallelReadersAllReady)
+{
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(graph_.submit(task(i, {{0x100, Dir::In}})).ready);
+}
+
+TEST_F(SwDepGraphTest, HitEntriesCheaperThanInserts)
+{
+    const auto first = graph_.submit(task(0, {{0x100, Dir::InOut}}));
+    const auto second = graph_.submit(task(1, {{0x100, Dir::InOut}}));
+    // Same address: second submit hits the existing entry.
+    EXPECT_GT(first.cost - costs_.swDepBase,
+              second.cost - costs_.swDepBase - costs_.swDepEdge);
+}
+
+TEST_F(SwDepGraphTest, ChainEdgesDeduplicated)
+{
+    // 15 inout deps on the same producer still yield one logical edge:
+    // releasing the head readies the successor exactly once.
+    std::vector<TaskDep> deps;
+    for (unsigned d = 0; d < 15; ++d)
+        deps.push_back({0x1000ull + d * 64, Dir::InOut});
+    graph_.submit(task(0, deps));
+    const auto r = graph_.submit(task(1, deps));
+    EXPECT_FALSE(r.ready);
+    const auto rel = graph_.release(0);
+    ASSERT_EQ(rel.becameReady.size(), 1u);
+}
+
+TEST_F(SwDepGraphTest, ReleaseCleansQuiescentEntries)
+{
+    graph_.submit(task(0, {{0x100, Dir::Out}}));
+    graph_.release(0);
+    EXPECT_TRUE(graph_.empty());
+    // A later writer on the same address is ready (no stale edges).
+    EXPECT_TRUE(graph_.submit(task(1, {{0x100, Dir::Out}})).ready);
+}
+
+TEST_F(SwDepGraphTest, TouchedLinesReported)
+{
+    const auto r = graph_.submit(
+        task(0, {{0x100, Dir::Out}, {0x200, Dir::In}}));
+    EXPECT_EQ(r.touchedLines.size(), 2u);
+}
+
+TEST_F(SwDepGraphTest, DiamondReadiesOnlyAfterBothParents)
+{
+    graph_.submit(task(0, {{0xA00, Dir::Out}}));
+    graph_.submit(task(1, {{0xA00, Dir::In}, {0xB00, Dir::Out}}));
+    graph_.submit(task(2, {{0xA00, Dir::In}, {0xC00, Dir::Out}}));
+    graph_.submit(task(3, {{0xB00, Dir::In}, {0xC00, Dir::In}}));
+    auto rel = graph_.release(0);
+    EXPECT_EQ(rel.becameReady.size(), 2u); // 1 and 2
+    rel = graph_.release(1);
+    EXPECT_TRUE(rel.becameReady.empty());
+    rel = graph_.release(2);
+    ASSERT_EQ(rel.becameReady.size(), 1u);
+    EXPECT_EQ(rel.becameReady[0], 3u);
+}
+
+class DepCountCost : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DepCountCost, SubmitCostGrowsLinearlyWithNewDeps)
+{
+    CostModel costs;
+    SwDepGraph graph(costs);
+    const unsigned n = GetParam();
+    std::vector<TaskDep> deps;
+    for (unsigned d = 0; d < n; ++d)
+        deps.push_back({0x5000ull + d * 64, Dir::Out});
+    Task t;
+    t.id = 0;
+    t.deps = deps;
+    const auto r = graph.submit(t);
+    EXPECT_EQ(r.cost, costs.swDepBase + n * costs.swDepNewEntry);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deps, DepCountCost,
+                         ::testing::Values(0, 1, 4, 8, 15));

@@ -1,0 +1,73 @@
+/** @file Unit tests for the Program/Task representation. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/task_types.hh"
+
+using namespace picosim;
+using namespace picosim::rt;
+
+TEST(Program, SpawnAssignsDenseIds)
+{
+    Program p;
+    EXPECT_EQ(p.spawn(100), 0u);
+    EXPECT_EQ(p.spawn(200), 1u);
+    p.taskwait();
+    EXPECT_EQ(p.spawn(300), 2u);
+    EXPECT_EQ(p.numTasks(), 3u);
+    EXPECT_EQ(p.actions.size(), 4u);
+}
+
+TEST(Program, SerialPayloadSumsSpawnsOnly)
+{
+    Program p;
+    p.spawn(100);
+    p.taskwait();
+    p.spawn(250);
+    EXPECT_EQ(p.serialPayloadCycles(), 350u);
+    EXPECT_DOUBLE_EQ(p.meanTaskSize(), 175.0);
+}
+
+TEST(Program, EmptyProgramIsWellDefined)
+{
+    Program p;
+    EXPECT_EQ(p.numTasks(), 0u);
+    EXPECT_EQ(p.serialPayloadCycles(), 0u);
+    EXPECT_DOUBLE_EQ(p.meanTaskSize(), 0.0);
+}
+
+TEST(Program, TaskByIdFindsEveryTask)
+{
+    Program p;
+    for (unsigned i = 0; i < 10; ++i)
+        p.spawn(100 + i, {{0x1000ull + i * 64, Dir::Out}});
+    for (unsigned i = 0; i < 10; ++i) {
+        const Task &t = p.taskById(i);
+        EXPECT_EQ(t.id, i);
+        EXPECT_EQ(t.payload, 100u + i);
+    }
+}
+
+TEST(Program, TaskByIdRejectsUnknown)
+{
+    Program p;
+    p.spawn(100);
+    EXPECT_THROW(p.taskById(5), std::runtime_error);
+}
+
+TEST(Program, IndexRebuildsAfterGrowth)
+{
+    Program p;
+    p.spawn(100);
+    EXPECT_EQ(p.taskById(0).payload, 100u);
+    p.spawn(200); // index must refresh lazily
+    EXPECT_EQ(p.taskById(1).payload, 200u);
+}
+
+TEST(Program, DepsArePreserved)
+{
+    Program p;
+    std::vector<TaskDep> deps{{0xA0, Dir::In}, {0xB0, Dir::InOut}};
+    p.spawn(1'000, deps);
+    EXPECT_EQ(p.taskById(0).deps, deps);
+}

@@ -1,0 +1,189 @@
+/** @file Unit tests for the coroutine hart machinery. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/cotask.hh"
+
+using namespace picosim;
+using namespace picosim::sim;
+
+namespace
+{
+
+/** Drive a HartContext until done or the cycle budget runs out. */
+void
+drive(Clock &clk, HartContext &ctx, Cycle budget = 100000)
+{
+    const Cycle end = clk.now() + budget;
+    while (!ctx.done() && clk.now() < end) {
+        ctx.tick();
+        if (ctx.done())
+            break;
+        const Cycle wake = ctx.wakeAt();
+        clk.advanceTo(wake == kCycleNever ? end
+                                          : std::max(wake, clk.now() + 1));
+    }
+}
+
+CoTask<void>
+delayTwice(std::vector<Cycle> *trace, const Clock *clk)
+{
+    trace->push_back(clk->now());
+    co_await Delay{10};
+    trace->push_back(clk->now());
+    co_await Delay{5};
+    trace->push_back(clk->now());
+}
+
+CoTask<int>
+leaf(const Clock *clk)
+{
+    co_await Delay{3};
+    co_return static_cast<int>(clk->now());
+}
+
+CoTask<int>
+middle(const Clock *clk)
+{
+    const int v = co_await leaf(clk);
+    co_await Delay{2};
+    co_return v + 100;
+}
+
+CoTask<void>
+nested(const Clock *clk, int *out)
+{
+    *out = co_await middle(clk);
+}
+
+CoTask<void>
+thrower()
+{
+    co_await Delay{1};
+    throw std::runtime_error("boom");
+}
+
+CoTask<void>
+awaitsThrower(bool *reached)
+{
+    co_await thrower();
+    *reached = true;
+}
+
+} // namespace
+
+TEST(CoTask, DelayAdvancesLocalTime)
+{
+    Clock clk;
+    HartContext ctx(clk);
+    std::vector<Cycle> trace;
+    ctx.start(delayTwice(&trace, &clk));
+    drive(clk, ctx);
+    ASSERT_TRUE(ctx.done());
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace[0], 0u);
+    EXPECT_EQ(trace[1], 10u);
+    EXPECT_EQ(trace[2], 15u);
+}
+
+TEST(CoTask, NestedTasksPropagateValues)
+{
+    Clock clk;
+    HartContext ctx(clk);
+    int out = 0;
+    ctx.start(nested(&clk, &out));
+    drive(clk, ctx);
+    ASSERT_TRUE(ctx.done());
+    EXPECT_EQ(out, 103); // leaf returns 3, +100
+    EXPECT_EQ(clk.now(), 5u);
+}
+
+TEST(CoTask, ExceptionsPropagateThroughAwaits)
+{
+    Clock clk;
+    HartContext ctx(clk);
+    bool reached = false;
+    ctx.start(awaitsThrower(&reached));
+    EXPECT_THROW(drive(clk, ctx), std::runtime_error);
+    EXPECT_FALSE(reached);
+}
+
+TEST(CoTask, WaitUntilPollsPredicate)
+{
+    Clock clk;
+    HartContext ctx(clk);
+    bool flag = false;
+    Cycle resumed_at = 0;
+    auto body = [](bool *f, Cycle *at, const Clock *c) -> CoTask<void> {
+        co_await WaitUntil{[f] { return *f; }};
+        *at = c->now();
+    };
+    ctx.start(body(&flag, &resumed_at, &clk));
+    // Run a few cycles: should not complete.
+    for (int i = 0; i < 5; ++i) {
+        ctx.tick();
+        clk.advanceTo(clk.now() + 1);
+    }
+    EXPECT_FALSE(ctx.done());
+    flag = true;
+    ctx.tick();
+    EXPECT_TRUE(ctx.done());
+    EXPECT_EQ(resumed_at, clk.now());
+}
+
+TEST(CoTask, ZeroDelayDoesNotSuspend)
+{
+    Clock clk;
+    HartContext ctx(clk);
+    int steps = 0;
+    auto body = [](int *s) -> CoTask<void> {
+        co_await Delay{0};
+        ++*s;
+        co_await Delay{0};
+        ++*s;
+    };
+    ctx.start(body(&steps));
+    ctx.tick();
+    EXPECT_TRUE(ctx.done());
+    EXPECT_EQ(steps, 2);
+}
+
+TEST(CoTask, HartWakeAtReportsSleep)
+{
+    Clock clk;
+    HartContext ctx(clk);
+    auto body = []() -> CoTask<void> { co_await Delay{42}; };
+    ctx.start(body());
+    ctx.tick(); // runs to the delay
+    EXPECT_EQ(ctx.wakeAt(), 42u);
+    EXPECT_FALSE(ctx.runnable());
+    clk.advanceTo(42);
+    EXPECT_TRUE(ctx.runnable());
+    ctx.tick();
+    EXPECT_TRUE(ctx.done());
+    EXPECT_EQ(ctx.wakeAt(), kCycleNever);
+}
+
+TEST(CoTask, ManySequentialChildrenReuseCleanly)
+{
+    Clock clk;
+    HartContext ctx(clk);
+    int sum = 0;
+    auto child = [](int i) -> CoTask<int> {
+        co_await Delay{1};
+        co_return i;
+    };
+    auto body = [child](int *out) -> CoTask<void> {
+        for (int i = 0; i < 100; ++i)
+            *out += co_await child(i);
+    };
+    ctx.start(body(&sum));
+    drive(clk, ctx);
+    ASSERT_TRUE(ctx.done());
+    EXPECT_EQ(sum, 4950);
+    EXPECT_EQ(clk.now(), 100u);
+}

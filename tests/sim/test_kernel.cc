@@ -1,0 +1,147 @@
+/** @file Unit tests for the simulation kernel (clock, tick, fast-forward). */
+
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hh"
+#include "sim/ticked.hh"
+
+using namespace picosim;
+using namespace picosim::sim;
+
+namespace
+{
+
+/** Component active for the first n ticks, then idle. */
+class CountDown : public Ticked
+{
+  public:
+    CountDown(const Clock &clk, unsigned n)
+        : Ticked("countdown"), clk_(clk), remaining_(n)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (remaining_ > 0) {
+            --remaining_;
+            lastTick_ = clk_.now();
+            ++ticks_;
+        }
+    }
+
+    bool active() const override { return remaining_ > 0; }
+
+    unsigned remaining() const { return remaining_; }
+    unsigned ticks() const { return ticks_; }
+    Cycle lastTick() const { return lastTick_; }
+
+  private:
+    const Clock &clk_;
+    unsigned remaining_;
+    unsigned ticks_ = 0;
+    Cycle lastTick_ = 0;
+};
+
+/** Component idle until a programmed wake cycle, then active once. */
+class Alarm : public Ticked
+{
+  public:
+    Alarm(const Clock &clk, Cycle at)
+        : Ticked("alarm"), clk_(clk), at_(at)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (!fired_ && clk_.now() >= at_) {
+            fired_ = true;
+            firedAt_ = clk_.now();
+        }
+    }
+
+    bool active() const override { return false; }
+    Cycle wakeAt() const override { return fired_ ? kCycleNever : at_; }
+
+    bool fired() const { return fired_; }
+    Cycle firedAt() const { return firedAt_; }
+
+  private:
+    const Clock &clk_;
+    Cycle at_;
+    bool fired_ = false;
+    Cycle firedAt_ = 0;
+};
+
+} // namespace
+
+TEST(Clock, AdvancesMonotonically)
+{
+    Clock clk;
+    EXPECT_EQ(clk.now(), 0u);
+    clk.advanceTo(5);
+    EXPECT_EQ(clk.now(), 5u);
+    clk.advanceTo(3); // backwards is a no-op
+    EXPECT_EQ(clk.now(), 5u);
+}
+
+TEST(Simulator, TicksWhileActive)
+{
+    Simulator sim;
+    CountDown cd(sim.clock(), 3);
+    sim.addTicked(&cd);
+    EXPECT_TRUE(sim.run([&] { return cd.remaining() == 0; }, 100));
+    EXPECT_EQ(cd.ticks(), 3u);
+    EXPECT_LE(sim.clock().now(), 4u);
+}
+
+TEST(Simulator, FastForwardsToWake)
+{
+    Simulator sim;
+    Alarm alarm(sim.clock(), 1'000'000);
+    sim.addTicked(&alarm);
+    EXPECT_TRUE(sim.run([&] { return alarm.fired(); }, 2'000'000));
+    EXPECT_EQ(alarm.firedAt(), 1'000'000u);
+    // The kernel must have skipped the idle stretch.
+    EXPECT_LT(sim.evaluatedCycles(), 10u);
+}
+
+TEST(Simulator, HonorsCycleLimit)
+{
+    Simulator sim;
+    CountDown cd(sim.clock(), 1'000'000);
+    sim.addTicked(&cd);
+    EXPECT_FALSE(sim.run([] { return false; }, 100));
+    EXPECT_LE(sim.clock().now(), 102u);
+}
+
+TEST(Simulator, ReturnsFalseWhenFullyIdle)
+{
+    Simulator sim;
+    Alarm alarm(sim.clock(), 10);
+    sim.addTicked(&alarm);
+    // Alarm fires then goes idle forever; predicate never true.
+    EXPECT_FALSE(sim.run([] { return false; }, 1'000'000));
+}
+
+TEST(Simulator, RunForAdvancesExactly)
+{
+    Simulator sim;
+    CountDown cd(sim.clock(), 5);
+    sim.addTicked(&cd);
+    sim.runFor(50);
+    EXPECT_EQ(sim.clock().now(), 50u);
+    EXPECT_EQ(cd.remaining(), 0u);
+}
+
+TEST(Simulator, MultipleComponentsTickInOrder)
+{
+    Simulator sim;
+    CountDown a(sim.clock(), 2), b(sim.clock(), 4);
+    sim.addTicked(&a);
+    sim.addTicked(&b);
+    EXPECT_TRUE(sim.run([&] { return b.remaining() == 0; }, 100));
+    EXPECT_EQ(a.ticks(), 2u);
+    EXPECT_EQ(b.ticks(), 4u);
+}

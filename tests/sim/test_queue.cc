@@ -1,0 +1,113 @@
+/** @file Unit tests for sim::TimedFifo. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+#include "sim/queue.hh"
+
+using namespace picosim;
+using namespace picosim::sim;
+
+TEST(TimedFifo, StartsEmpty)
+{
+    Clock clk;
+    TimedFifo<int> q(clk, 4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.frontReady());
+    EXPECT_EQ(q.nextReadyCycle(), kCycleNever);
+}
+
+TEST(TimedFifo, ZeroLatencyIsFallthrough)
+{
+    Clock clk;
+    TimedFifo<int> q(clk, 4, 0);
+    EXPECT_TRUE(q.push(7));
+    EXPECT_TRUE(q.frontReady());
+    EXPECT_EQ(q.front(), 7);
+    EXPECT_EQ(q.pop(), 7);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TimedFifo, LatencyDelaysVisibility)
+{
+    Clock clk;
+    TimedFifo<int> q(clk, 4, 2);
+    q.push(1);
+    EXPECT_FALSE(q.frontReady());
+    EXPECT_EQ(q.nextReadyCycle(), 2u);
+    clk.advanceTo(1);
+    EXPECT_FALSE(q.frontReady());
+    clk.advanceTo(2);
+    EXPECT_TRUE(q.frontReady());
+    EXPECT_EQ(q.pop(), 1);
+}
+
+TEST(TimedFifo, RespectsCapacity)
+{
+    Clock clk;
+    TimedFifo<int> q(clk, 2);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.full());
+    EXPECT_FALSE(q.canPush());
+    EXPECT_FALSE(q.push(3));
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(TimedFifo, FifoOrderPreserved)
+{
+    Clock clk;
+    TimedFifo<int> q(clk, 8, 1);
+    for (int i = 0; i < 5; ++i)
+        q.push(i);
+    clk.advanceTo(1);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(q.pop(), i);
+}
+
+TEST(TimedFifo, ClearEmptiesQueue)
+{
+    Clock clk;
+    TimedFifo<int> q(clk, 4);
+    q.push(1);
+    q.push(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TimedFifo, MixedAgeFrontGatesYoungerEntries)
+{
+    Clock clk;
+    TimedFifo<int> q(clk, 4, 1);
+    q.push(1); // ready at 1
+    clk.advanceTo(5);
+    q.push(2); // ready at 6
+    EXPECT_TRUE(q.frontReady());
+    EXPECT_EQ(q.pop(), 1);
+    // Second entry not ready yet.
+    EXPECT_FALSE(q.frontReady());
+    EXPECT_EQ(q.nextReadyCycle(), 6u);
+}
+
+class TimedFifoLatencyTest : public ::testing::TestWithParam<Cycle>
+{
+};
+
+TEST_P(TimedFifoLatencyTest, NextReadyMatchesLatency)
+{
+    Clock clk;
+    clk.advanceTo(10);
+    TimedFifo<int> q(clk, 4, GetParam());
+    q.push(42);
+    EXPECT_EQ(q.nextReadyCycle(), 10 + GetParam());
+    clk.advanceTo(10 + GetParam());
+    EXPECT_TRUE(q.frontReady());
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, TimedFifoLatencyTest,
+                         ::testing::Values(0, 1, 2, 3, 8));

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Command-line driver: run any built-in workload under any runtime on a
+ * configurable system and print results plus hardware statistics.
+ *
+ * Usage:
+ *   picosim_run [--list] [--workload=NAME] [--runtime=KIND]
+ *               [--cores=N] [--stats] [--trace=FILE.json]
+ *
+ *   NAME: a Figure-9 input label substring, e.g. "blackscholes 4K B8",
+ *         or one of: task-free, task-chain.
+ *   KIND: serial | nanos-sw | nanos-rv | nanos-axi | phentos
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "apps/workloads.hh"
+#include "runtime/harness.hh"
+#include "runtime/nanos.hh"
+#include "runtime/phentos.hh"
+#include "runtime/serial.hh"
+#include "runtime/task_trace.hh"
+
+using namespace picosim;
+
+namespace
+{
+
+std::optional<rt::RuntimeKind>
+parseKind(const std::string &s)
+{
+    if (s == "serial") return rt::RuntimeKind::Serial;
+    if (s == "nanos-sw") return rt::RuntimeKind::NanosSW;
+    if (s == "nanos-rv") return rt::RuntimeKind::NanosRV;
+    if (s == "nanos-axi") return rt::RuntimeKind::NanosAXI;
+    if (s == "phentos") return rt::RuntimeKind::Phentos;
+    return std::nullopt;
+}
+
+std::optional<rt::Program>
+buildWorkload(const std::string &name)
+{
+    if (name == "task-free")
+        return apps::taskFree(256, 1, 1000);
+    if (name == "task-chain")
+        return apps::taskChain(256, 1, 1000);
+    for (const auto &input : apps::figure9Inputs()) {
+        const std::string full = input.program + " " + input.label;
+        if (full.find(name) != std::string::npos)
+            return input.build();
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+argValue(int argc, char **argv, const char *flag)
+{
+    const std::string prefix = std::string(flag) + "=";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+            return std::string(argv[i] + prefix.size());
+    }
+    return std::nullopt;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (hasFlag(argc, argv, "--list")) {
+        std::printf("workloads:\n  task-free\n  task-chain\n");
+        for (const auto &input : apps::figure9Inputs())
+            std::printf("  %s %s\n", input.program.c_str(),
+                        input.label.c_str());
+        std::printf("runtimes: serial nanos-sw nanos-rv nanos-axi "
+                    "phentos\n");
+        return 0;
+    }
+
+    const std::string wl =
+        argValue(argc, argv, "--workload").value_or("blackscholes 4K B32");
+    const std::string rtname =
+        argValue(argc, argv, "--runtime").value_or("phentos");
+
+    const auto kind = parseKind(rtname);
+    if (!kind) {
+        std::fprintf(stderr, "unknown runtime '%s'\n", rtname.c_str());
+        return 1;
+    }
+    const auto prog = buildWorkload(wl);
+    if (!prog) {
+        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                     wl.c_str());
+        return 1;
+    }
+
+    rt::HarnessParams hp;
+    if (auto cores = argValue(argc, argv, "--cores"))
+        hp.numCores = static_cast<unsigned>(std::stoul(*cores));
+
+    // Build the system by hand so stats/trace stay inspectable.
+    cpu::SystemParams sp = hp.system;
+    sp.numCores = *kind == rt::RuntimeKind::Serial ? 1 : hp.numCores;
+    cpu::System sys(sp);
+    auto runtime = rt::makeRuntime(*kind, hp.costs);
+
+    rt::TaskTrace trace;
+    const auto trace_path = argValue(argc, argv, "--trace");
+    if (trace_path) {
+        trace.reset(prog->numTasks());
+        if (auto *ph = dynamic_cast<rt::Phentos *>(runtime.get()))
+            ph->setTrace(&trace);
+        else if (auto *nn = dynamic_cast<rt::Nanos *>(runtime.get()))
+            nn->setTrace(&trace);
+    }
+
+    runtime->install(sys, *prog);
+    const bool ok = sys.run(hp.cycleLimit);
+
+    const auto serial = rt::runProgram(rt::RuntimeKind::Serial, *prog, hp);
+    std::printf("workload  : %s (%llu tasks, mean size %.0f cycles)\n",
+                prog->name.c_str(),
+                static_cast<unsigned long long>(prog->numTasks()),
+                prog->meanTaskSize());
+    std::printf("runtime   : %s on %u core(s)\n",
+                runtime->name().c_str(), sys.numCores());
+    std::printf("cycles    : %llu (%s)\n",
+                static_cast<unsigned long long>(sys.clock().now()),
+                ok && runtime->finished() ? "completed" : "INCOMPLETE");
+    std::printf("serial    : %llu cycles\n",
+                static_cast<unsigned long long>(serial.cycles));
+    std::printf("speedup   : %.2fx\n",
+                static_cast<double>(serial.cycles) /
+                    static_cast<double>(sys.clock().now()));
+    std::printf("wall time @80MHz: %.1f ms\n",
+                static_cast<double>(sys.clock().now()) / 80'000.0);
+
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        trace.writeChromeTrace(out, prog->name);
+        std::printf("trace     : %s (queue %.0f cyc, service %.0f cyc)\n",
+                    trace_path->c_str(), trace.meanQueueLatency(),
+                    trace.meanServiceTime());
+    }
+    if (hasFlag(argc, argv, "--stats")) {
+        std::printf("\n-- system statistics --\n");
+        sys.stats().dump(std::cout);
+        sys.memory().stats().dump(std::cout);
+    }
+    return ok && runtime->finished() ? 0 : 1;
+}
