@@ -9,44 +9,69 @@ namespace picosim::bench
 {
 
 std::vector<MatrixRow>
-runFigure9Matrix(bool progress)
+runFigure9Matrix(bool progress, unsigned threads)
 {
     const auto inputs = apps::figure9Inputs();
     const bool quick = quickMode();
 
+    // Per selected input: one serial baseline plus the figure's runtimes.
+    const std::vector<rt::RuntimeKind> kinds = {
+        rt::RuntimeKind::Serial, rt::RuntimeKind::NanosSW,
+        rt::RuntimeKind::NanosRV, rt::RuntimeKind::Phentos};
+
     std::vector<MatrixRow> rows;
+    std::vector<rt::Program> progs;
     unsigned index = 0;
     for (const auto &input : inputs) {
         ++index;
         if (quick && index % 3 != 1)
             continue; // subsample in quick mode
 
-        const rt::Program prog = input.build();
-        rt::HarnessParams hp;
+        rt::Program prog = input.build();
 
         MatrixRow row;
         row.program = input.program;
         row.label = input.label;
         row.tasks = prog.numTasks();
         row.meanTaskSize = prog.meanTaskSize();
-
-        const rt::RunResult serial =
-            rt::runProgram(rt::RuntimeKind::Serial, prog, hp);
-        row.serialCycles = serial.completed ? serial.cycles : 0;
-
-        const auto measure = [&](rt::RuntimeKind kind) -> Cycle {
-            const rt::RunResult res = rt::runProgram(kind, prog, hp);
-            return res.completed ? res.cycles : 0;
-        };
-        row.nanosSw = measure(rt::RuntimeKind::NanosSW);
-        row.nanosRv = measure(rt::RuntimeKind::NanosRV);
-        row.phentos = measure(rt::RuntimeKind::Phentos);
-        if (progress) {
-            std::fprintf(stderr, "  [%2u/%zu] %s %s done\n", index,
-                         inputs.size(), row.program.c_str(),
-                         row.label.c_str());
-        }
         rows.push_back(std::move(row));
+        progs.push_back(std::move(prog));
+    }
+
+    const auto onResult = [&](std::size_t p, std::size_t k,
+                              const rt::RunResult &res) {
+        if (progress) {
+            std::fprintf(stderr, "  [%3zu/%zu] %s %s %s done\n",
+                         p * kinds.size() + k + 1,
+                         progs.size() * kinds.size(),
+                         rows[p].program.c_str(), rows[p].label.c_str(),
+                         res.runtime.c_str());
+        }
+    };
+    const auto results =
+        rt::runMatrix(progs, kinds, rt::HarnessParams{}, threads, onResult);
+
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            const rt::RunResult &res = results[p][k];
+            const Cycle cycles = res.completed ? res.cycles : 0;
+            switch (kinds[k]) {
+              case rt::RuntimeKind::Serial:
+                rows[p].serialCycles = cycles;
+                break;
+              case rt::RuntimeKind::NanosSW:
+                rows[p].nanosSw = cycles;
+                break;
+              case rt::RuntimeKind::NanosRV:
+                rows[p].nanosRv = cycles;
+                break;
+              case rt::RuntimeKind::Phentos:
+                rows[p].phentos = cycles;
+                break;
+              case rt::RuntimeKind::NanosAXI:
+                break; // not part of the Figure 9 matrix
+            }
+        }
     }
     return rows;
 }

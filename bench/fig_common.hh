@@ -41,10 +41,15 @@ struct MatrixRow
 };
 
 /**
- * Run the full Figure 9 matrix (or a subsample in quick mode).
- * @param progress When true, prints one line per input to stderr.
+ * Run the full Figure 9 matrix (or a subsample in quick mode). The
+ * matrix expands into independent (input, runtime) jobs executed on a
+ * worker-thread pool; results are identical to the former serial loop.
+ *
+ * @param progress When true, prints one line per finished run to stderr.
+ * @param threads Worker threads for the batch (0 = hardware concurrency).
  */
-std::vector<MatrixRow> runFigure9Matrix(bool progress = true);
+std::vector<MatrixRow> runFigure9Matrix(bool progress = true,
+                                        unsigned threads = 0);
 
 } // namespace picosim::bench
 

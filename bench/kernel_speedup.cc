@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Kernel-efficiency benchmark: quantifies what the event-driven kernel and
+ * the parallel batch harness buy over the reference implementation.
+ *
+ *  1. Component-tick reduction: a sparse large-grain workload (a Figure 8
+ *     coarse-granularity point) run under EvalMode::EventDriven vs the
+ *     tick-the-world reference, with identical cycle results.
+ *  2. Batch throughput: the Figure 9 matrix swept by runBatch() with one
+ *     worker vs a pool, with identical rows.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "apps/workloads.hh"
+#include "bench/bench_util.hh"
+#include "bench/fig_common.hh"
+
+using namespace picosim;
+
+namespace
+{
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void
+compareModes(const char *label, const rt::Program &prog,
+             rt::RuntimeKind kind)
+{
+    rt::HarnessParams event;
+    event.system.evalMode = sim::EvalMode::EventDriven;
+    rt::HarnessParams world;
+    world.system.evalMode = sim::EvalMode::TickWorld;
+
+    rt::RunResult re, rw;
+    const double te =
+        wallSeconds([&] { re = rt::runProgram(kind, prog, event); });
+    const double tw =
+        wallSeconds([&] { rw = rt::runProgram(kind, prog, world); });
+
+    const double tickRatio =
+        re.componentTicks == 0
+            ? 0.0
+            : static_cast<double>(rw.componentTicks) /
+                  static_cast<double>(re.componentTicks);
+    std::printf("%-28s %12llu cycles %s  ticks %llu -> %llu (%.2fx)  "
+                "wall %.3fs -> %.3fs (%.2fx)\n",
+                label, static_cast<unsigned long long>(re.cycles),
+                re.cycles == rw.cycles ? "[=]" : "[MISMATCH]",
+                static_cast<unsigned long long>(rw.componentTicks),
+                static_cast<unsigned long long>(re.componentTicks),
+                tickRatio, tw, te, te > 0 ? tw / te : 0.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Event-driven kernel vs tick-the-world reference ==\n");
+    std::printf("(ticks = component evaluations; [=] = identical cycle "
+                "results)\n\n");
+
+    // Figure 8 coarse-granularity points: most components quiescent most
+    // cycles, the sweet spot for wake scheduling.
+    compareModes("blackscholes 4K B32 Phentos",
+                 apps::blackscholes(4096, 32), rt::RuntimeKind::Phentos);
+    compareModes("blackscholes 4K B256 Phentos",
+                 apps::blackscholes(4096, 256), rt::RuntimeKind::Phentos);
+    compareModes("task-free g=10k Phentos", apps::taskFree(256, 1, 10'000),
+                 rt::RuntimeKind::Phentos);
+    compareModes("task-free g=10k Nanos-RV", apps::taskFree(256, 1, 10'000),
+                 rt::RuntimeKind::NanosRV);
+    compareModes("task-chain g=1k Phentos", apps::taskChain(256, 1, 1'000),
+                 rt::RuntimeKind::Phentos);
+
+    std::printf("\n== Parallel batch harness (Figure 9 sweep) ==\n");
+    std::vector<bench::MatrixRow> serialRows, poolRows;
+    const double tSerial = wallSeconds(
+        [&] { serialRows = bench::runFigure9Matrix(false, 1); });
+    const double tPool = wallSeconds(
+        [&] { poolRows = bench::runFigure9Matrix(false, 4); });
+
+    bool same = serialRows.size() == poolRows.size();
+    for (std::size_t i = 0; same && i < serialRows.size(); ++i) {
+        same = serialRows[i].serialCycles == poolRows[i].serialCycles &&
+               serialRows[i].nanosSw == poolRows[i].nanosSw &&
+               serialRows[i].nanosRv == poolRows[i].nanosRv &&
+               serialRows[i].phentos == poolRows[i].phentos;
+    }
+    std::printf("1 worker: %.2fs   4 workers: %.2fs (%.2fx)   results %s\n",
+                tSerial, tPool, tPool > 0 ? tSerial / tPool : 0.0,
+                same ? "identical" : "MISMATCH");
+    return same ? 0 : 1;
+}

@@ -4,9 +4,13 @@
  * block sizes (task granularity) and watch the software runtime collapse
  * on fine tasks while the tightly-integrated scheduler keeps scaling --
  * the "task granularity wall" of Section I, measured end to end.
+ *
+ * The whole sweep (6 block sizes x 4 runtimes) runs as one batch on the
+ * harness's worker pool; each point simulates on its own System.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "apps/workloads.hh"
 #include "runtime/harness.hh"
@@ -16,27 +20,38 @@ using namespace picosim;
 int
 main()
 {
+    const std::vector<unsigned> blocks = {8u, 16u, 32u, 64u, 128u, 256u};
+    const std::vector<rt::RuntimeKind> kinds = {
+        rt::RuntimeKind::Serial, rt::RuntimeKind::NanosSW,
+        rt::RuntimeKind::NanosRV, rt::RuntimeKind::Phentos};
+
+    std::vector<rt::Program> progs;
+    for (const unsigned block : blocks)
+        progs.push_back(apps::blackscholes(4096, block));
+    const auto results = rt::runMatrix(progs, kinds);
+
     std::printf("blackscholes, 4096 options, 8 cores\n");
     std::printf("%-6s %8s %12s %10s %10s %10s\n", "block", "tasks",
                 "task_cycles", "Nanos-SW", "Nanos-RV", "Phentos");
 
-    for (unsigned block : {8u, 16u, 32u, 64u, 128u, 256u}) {
-        const rt::Program prog = apps::blackscholes(4096, block);
-        const rt::HarnessParams hp;
-
-        const auto serial =
-            rt::runProgram(rt::RuntimeKind::Serial, prog, hp);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        // Look results up by runtime kind, not by column position.
+        const auto at = [&](rt::RuntimeKind kind) -> const rt::RunResult & {
+            for (std::size_t k = 0; k < kinds.size(); ++k)
+                if (kinds[k] == kind)
+                    return results[b][k];
+            std::abort(); // kind not part of this sweep
+        };
+        const rt::RunResult &serial = at(rt::RuntimeKind::Serial);
         const auto speedup = [&](rt::RuntimeKind kind) {
-            const auto r = rt::runProgram(kind, prog, hp);
+            const rt::RunResult &r = at(kind);
             return r.completed ? static_cast<double>(serial.cycles) /
                                      static_cast<double>(r.cycles)
                                : 0.0;
         };
-
-        std::printf("%-6u %8llu %12.0f %9.2fx %9.2fx %9.2fx\n", block,
-                    static_cast<unsigned long long>(prog.numTasks()),
-                    prog.meanTaskSize(),
-                    speedup(rt::RuntimeKind::NanosSW),
+        std::printf("%-6u %8llu %12.0f %9.2fx %9.2fx %9.2fx\n", blocks[b],
+                    static_cast<unsigned long long>(serial.tasks),
+                    serial.meanTaskSize, speedup(rt::RuntimeKind::NanosSW),
                     speedup(rt::RuntimeKind::NanosRV),
                     speedup(rt::RuntimeKind::Phentos));
     }

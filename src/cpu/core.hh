@@ -29,7 +29,14 @@ class Core : public sim::Ticked
     CoreId id() const { return id_; }
 
     /** Install (and arm) the software thread of this hart. */
-    void install(sim::CoTask<void> thread) { ctx_.start(std::move(thread)); }
+    void
+    install(sim::CoTask<void> thread)
+    {
+        ctx_.start(std::move(thread));
+        // The thread wants to run at the current cycle; re-arm the core in
+        // the kernel's event queue (it may have gone idle and unscheduled).
+        requestWake(clock_.now());
+    }
 
     bool threadDone() const { return !ctx_.started() || ctx_.done(); }
 

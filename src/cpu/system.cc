@@ -8,6 +8,7 @@ namespace picosim::cpu
 System::System(const SystemParams &params)
     : params_(params), bandwidth_(params.bandwidthAlpha)
 {
+    sim_.setEvalMode(params.evalMode);
     memory_ = std::make_unique<mem::CoherentMemory>(params.numCores,
                                                     params.mem);
     picos_ = std::make_unique<picos::Picos>(sim_.clock(), params.picos,

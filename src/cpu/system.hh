@@ -31,6 +31,8 @@ struct SystemParams
     mem::MemParams mem{};
     HartApiParams hartApi{};
     double bandwidthAlpha = 0.058;
+    /** Kernel strategy; TickWorld is the bit-exact reference baseline. */
+    sim::EvalMode evalMode = sim::EvalMode::EventDriven;
 };
 
 class System

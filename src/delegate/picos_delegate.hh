@@ -8,6 +8,13 @@
  * Picos Manager and holds the single bit of per-core architectural state
  * the ISA defines (the "SW ID fetched" flag that sequences Fetch SW ID /
  * Fetch Picos ID).
+ *
+ * Event-driven kernel contract: delegate calls execute synchronously on
+ * the issuing hart's timeline, so the delegate itself is not Ticked. The
+ * manager transactions it issues are the points where its queues go
+ * empty -> non-empty (or free up space); the manager raises the matching
+ * requestWake() inside those methods, so a delegate call made from a
+ * sleeping system correctly re-arms the downstream pipeline.
  */
 
 #ifndef PICOSIM_DELEGATE_PICOS_DELEGATE_HH

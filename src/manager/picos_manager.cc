@@ -21,6 +21,9 @@ PicosManager::PicosManager(const sim::Clock &clock, picos::Picos &picos,
     ports_.reserve(num_cores);
     for (unsigned i = 0; i < num_cores; ++i)
         ports_.emplace_back(clock, params);
+    // The packet encoder consumes Picos's ready interface; have Picos wake
+    // this manager when ready packets become visible to it.
+    picos_.setReadyListener(this);
 }
 
 void
@@ -57,6 +60,7 @@ PicosManager::submissionRequest(CoreId core, unsigned num_packets)
     if (!ports_.at(core).requestQueue.push(num_packets))
         return false;
     ++stats_.scalar("manager.submissionRequests");
+    requestWake(ports_.at(core).requestQueue.nextReadyCycle());
     return true;
 }
 
@@ -66,6 +70,7 @@ PicosManager::submitPacket(CoreId core, std::uint32_t packet)
     if (!ports_.at(core).subBuffer.push(packet))
         return false;
     ++stats_.scalar("manager.packetsSubmitted");
+    requestWake(ports_.at(core).subBuffer.nextReadyCycle());
     return true;
 }
 
@@ -81,6 +86,7 @@ PicosManager::submitThreePackets(CoreId core, std::uint32_t p1,
     port.subBuffer.push(p3);
     stats_.scalar("manager.packetsSubmitted") += 3;
     ++stats_.scalar("manager.tripleSubmits");
+    requestWake(port.subBuffer.nextReadyCycle());
     return true;
 }
 
@@ -90,6 +96,7 @@ PicosManager::readyTaskRequest(CoreId core)
     if (!routingQueue_.push(core))
         return false;
     ++stats_.scalar("manager.workFetchRequests");
+    requestWake(routingQueue_.nextReadyCycle());
     return true;
 }
 
@@ -105,6 +112,8 @@ PicosManager::peekReady(CoreId core) const
 rocc::ReadyTuple
 PicosManager::popReady(CoreId core)
 {
+    // Freed private-queue space may let the work-fetch arbiter deliver.
+    requestWake(clock_.now());
     return ports_.at(core).readyQueue.pop();
 }
 
@@ -120,6 +129,7 @@ PicosManager::retirePush(CoreId core, std::uint32_t picos_id)
     if (!ports_.at(core).retireBuffer.push(picos_id))
         return false;
     ++stats_.scalar("manager.retirePackets");
+    requestWake(ports_.at(core).retireBuffer.nextReadyCycle());
     return true;
 }
 

@@ -8,6 +8,13 @@
  * is not modeled (documented in DESIGN.md); the first-order effects the
  * paper leans on — line bouncing of contended runtime structures and the
  * through-memory dirty-transfer penalty of MESI — are.
+ *
+ * Event-driven kernel contract: memory is not Ticked. All latency is
+ * charged inline on the issuing hart's timeline (the hart awaits the
+ * returned cycle count), so no access ever changes another component's
+ * wake cycle and no requestWake() is needed from this layer. One System
+ * owns one CoherentMemory; batch jobs each build their own System, so
+ * the mutable tag state is never shared across harness worker threads.
  */
 
 #ifndef PICOSIM_MEM_COHERENT_MEMORY_HH

@@ -55,6 +55,7 @@ Picos::subPush(std::uint32_t packet)
     if (!subQueue_.push(packet))
         return false;
     ++stats_.scalar("picos.subPackets");
+    requestWake(subQueue_.nextReadyCycle());
     return true;
 }
 
@@ -64,6 +65,7 @@ Picos::retirePush(std::uint32_t picos_id)
     if (!retireQueue_.push(picos_id))
         return false;
     ++stats_.scalar("picos.retirePackets");
+    requestWake(retireQueue_.nextReadyCycle());
     return true;
 }
 
@@ -245,6 +247,8 @@ Picos::tickReadyIssue()
         tasks_[readyIssuingId_].state = TaskState::Running;
         ++stats_.scalar("picos.readyIssued");
         readyIssuingId_ = -1;
+        if (readyListener_)
+            readyListener_->requestWake(readyQueue_.nextReadyCycle());
     }
     if (readyIssuingId_ < 0 && !readyPending_.empty()) {
         readyIssuingId_ = static_cast<int>(readyPending_.front());

@@ -54,7 +54,22 @@ class Picos : public sim::Ticked
 
     // -- Ready interface (3 packets per task) --
     bool readyValid() const { return readyQueue_.frontReady(); }
-    std::uint32_t readyPop() { return readyQueue_.pop(); }
+
+    std::uint32_t
+    readyPop()
+    {
+        // Freed ready-queue space may unblock a stalled descriptor issue.
+        requestWake(clock_.now());
+        return readyQueue_.pop();
+    }
+
+    /**
+     * Register the consumer of the ready interface (the Picos Manager's
+     * packet encoder). The event-driven kernel evaluates only scheduled
+     * components, so Picos wakes its consumer whenever ready packets
+     * become visible; without this the encoder would sleep through them.
+     */
+    void setReadyListener(sim::Ticked *listener) { readyListener_ = listener; }
 
     // -- Retirement interface --
     bool retireCanAccept() const { return retireQueue_.canPush(); }
@@ -140,6 +155,9 @@ class Picos : public sim::Ticked
 
     // Retirement.
     Cycle retireBusyUntil_ = 0;
+
+    // Ready-interface consumer woken when ready packets become visible.
+    sim::Ticked *readyListener_ = nullptr;
 
     std::uint64_t tasksProcessed_ = 0;
     std::uint64_t tasksRetired_ = 0;

@@ -1,5 +1,11 @@
 #include "runtime/harness.hh"
 
+#include <atomic>
+#include <exception>
+#include <iterator>
+#include <mutex>
+#include <thread>
+
 #include "runtime/nanos.hh"
 #include "runtime/phentos.hh"
 #include "runtime/serial.hh"
@@ -18,7 +24,7 @@ kindName(RuntimeKind kind)
       case RuntimeKind::NanosAXI: return "Nanos-AXI";
       case RuntimeKind::Phentos:  return "Phentos";
     }
-    return "?";
+    sim::fatal("unknown runtime kind");
 }
 
 std::unique_ptr<Runtime>
@@ -60,6 +66,9 @@ runProgram(RuntimeKind kind, const Program &prog,
     res.serialPayload = prog.serialPayloadCycles();
     res.tasks = prog.numTasks();
     res.meanTaskSize = prog.meanTaskSize();
+    res.evaluatedCycles = sys.simulator().evaluatedCycles();
+    res.componentTicks = sys.simulator().componentTicks();
+    res.tickWorldTicks = sys.simulator().tickWorldTicks();
     if (!res.completed) {
         PSIM_WARN(sys.clock(), "harness",
                   res.runtime << " did not complete " << prog.name << " ("
@@ -79,6 +88,97 @@ runWithSpeedup(RuntimeKind kind, const Program &prog,
                         : runProgram(kind, prog, params);
     res.serialCycles = serial.cycles;
     return res;
+}
+
+std::vector<RunResult>
+runBatch(const std::vector<Job> &jobs, unsigned threads,
+         const std::function<void(std::size_t, const RunResult &)>
+             &onResult)
+{
+    std::vector<RunResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(threads,
+                                 static_cast<unsigned>(jobs.size()));
+
+    std::atomic<std::size_t> nextJob{0};
+    std::mutex mtx; // guards firstError + onResult invocations
+    std::exception_ptr firstError;
+
+    const auto worker = [&] {
+        while (true) {
+            const std::size_t i =
+                nextJob.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            try {
+                RunResult res =
+                    runProgram(jobs[i].kind, jobs[i].prog, jobs[i].params);
+                if (onResult) {
+                    const std::lock_guard<std::mutex> lock(mtx);
+                    onResult(i, res);
+                }
+                results[i] = std::move(res);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(mtx);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker(); // degenerate pool: run inline, no thread overhead
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+std::vector<std::vector<RunResult>>
+runMatrix(const std::vector<Program> &progs,
+          const std::vector<RuntimeKind> &kinds,
+          const HarnessParams &params, unsigned threads,
+          const std::function<void(std::size_t, std::size_t,
+                                   const RunResult &)> &onResult)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(progs.size() * kinds.size());
+    for (const Program &prog : progs) {
+        for (const RuntimeKind kind : kinds) {
+            Job job;
+            job.kind = kind;
+            job.prog = prog;
+            job.params = params;
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    const auto onJob =
+        !onResult ? std::function<void(std::size_t, const RunResult &)>{}
+                  : [&](std::size_t i, const RunResult &res) {
+                        onResult(i / kinds.size(), i % kinds.size(), res);
+                    };
+    std::vector<RunResult> flat = runBatch(jobs, threads, onJob);
+
+    std::vector<std::vector<RunResult>> results(progs.size());
+    for (std::size_t p = 0; p < progs.size(); ++p) {
+        results[p].assign(
+            std::make_move_iterator(flat.begin() + p * kinds.size()),
+            std::make_move_iterator(flat.begin() + (p + 1) * kinds.size()));
+    }
+    return results;
 }
 
 } // namespace picosim::rt

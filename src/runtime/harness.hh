@@ -1,14 +1,17 @@
 /**
  * @file
- * One-call experiment harness: build a fresh system, install a runtime,
- * run a program, collect results.
+ * Experiment harness: build a fresh system, install a runtime, run a
+ * program, collect results — one call per experiment, or a whole batch of
+ * independent experiments spread over a worker-thread pool.
  */
 
 #ifndef PICOSIM_RUNTIME_HARNESS_HH
 #define PICOSIM_RUNTIME_HARNESS_HH
 
+#include <functional>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "cpu/system.hh"
 #include "runtime/cost_model.hh"
@@ -43,6 +46,50 @@ RunResult runProgram(RuntimeKind kind, const Program &prog,
 /** Run serial + the given runtime and fill in the speedup baseline. */
 RunResult runWithSpeedup(RuntimeKind kind, const Program &prog,
                          const HarnessParams &params = {});
+
+// -- Parallel batch execution -------------------------------------------
+
+/**
+ * One independent experiment in a batch. The job owns its Program copy:
+ * each job is simulated on a private System by exactly one worker thread,
+ * so jobs share no mutable state (Program caches an index lazily, which
+ * would race if instances were shared across workers).
+ */
+struct Job
+{
+    RuntimeKind kind = RuntimeKind::Phentos;
+    Program prog;
+    HarnessParams params{};
+    std::string label; ///< optional caller tag, carried through unchanged
+};
+
+/**
+ * Run every job on a pool of @p threads worker threads (0 = hardware
+ * concurrency). Results are positionally aligned with @p jobs. Each job
+ * builds a fresh Simulator/System, so results are identical to running
+ * the same jobs sequentially through runProgram(), in any thread count.
+ *
+ * @param onResult Optional progress callback, invoked once per finished
+ *        job from its worker thread under an internal mutex (safe to
+ *        print from). May be nullptr.
+ */
+std::vector<RunResult>
+runBatch(const std::vector<Job> &jobs, unsigned threads = 0,
+         const std::function<void(std::size_t, const RunResult &)>
+             &onResult = nullptr);
+
+/**
+ * Run the full @p progs x @p kinds evaluation matrix as one batch.
+ * results[p][k] is program p under kind k — callers index results by
+ * position in the kinds vector they passed, so there is no hidden
+ * column-order contract to keep in sync.
+ */
+std::vector<std::vector<RunResult>>
+runMatrix(const std::vector<Program> &progs,
+          const std::vector<RuntimeKind> &kinds,
+          const HarnessParams &params = {}, unsigned threads = 0,
+          const std::function<void(std::size_t, std::size_t,
+                                   const RunResult &)> &onResult = nullptr);
 
 } // namespace picosim::rt
 

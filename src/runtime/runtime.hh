@@ -7,7 +7,9 @@
 #ifndef PICOSIM_RUNTIME_RUNTIME_HH
 #define PICOSIM_RUNTIME_RUNTIME_HH
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "cpu/system.hh"
@@ -19,6 +21,15 @@ namespace picosim::rt
 /**
  * A Task Scheduling runtime. install() arms one coroutine per hart; the
  * harness then drives the system until all harts finish.
+ *
+ * Event-driven kernel contract: runtime models execute as hart software,
+ * so their waits are Delay-based backoff polls (and the occasional
+ * WaitUntil, which polls once per cycle) exactly as the modeled software
+ * behaves. Cores self-schedule at each coroutine's next resume cycle, so
+ * runtime code needs no explicit wake requests of its own — the delegate
+ * transactions it issues carry the wake semantics into the hardware
+ * layers. Runtime instances are single-run and must not be shared across
+ * concurrently simulated systems (runBatch builds one per job).
  */
 class Runtime
 {
@@ -51,6 +62,11 @@ struct RunResult
     /** Speedup over the measured serial execution (filled by harness). */
     Cycle serialCycles = 0;
 
+    // -- Kernel cost of producing this result (simulator efficiency) --
+    std::uint64_t evaluatedCycles = 0; ///< distinct cycles evaluated
+    std::uint64_t componentTicks = 0;  ///< component evaluations performed
+    std::uint64_t tickWorldTicks = 0;  ///< tick-the-world baseline ticks
+
     double
     speedup() const
     {
@@ -61,12 +77,15 @@ struct RunResult
     /**
      * Mean lifetime scheduling overhead per task (Figure 7 metric):
      * wall cycles minus pure payload, per task, on a single-worker run.
+     * NaN for inconsistent inputs — no tasks, or a run reporting fewer
+     * wall cycles than its serial payload (a broken run must not be
+     * mistaken for one with zero scheduling overhead).
      */
     double
     overheadPerTask() const
     {
-        if (tasks == 0 || cycles <= serialPayload)
-            return 0.0;
+        if (tasks == 0 || cycles < serialPayload)
+            return std::numeric_limits<double>::quiet_NaN();
         return static_cast<double>(cycles - serialPayload) / tasks;
     }
 };

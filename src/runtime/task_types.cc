@@ -8,17 +8,19 @@ namespace picosim::rt
 const Task &
 Program::taskById(std::uint64_t id) const
 {
+    constexpr std::size_t kInvalid = ~std::size_t{0};
     if (index_.size() != numTasks_) {
         index_.clear();
-        index_.resize(numTasks_, nullptr);
-        for (const Action &a : actions) {
+        index_.resize(numTasks_, kInvalid);
+        for (std::size_t pos = 0; pos < actions.size(); ++pos) {
+            const Action &a = actions[pos];
             if (a.kind == Action::Kind::Spawn)
-                index_[a.task.id] = &a.task;
+                index_[a.task.id] = pos;
         }
     }
-    if (id >= index_.size() || !index_[id])
+    if (id >= index_.size() || index_[id] == kInvalid)
         sim::fatal("Program::taskById: unknown task id");
-    return *index_[id];
+    return actions[index_[id]].task;
 }
 
 } // namespace picosim::rt

@@ -98,7 +98,12 @@ struct Program
 
   private:
     std::uint64_t numTasks_ = 0;
-    mutable std::vector<const Task *> index_;
+    /**
+     * Lazy id -> actions position index. Positions (not pointers) so the
+     * cache stays valid across Program copies — batch jobs copy their
+     * programs so each worker thread owns its (lazily mutated) index.
+     */
+    mutable std::vector<std::size_t> index_;
 };
 
 } // namespace picosim::rt

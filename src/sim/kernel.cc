@@ -8,10 +8,194 @@ namespace picosim::sim
 {
 
 void
-Simulator::evaluate()
+Ticked::requestWake(Cycle cycle)
+{
+    if (sim_)
+        sim_->requestWake(this, cycle);
+}
+
+void
+Simulator::addTicked(Ticked *component)
+{
+    if (component->sim_ && component->sim_ != this)
+        fatal("Ticked '" + component->name() +
+              "' already registered with another Simulator");
+    component->sim_ = this;
+    component->regIndex_ = static_cast<unsigned>(ticked_.size());
+    ticked_.push_back(component);
+    // Initial evaluation at the current cycle, like the reference kernel's
+    // first tick-the-world pass.
+    component->extEarliest_ = clock_.now();
+    events_.push(
+        Event{clock_.now(), component->regIndex_, component, true});
+}
+
+void
+Simulator::scheduleSelf(Ticked *component, Cycle cycle)
+{
+    // The previous self entry (if any) becomes stale by construction:
+    // selfSched_ identifies the single valid one.
+    component->selfSched_ = cycle;
+    if (cycle != kCycleNever)
+        events_.push(Event{cycle, component->regIndex_, component, false});
+}
+
+void
+Simulator::requestWake(Ticked *component, Cycle cycle)
+{
+    if (mode_ == EvalMode::TickWorld)
+        return; // the polling kernel re-queries everything each cycle
+    const Cycle now = clock_.now();
+    Cycle c = std::max(cycle, now);
+    if (c == now && evaluating_ &&
+        (component->lastTick_ == now ||
+         component->regIndex_ <= currentRegIndex_)) {
+        // The component's evaluation slot for this cycle has passed; the
+        // reference kernel would make this state visible to it next cycle.
+        c = now + 1;
+    }
+    if (c == kCycleNever)
+        return;
+    if (c == component->extEarliest_)
+        return; // duplicate of the tracked earliest pending wake
+    if (c < component->extEarliest_)
+        component->extEarliest_ = c;
+    events_.push(Event{c, component->regIndex_, component, true});
+}
+
+void
+Simulator::evaluateDue()
+{
+    const Cycle now = clock_.now();
+
+    // Re-file leftovers scheduled in the past (possible across run/runFor
+    // boundaries) at the current cycle so same-cycle evaluation order is
+    // still registration order.
+    while (!events_.empty() && events_.top().cycle < now) {
+        const Event e = events_.top();
+        events_.pop();
+        if (e.external) {
+            if (e.cycle == e.component->extEarliest_)
+                e.component->extEarliest_ = now;
+        } else {
+            if (e.cycle != e.component->selfSched_)
+                continue; // stale self entry
+            e.component->selfSched_ = now;
+        }
+        events_.push(Event{now, e.regIndex, e.component, e.external});
+    }
+
+    bool tickedAny = false;
+    evaluating_ = true;
+    while (!events_.empty() && events_.top().cycle == now) {
+        const Event e = events_.top();
+        events_.pop();
+        Ticked *t = e.component;
+        if (e.external) {
+            if (t->extEarliest_ == e.cycle)
+                t->extEarliest_ = kCycleNever; // tracked wake consumed
+        } else {
+            if (e.cycle != t->selfSched_)
+                continue; // stale self entry
+            t->selfSched_ = kCycleNever;
+        }
+        if (t->lastTick_ == now)
+            continue; // already evaluated this cycle (duplicate entry)
+        t->lastTick_ = now;
+        currentRegIndex_ = e.regIndex;
+
+        t->tick();
+        ++componentTicks_;
+        tickedAny = true;
+
+        // Re-arm at the component's own next due cycle; wakes requested
+        // during its own tick have entered the queue on their own.
+        const Cycle self = t->active() ? now + 1 : t->wakeAt();
+        scheduleSelf(t, self == kCycleNever ? kCycleNever
+                                            : std::max(self, now + 1));
+    }
+    evaluating_ = false;
+    if (tickedAny)
+        ++evaluatedCycles_;
+}
+
+Cycle
+Simulator::refreshNextEventCycle()
+{
+    const Cycle now = clock_.now();
+    while (!events_.empty()) {
+        const Event e = events_.top();
+        Ticked *t = e.component;
+        if (e.external)
+            return e.cycle; // explicit request — always honored
+        if (e.cycle != t->selfSched_) {
+            events_.pop();
+            continue; // stale self entry
+        }
+        // Re-validate self entries against the component's live state so
+        // the fast-forward target equals the reference kernel's freshly
+        // computed global minimum (a consumer may have emptied the queue
+        // the entry was scheduled for, pushing the real due cycle out).
+        Cycle fresh = t->active() ? now + 1 : t->wakeAt();
+        if (fresh != kCycleNever)
+            fresh = std::max(fresh, now + 1);
+        if (fresh == e.cycle)
+            return e.cycle;
+        events_.pop();
+        scheduleSelf(t, fresh);
+    }
+    return kCycleNever;
+}
+
+bool
+Simulator::run(const std::function<bool()> &done, Cycle limit)
+{
+    if (mode_ == EvalMode::TickWorld)
+        return runTickWorld(done, limit);
+
+    const Cycle start = clock_.now();
+    while (true) {
+        if (done())
+            return true;
+        if (clock_.now() - start >= limit)
+            return false;
+
+        evaluateDue();
+
+        const Cycle next = refreshNextEventCycle();
+        if (next == kCycleNever) {
+            // Fully idle system: either done() holds now or the
+            // simulation can never progress again.
+            return done();
+        }
+        clock_.advanceTo(next);
+    }
+}
+
+void
+Simulator::runFor(Cycle n)
+{
+    if (mode_ == EvalMode::TickWorld) {
+        runForTickWorld(n);
+        return;
+    }
+
+    const Cycle end = clock_.now() + n;
+    while (clock_.now() < end) {
+        evaluateDue();
+        const Cycle next = refreshNextEventCycle();
+        clock_.advanceTo(std::min(next == kCycleNever ? end : next, end));
+    }
+}
+
+// -- TickWorld reference implementation ---------------------------------
+
+void
+Simulator::evaluateAll()
 {
     for (Ticked *t : ticked_)
         t->tick();
+    componentTicks_ += ticked_.size();
     ++evaluatedCycles_;
 }
 
@@ -23,7 +207,7 @@ Simulator::anyActive() const
 }
 
 Cycle
-Simulator::nextWake() const
+Simulator::nextWakeAll() const
 {
     Cycle wake = kCycleNever;
     for (const Ticked *t : ticked_)
@@ -32,7 +216,7 @@ Simulator::nextWake() const
 }
 
 bool
-Simulator::run(const std::function<bool()> &done, Cycle limit)
+Simulator::runTickWorld(const std::function<bool()> &done, Cycle limit)
 {
     const Cycle start = clock_.now();
     while (true) {
@@ -41,33 +225,31 @@ Simulator::run(const std::function<bool()> &done, Cycle limit)
         if (clock_.now() - start >= limit)
             return false;
 
-        evaluate();
+        evaluateAll();
 
         if (anyActive()) {
             clock_.advanceTo(clock_.now() + 1);
             continue;
         }
-        const Cycle wake = nextWake();
+        const Cycle wake = nextWakeAll();
         if (wake == kCycleNever) {
             // Fully idle system: either done() holds next check or the
             // simulation can never progress again.
-            if (done())
-                return true;
-            return false;
+            return done();
         }
         clock_.advanceTo(std::max(wake, clock_.now() + 1));
     }
 }
 
 void
-Simulator::runFor(Cycle n)
+Simulator::runForTickWorld(Cycle n)
 {
     const Cycle end = clock_.now() + n;
     while (clock_.now() < end) {
-        evaluate();
+        evaluateAll();
         Cycle next = clock_.now() + 1;
         if (!anyActive()) {
-            const Cycle wake = nextWake();
+            const Cycle wake = nextWakeAll();
             if (wake != kCycleNever)
                 next = std::max(next, wake);
             else

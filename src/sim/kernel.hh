@@ -1,13 +1,15 @@
 /**
  * @file
- * The simulation kernel: owns the clock, ticks components, fast-forwards
- * across quiescent periods.
+ * The simulation kernel: owns the clock, schedules component evaluations
+ * through an event queue, fast-forwards across quiescent periods.
  */
 
 #ifndef PICOSIM_SIM_KERNEL_HH
 #define PICOSIM_SIM_KERNEL_HH
 
+#include <cstdint>
 #include <functional>
+#include <queue>
 #include <vector>
 
 #include "sim/clock.hh"
@@ -18,26 +20,66 @@
 namespace picosim::sim
 {
 
+/** Kernel evaluation strategy. */
+enum class EvalMode : std::uint8_t
+{
+    /**
+     * Event-driven: components are evaluated only at cycles for which they
+     * are scheduled (self-rescheduling after each tick plus explicit
+     * requestWake() calls on external mutations). Same-cycle evaluations
+     * run in registration order, so results are bit-identical to TickWorld.
+     */
+    EventDriven,
+
+    /**
+     * Reference tick-the-world kernel: every registered component is
+     * ticked, in registration order, for every cycle in which at least one
+     * reports active(); when all are quiescent the clock jumps to the
+     * minimum wakeAt(). Kept as the equivalence baseline.
+     */
+    TickWorld,
+};
+
 /**
- * Cycle-driven simulator with activity-based fast-forward.
+ * Cycle-exact simulator with a binary-heap event queue.
  *
- * Components are ticked in registration order for every cycle in which at
- * least one reports active(); when all are quiescent, the clock jumps to
- * the minimum wakeAt() across components. This keeps queue/arbiter
- * behaviour cycle-exact while skipping the long stretches in which every
- * hart is merely burning payload cycles.
+ * Event entries are ordered by (cycle, registration index), so components
+ * due in the same cycle are always evaluated in registration order — the
+ * invariant that makes the event-driven schedule produce bit-identical
+ * results to ticking the world every active cycle.
  */
 class Simulator
 {
   public:
     Simulator() = default;
 
+    explicit Simulator(EvalMode mode) : mode_(mode) {}
+
     Clock &clock() { return clock_; }
     const Clock &clock() const { return clock_; }
     StatGroup &stats() { return stats_; }
 
-    /** Register a component; order defines per-cycle evaluation order. */
-    void addTicked(Ticked *component) { ticked_.push_back(component); }
+    EvalMode evalMode() const { return mode_; }
+
+    /** Select the evaluation strategy; call before the first run. */
+    void setEvalMode(EvalMode mode) { mode_ = mode; }
+
+    /**
+     * Register a component; order defines same-cycle evaluation order.
+     * The component is scheduled for an initial evaluation at the current
+     * cycle (the reference kernel ticks everything on the first evaluated
+     * cycle; the event queue reproduces that).
+     */
+    void addTicked(Ticked *component);
+
+    /**
+     * Schedule @p component for evaluation at (or after) @p cycle.
+     * Requests for the current cycle made at or before the component's
+     * registration slot are honored this cycle; later ones slip to the
+     * next cycle (its slot in the reference schedule has already passed).
+     * No-op in TickWorld mode, where every active cycle ticks everything.
+     */
+    void requestWake(Ticked *component, Cycle cycle);
 
     /**
      * Run until the predicate holds (checked once per evaluated cycle) or
@@ -50,21 +92,78 @@ class Simulator
     /** Run for exactly n cycles of simulated time. */
     void runFor(Cycle n);
 
+    /** Number of distinct cycles at which any component was evaluated. */
     std::uint64_t evaluatedCycles() const { return evaluatedCycles_; }
 
+    /** Total individual component tick() evaluations performed. */
+    std::uint64_t componentTicks() const { return componentTicks_; }
+
+    /**
+     * Component ticks a tick-the-world kernel would have performed over
+     * the same evaluated cycles — the baseline for the event-driven win.
+     */
+    std::uint64_t
+    tickWorldTicks() const
+    {
+        return evaluatedCycles_ * ticked_.size();
+    }
+
+    std::size_t numComponents() const { return ticked_.size(); }
+
   private:
-    /** Tick everything once at the current cycle. */
-    void evaluate();
+    /**
+     * One scheduled evaluation. Self entries (the kernel re-arming a
+     * component after its tick) can go stale when the component's state
+     * is consumed externally; they are re-validated against the live
+     * active()/wakeAt() before being used as a fast-forward target.
+     * External entries (requestWake) are explicit and always honored.
+     */
+    struct Event
+    {
+        Cycle cycle;
+        unsigned regIndex;
+        Ticked *component;
+        bool external;
 
-    /** Earliest future cycle at which any component needs evaluation. */
-    Cycle nextWake() const;
+        bool
+        operator>(const Event &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle
+                                    : regIndex > o.regIndex;
+        }
+    };
 
+    /** Replace the component's self entry with one at @p cycle. */
+    void scheduleSelf(Ticked *component, Cycle cycle);
+
+    /** Tick every component due at the current cycle, registration order. */
+    void evaluateDue();
+
+    /**
+     * Earliest future cycle holding a valid event, re-validating stale
+     * entries against the components' live active()/wakeAt() so the
+     * fast-forward target matches the reference kernel's fresh global
+     * minimum. kCycleNever when the queue is empty.
+     */
+    Cycle refreshNextEventCycle();
+
+    // -- TickWorld reference implementation --
+    bool runTickWorld(const std::function<bool()> &done, Cycle limit);
+    void runForTickWorld(Cycle n);
+    void evaluateAll();
     bool anyActive() const;
+    Cycle nextWakeAll() const;
 
     Clock clock_;
     StatGroup stats_;
+    EvalMode mode_ = EvalMode::EventDriven;
     std::vector<Ticked *> ticked_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    bool evaluating_ = false;
+    unsigned currentRegIndex_ = 0;
     std::uint64_t evaluatedCycles_ = 0;
+    std::uint64_t componentTicks_ = 0;
 };
 
 } // namespace picosim::sim

@@ -1,6 +1,6 @@
 /**
  * @file
- * Interface for cycle-ticked hardware components.
+ * Interface for cycle-evaluated hardware components.
  */
 
 #ifndef PICOSIM_SIM_TICKED_HH
@@ -13,12 +13,25 @@
 namespace picosim::sim
 {
 
+class Simulator;
+
 /**
- * A component that is evaluated once per simulated cycle while active.
+ * A component evaluated at simulated cycles by the kernel.
  *
- * The kernel ticks all registered components in registration order for
- * every cycle in which at least one of them reports activity; when all are
- * quiescent it fast-forwards the clock to the minimum wakeAt().
+ * Under the event-driven kernel (the default), a component is evaluated
+ * only at cycles for which it is scheduled in the kernel's event queue:
+ *
+ *  - after every tick() the kernel re-arms the component at its own next
+ *    due cycle (now + 1 while active(), wakeAt() otherwise);
+ *  - any state mutation from outside the component's own tick() — a
+ *    producer pushing into one of its queues, a consumer freeing space —
+ *    must be accompanied by a requestWake() so the sleeping component is
+ *    evaluated when that state becomes visible.
+ *
+ * Components scheduled for the same cycle are evaluated in registration
+ * order, so results are bit-identical to the reference tick-the-world
+ * kernel (EvalMode::TickWorld), which simply ticks every component in
+ * registration order for every cycle in which at least one is active.
  */
 class Ticked
 {
@@ -45,10 +58,36 @@ class Ticked
      */
     virtual Cycle wakeAt() const { return kCycleNever; }
 
+    /**
+     * Ask the owning kernel to evaluate this component at (or after)
+     * @p cycle. Safe to call from anywhere — another component's tick(),
+     * a hart coroutine, or harness code between runs. A no-op when the
+     * component is not registered with a Simulator (bare unit tests) or
+     * the kernel runs in TickWorld mode. Requests for the current cycle
+     * made after this component's evaluation slot has passed take effect
+     * next cycle, preserving registration-order semantics.
+     */
+    void requestWake(Cycle cycle);
+
+    /** True once registered with a Simulator. */
+    bool attached() const { return sim_ != nullptr; }
+
+    /** Position in the kernel's registration order (valid when attached). */
+    unsigned regIndex() const { return regIndex_; }
+
     const std::string &name() const { return name_; }
 
   private:
+    friend class Simulator;
+
     std::string name_;
+
+    // -- Scheduling bookkeeping, owned by the registered Simulator --
+    Simulator *sim_ = nullptr;
+    unsigned regIndex_ = 0;
+    Cycle selfSched_ = kCycleNever;   ///< cycle of the valid self entry
+    Cycle extEarliest_ = kCycleNever; ///< min pending external wake (dedup)
+    Cycle lastTick_ = kCycleNever;    ///< cycle of the last evaluation
 };
 
 } // namespace picosim::sim

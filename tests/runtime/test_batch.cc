@@ -1,0 +1,103 @@
+/** @file Unit tests for the parallel batch harness (runBatch). */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "apps/workloads.hh"
+#include "runtime/harness.hh"
+
+using namespace picosim;
+using namespace picosim::rt;
+
+namespace
+{
+
+std::vector<Job>
+smallMatrix()
+{
+    std::vector<Job> jobs;
+    const RuntimeKind kinds[] = {RuntimeKind::Serial, RuntimeKind::NanosRV,
+                                 RuntimeKind::Phentos};
+    const Program progs[] = {apps::taskFree(64, 1, 500),
+                             apps::taskChain(64, 1, 500),
+                             apps::blackscholes(512, 32)};
+    for (const Program &prog : progs) {
+        for (const RuntimeKind kind : kinds) {
+            Job job;
+            job.kind = kind;
+            job.prog = prog;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(RunBatch, EmptyBatchYieldsNoResults)
+{
+    EXPECT_TRUE(runBatch({}).empty());
+}
+
+TEST(RunBatch, MatchesSequentialHarnessRuns)
+{
+    const std::vector<Job> jobs = smallMatrix();
+    const std::vector<RunResult> batch = runBatch(jobs, 4);
+
+    ASSERT_EQ(batch.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const RunResult seq =
+            runProgram(jobs[i].kind, jobs[i].prog, jobs[i].params);
+        EXPECT_TRUE(batch[i].completed) << i;
+        EXPECT_EQ(batch[i].cycles, seq.cycles) << i;
+        EXPECT_EQ(batch[i].runtime, seq.runtime) << i;
+        EXPECT_EQ(batch[i].program, seq.program) << i;
+    }
+}
+
+TEST(RunBatch, ThreadCountDoesNotChangeResults)
+{
+    const std::vector<Job> jobs = smallMatrix();
+    const std::vector<RunResult> one = runBatch(jobs, 1);
+    const std::vector<RunResult> four = runBatch(jobs, 4);
+    const std::vector<RunResult> many = runBatch(jobs, 16);
+
+    ASSERT_EQ(one.size(), four.size());
+    ASSERT_EQ(one.size(), many.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].cycles, four[i].cycles) << i;
+        EXPECT_EQ(one[i].cycles, many[i].cycles) << i;
+    }
+}
+
+TEST(RunBatch, InvokesCallbackOncePerJob)
+{
+    const std::vector<Job> jobs = smallMatrix();
+    std::atomic<unsigned> calls{0};
+    std::vector<char> seen(jobs.size(), 0);
+    const auto results =
+        runBatch(jobs, 4, [&](std::size_t i, const RunResult &res) {
+            ++calls;
+            ASSERT_LT(i, seen.size());
+            seen[i] += 1;
+            EXPECT_FALSE(res.program.empty());
+        });
+    EXPECT_EQ(calls.load(), jobs.size());
+    for (const char s : seen)
+        EXPECT_EQ(s, 1);
+    EXPECT_EQ(results.size(), jobs.size());
+}
+
+TEST(RunBatch, SerialJobsForcedToOneCore)
+{
+    Job job;
+    job.kind = RuntimeKind::Serial;
+    job.prog = apps::taskFree(32, 1, 100);
+    job.params.numCores = 8;
+    const auto results = runBatch({job}, 2);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].completed);
+    EXPECT_EQ(results[0].runtime, "serial");
+}

@@ -1,15 +1,23 @@
 /**
  * @file
- * Command-line driver: run any built-in workload under any runtime on a
- * configurable system and print results plus hardware statistics.
+ * Command-line driver: run built-in workloads under any runtime on a
+ * configurable system and print results plus hardware statistics. Multiple
+ * workloads (comma-separated) are simulated in parallel on a worker pool.
  *
  * Usage:
- *   picosim_run [--list] [--workload=NAME] [--runtime=KIND]
- *               [--cores=N] [--stats] [--trace=FILE.json]
+ *   picosim_run [--list] [--workload=NAME[,NAME...]] [--runtime=KIND]
+ *               [--cores=N] [--jobs=N] [--mode=event|tickworld]
+ *               [--stats] [--trace=FILE.json]
  *
  *   NAME: a Figure-9 input label substring, e.g. "blackscholes 4K B8",
  *         or one of: task-free, task-chain.
  *   KIND: serial | nanos-sw | nanos-rv | nanos-axi | phentos
+ *   --jobs: worker threads for multi-workload batches (default: hardware
+ *           concurrency).
+ *   --mode: kernel evaluation strategy (default: event).
+ *
+ * --stats / --trace need the simulated System inspectable after the run,
+ * so they force the single-workload in-process path.
  */
 
 #include <cstdio>
@@ -17,7 +25,9 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/workloads.hh"
 #include "runtime/harness.hh"
@@ -78,6 +88,121 @@ hasFlag(int argc, char **argv, const char *flag)
     return false;
 }
 
+std::optional<unsigned>
+parseUnsigned(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    unsigned value = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9' || value > 100'000'000)
+            return std::nullopt;
+        value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    return value;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::stringstream ss(s);
+    std::string part;
+    while (std::getline(ss, part, ','))
+        if (!part.empty())
+            parts.push_back(part);
+    return parts;
+}
+
+void
+printResult(const rt::RunResult &res, unsigned cores)
+{
+    std::printf("workload  : %s (%llu tasks, mean size %.0f cycles)\n",
+                res.program.c_str(),
+                static_cast<unsigned long long>(res.tasks),
+                res.meanTaskSize);
+    std::printf("runtime   : %s on %u core(s)\n", res.runtime.c_str(),
+                cores);
+    std::printf("cycles    : %llu (%s)\n",
+                static_cast<unsigned long long>(res.cycles),
+                res.completed ? "completed" : "INCOMPLETE");
+    std::printf("serial    : %llu cycles\n",
+                static_cast<unsigned long long>(res.serialCycles));
+    std::printf("speedup   : %.2fx\n", res.speedup());
+    std::printf("wall time @80MHz: %.1f ms\n",
+                static_cast<double>(res.cycles) / 80'000.0);
+    if (res.tickWorldTicks > 0) {
+        std::printf("kernel    : %llu component ticks over %llu cycles "
+                    "(%.2fx fewer than tick-the-world)\n",
+                    static_cast<unsigned long long>(res.componentTicks),
+                    static_cast<unsigned long long>(res.evaluatedCycles),
+                    res.componentTicks == 0
+                        ? 0.0
+                        : static_cast<double>(res.tickWorldTicks) /
+                              static_cast<double>(res.componentTicks));
+    }
+}
+
+/** Single-workload path with the System kept inspectable (stats/trace). */
+int
+runInspectable(const std::string &wl, rt::RuntimeKind kind,
+               const rt::HarnessParams &hp,
+               const std::optional<std::string> &trace_path, bool stats)
+{
+    const auto prog = buildWorkload(wl);
+    if (!prog) {
+        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                     wl.c_str());
+        return 1;
+    }
+
+    cpu::SystemParams sp = hp.system;
+    sp.numCores = kind == rt::RuntimeKind::Serial ? 1 : hp.numCores;
+    cpu::System sys(sp);
+    auto runtime = rt::makeRuntime(kind, hp.costs);
+
+    rt::TaskTrace trace;
+    if (trace_path) {
+        trace.reset(prog->numTasks());
+        if (auto *ph = dynamic_cast<rt::Phentos *>(runtime.get()))
+            ph->setTrace(&trace);
+        else if (auto *nn = dynamic_cast<rt::Nanos *>(runtime.get()))
+            nn->setTrace(&trace);
+    }
+
+    runtime->install(sys, *prog);
+    const bool ok = sys.run(hp.cycleLimit);
+
+    const auto serial = rt::runProgram(rt::RuntimeKind::Serial, *prog, hp);
+
+    rt::RunResult res;
+    res.runtime = runtime->name();
+    res.program = prog->name;
+    res.completed = ok && runtime->finished();
+    res.cycles = sys.clock().now();
+    res.tasks = prog->numTasks();
+    res.meanTaskSize = prog->meanTaskSize();
+    res.serialCycles = serial.cycles;
+    res.evaluatedCycles = sys.simulator().evaluatedCycles();
+    res.componentTicks = sys.simulator().componentTicks();
+    res.tickWorldTicks = sys.simulator().tickWorldTicks();
+    printResult(res, sys.numCores());
+
+    if (trace_path) {
+        std::ofstream out(*trace_path);
+        trace.writeChromeTrace(out, prog->name);
+        std::printf("trace     : %s (queue %.0f cyc, service %.0f cyc)\n",
+                    trace_path->c_str(), trace.meanQueueLatency(),
+                    trace.meanServiceTime());
+    }
+    if (stats) {
+        std::printf("\n-- system statistics --\n");
+        sys.stats().dump(std::cout);
+        sys.memory().stats().dump(std::cout);
+    }
+    return res.completed ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -103,65 +228,96 @@ main(int argc, char **argv)
         std::fprintf(stderr, "unknown runtime '%s'\n", rtname.c_str());
         return 1;
     }
-    const auto prog = buildWorkload(wl);
-    if (!prog) {
-        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
-                     wl.c_str());
+
+    rt::HarnessParams hp;
+    if (auto cores = argValue(argc, argv, "--cores")) {
+        const auto n = parseUnsigned(*cores);
+        if (!n || *n == 0) {
+            std::fprintf(stderr, "--cores needs a positive integer, got "
+                                 "'%s'\n",
+                         cores->c_str());
+            return 1;
+        }
+        hp.numCores = *n;
+    }
+    if (auto mode = argValue(argc, argv, "--mode")) {
+        if (*mode == "event") {
+            hp.system.evalMode = sim::EvalMode::EventDriven;
+        } else if (*mode == "tickworld") {
+            hp.system.evalMode = sim::EvalMode::TickWorld;
+        } else {
+            std::fprintf(stderr, "unknown mode '%s'\n", mode->c_str());
+            return 1;
+        }
+    }
+    unsigned jobs = 0;
+    if (auto j = argValue(argc, argv, "--jobs")) {
+        const auto n = parseUnsigned(*j);
+        if (!n) {
+            std::fprintf(stderr,
+                         "--jobs needs a non-negative integer, got '%s'\n",
+                         j->c_str());
+            return 1;
+        }
+        jobs = *n;
+    }
+
+    const auto trace_path = argValue(argc, argv, "--trace");
+    const bool stats = hasFlag(argc, argv, "--stats");
+    const std::vector<std::string> names = splitCommas(wl);
+    if (names.empty()) {
+        std::fprintf(stderr, "no workload given\n");
         return 1;
     }
 
-    rt::HarnessParams hp;
-    if (auto cores = argValue(argc, argv, "--cores"))
-        hp.numCores = static_cast<unsigned>(std::stoul(*cores));
-
-    // Build the system by hand so stats/trace stay inspectable.
-    cpu::SystemParams sp = hp.system;
-    sp.numCores = *kind == rt::RuntimeKind::Serial ? 1 : hp.numCores;
-    cpu::System sys(sp);
-    auto runtime = rt::makeRuntime(*kind, hp.costs);
-
-    rt::TaskTrace trace;
-    const auto trace_path = argValue(argc, argv, "--trace");
-    if (trace_path) {
-        trace.reset(prog->numTasks());
-        if (auto *ph = dynamic_cast<rt::Phentos *>(runtime.get()))
-            ph->setTrace(&trace);
-        else if (auto *nn = dynamic_cast<rt::Nanos *>(runtime.get()))
-            nn->setTrace(&trace);
+    // Introspection keeps the legacy single-run path; everything else goes
+    // through the batch harness (workload + serial baseline per name).
+    if (trace_path || stats) {
+        if (names.size() > 1) {
+            std::fprintf(stderr,
+                         "--trace/--stats need a single workload\n");
+            return 1;
+        }
+        return runInspectable(names[0], *kind, hp, trace_path, stats);
     }
 
-    runtime->install(sys, *prog);
-    const bool ok = sys.run(hp.cycleLimit);
+    // One main job per workload, plus a serial baseline unless the main
+    // run already is serial (then it serves as its own baseline).
+    const bool isSerial = *kind == rt::RuntimeKind::Serial;
+    const std::size_t runsPerName = isSerial ? 1 : 2;
+    std::vector<rt::Job> batch;
+    for (const std::string &name : names) {
+        const auto prog = buildWorkload(name);
+        if (!prog) {
+            std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                         name.c_str());
+            return 1;
+        }
+        rt::Job main_job;
+        main_job.kind = *kind;
+        main_job.prog = *prog;
+        main_job.params = hp;
+        batch.push_back(main_job);
 
-    const auto serial = rt::runProgram(rt::RuntimeKind::Serial, *prog, hp);
-    std::printf("workload  : %s (%llu tasks, mean size %.0f cycles)\n",
-                prog->name.c_str(),
-                static_cast<unsigned long long>(prog->numTasks()),
-                prog->meanTaskSize());
-    std::printf("runtime   : %s on %u core(s)\n",
-                runtime->name().c_str(), sys.numCores());
-    std::printf("cycles    : %llu (%s)\n",
-                static_cast<unsigned long long>(sys.clock().now()),
-                ok && runtime->finished() ? "completed" : "INCOMPLETE");
-    std::printf("serial    : %llu cycles\n",
-                static_cast<unsigned long long>(serial.cycles));
-    std::printf("speedup   : %.2fx\n",
-                static_cast<double>(serial.cycles) /
-                    static_cast<double>(sys.clock().now()));
-    std::printf("wall time @80MHz: %.1f ms\n",
-                static_cast<double>(sys.clock().now()) / 80'000.0);
+        if (!isSerial) {
+            rt::Job serial_job;
+            serial_job.kind = rt::RuntimeKind::Serial;
+            serial_job.prog = *prog;
+            serial_job.params = hp;
+            batch.push_back(std::move(serial_job));
+        }
+    }
 
-    if (trace_path) {
-        std::ofstream out(*trace_path);
-        trace.writeChromeTrace(out, prog->name);
-        std::printf("trace     : %s (queue %.0f cyc, service %.0f cyc)\n",
-                    trace_path->c_str(), trace.meanQueueLatency(),
-                    trace.meanServiceTime());
+    const std::vector<rt::RunResult> results = rt::runBatch(batch, jobs);
+
+    bool all_ok = true;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        rt::RunResult res = results[runsPerName * i];
+        res.serialCycles = results[runsPerName * i + runsPerName - 1].cycles;
+        if (i > 0)
+            std::printf("\n");
+        printResult(res, isSerial ? 1 : hp.numCores);
+        all_ok = all_ok && res.completed;
     }
-    if (hasFlag(argc, argv, "--stats")) {
-        std::printf("\n-- system statistics --\n");
-        sys.stats().dump(std::cout);
-        sys.memory().stats().dump(std::cout);
-    }
-    return ok && runtime->finished() ? 0 : 1;
+    return all_ok ? 0 : 1;
 }
