@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,105 @@
 
 namespace picosim::bench
 {
+
+/**
+ * Minimal machine-readable benchmark emitter: one JSON file holding an
+ * array of flat row objects ({"string": "x", "number": 1.5, ...}), so
+ * the perf trajectory of a driver can be recorded and diffed across PRs
+ * (BENCH_kernel.json style). Rows are buffered and written on write().
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string path) : path_(std::move(path)) {}
+
+    void
+    beginRow()
+    {
+        rows_.emplace_back();
+    }
+
+    void
+    field(const char *name, const std::string &value)
+    {
+        addRaw(name, '"' + escape(value) + '"');
+    }
+
+    void
+    field(const char *name, const char *value)
+    {
+        field(name, std::string(value));
+    }
+
+    void
+    field(const char *name, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        addRaw(name, buf);
+    }
+
+    void
+    field(const char *name, std::uint64_t value)
+    {
+        addRaw(name, std::to_string(value));
+    }
+
+    void
+    field(const char *name, bool value)
+    {
+        addRaw(name, value ? "true" : "false");
+    }
+
+    /** Write the file; @return success (failures are non-fatal: a bench
+     *  must still report to stdout when the CWD is read-only). */
+    bool
+    write() const
+    {
+        std::ofstream out(path_);
+        if (!out)
+            return false;
+        out << "[\n";
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            out << "  {" << rows_[i] << '}';
+            if (i + 1 < rows_.size())
+                out << ',';
+            out << '\n';
+        }
+        out << "]\n";
+        return out.good();
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string r;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                r += '\\';
+            r += c;
+        }
+        return r;
+    }
+
+    void
+    addRaw(const char *name, const std::string &json)
+    {
+        std::string &row = rows_.back();
+        if (!row.empty())
+            row += ", ";
+        row += '"';
+        row += name;
+        row += "\": ";
+        row += json;
+    }
+
+    std::string path_;
+    std::vector<std::string> rows_;
+};
 
 /** Geometric mean of positive values. */
 inline double

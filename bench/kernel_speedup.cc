@@ -32,8 +32,8 @@ wallSeconds(const std::function<void()> &fn)
 }
 
 void
-compareModes(const char *label, const rt::Program &prog,
-             rt::RuntimeKind kind)
+compareModes(bench::BenchJson &json, const char *label,
+             const rt::Program &prog, rt::RuntimeKind kind)
 {
     rt::HarnessParams event;
     event.system.evalMode = sim::EvalMode::EventDriven;
@@ -58,6 +58,18 @@ compareModes(const char *label, const rt::Program &prog,
                 static_cast<unsigned long long>(rw.componentTicks),
                 static_cast<unsigned long long>(re.componentTicks),
                 tickRatio, tw, te, te > 0 ? tw / te : 0.0);
+
+    json.beginRow();
+    json.field("bench", "mode_compare");
+    json.field("label", label);
+    json.field("cycles", re.cycles);
+    json.field("identical", re.cycles == rw.cycles);
+    json.field("eventTicks", re.componentTicks);
+    json.field("worldTicks", rw.componentTicks);
+    json.field("tickRatio", tickRatio);
+    json.field("wallEventSec", te);
+    json.field("wallWorldSec", tw);
+    json.field("wallSpeedup", te > 0 ? tw / te : 0.0);
 }
 
 } // namespace
@@ -65,22 +77,24 @@ compareModes(const char *label, const rt::Program &prog,
 int
 main()
 {
+    bench::BenchJson json("BENCH_kernel.json");
+
     std::printf("== Event-driven kernel vs tick-the-world reference ==\n");
     std::printf("(ticks = component evaluations; [=] = identical cycle "
                 "results)\n\n");
 
     // Figure 8 coarse-granularity points: most components quiescent most
     // cycles, the sweet spot for wake scheduling.
-    compareModes("blackscholes 4K B32 Phentos",
+    compareModes(json, "blackscholes 4K B32 Phentos",
                  apps::blackscholes(4096, 32), rt::RuntimeKind::Phentos);
-    compareModes("blackscholes 4K B256 Phentos",
+    compareModes(json, "blackscholes 4K B256 Phentos",
                  apps::blackscholes(4096, 256), rt::RuntimeKind::Phentos);
-    compareModes("task-free g=10k Phentos", apps::taskFree(256, 1, 10'000),
-                 rt::RuntimeKind::Phentos);
-    compareModes("task-free g=10k Nanos-RV", apps::taskFree(256, 1, 10'000),
-                 rt::RuntimeKind::NanosRV);
-    compareModes("task-chain g=1k Phentos", apps::taskChain(256, 1, 1'000),
-                 rt::RuntimeKind::Phentos);
+    compareModes(json, "task-free g=10k Phentos",
+                 apps::taskFree(256, 1, 10'000), rt::RuntimeKind::Phentos);
+    compareModes(json, "task-free g=10k Nanos-RV",
+                 apps::taskFree(256, 1, 10'000), rt::RuntimeKind::NanosRV);
+    compareModes(json, "task-chain g=1k Phentos",
+                 apps::taskChain(256, 1, 1'000), rt::RuntimeKind::Phentos);
 
     std::printf("\n== Parallel batch harness (Figure 9 sweep) ==\n");
     std::vector<bench::MatrixRow> serialRows, poolRows;
@@ -99,5 +113,17 @@ main()
     std::printf("1 worker: %.2fs   4 workers: %.2fs (%.2fx)   results %s\n",
                 tSerial, tPool, tPool > 0 ? tSerial / tPool : 0.0,
                 same ? "identical" : "MISMATCH");
+
+    json.beginRow();
+    json.field("bench", "batch_throughput");
+    json.field("serialSec", tSerial);
+    json.field("poolSec", tPool);
+    json.field("poolSpeedup", tPool > 0 ? tSerial / tPool : 0.0);
+    json.field("identical", same);
+    if (json.write())
+        std::printf("json      : %s\n", json.path().c_str());
+    else
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     json.path().c_str());
     return same ? 0 : 1;
 }

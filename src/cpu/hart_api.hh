@@ -4,8 +4,14 @@
  *
  * Every method is an awaitable operation on the simulated timeline of one
  * hart: custom RoCC instructions charge the 2-cycle RoCC round trip
- * (Section IV-F2), memory operations charge MESI model latencies, and
+ * (Section IV-F2), memory operations either charge MESI model latencies
+ * inline or suspend on the timed memory subsystem's response port, and
  * executePayload models a task body including bandwidth contention.
+ *
+ * Delegate access is a link configuration (sim::LinkTimings): the
+ * tightly-coupled RoCC instructions pay the short issue latency, while
+ * looseIssue()/looseResponse() charge the loosely-coupled (AXI MMIO)
+ * link the Nanos-AXI baseline is built on.
  */
 
 #ifndef PICOSIM_CPU_HART_API_HH
@@ -17,7 +23,9 @@
 #include "cpu/bandwidth.hh"
 #include "delegate/picos_delegate.hh"
 #include "mem/coherent_memory.hh"
+#include "mem/mem_subsystem.hh"
 #include "sim/cotask.hh"
+#include "sim/port.hh"
 #include "sim/types.hh"
 
 namespace picosim::cpu
@@ -32,10 +40,16 @@ struct HartApiParams
 class HartApi
 {
   public:
+    /**
+     * @param timed Timed memory subsystem; nullptr selects the inline
+     *        (functional-latency) path against @p mem directly.
+     */
     HartApi(CoreId core, delegate::PicosDelegate &del,
             mem::CoherentMemory &mem, BandwidthModel &bw,
-            const HartApiParams &params = {})
-        : core_(core), delegate_(del), mem_(mem), bw_(bw), params_(params)
+            const HartApiParams &params = {},
+            mem::TimedMemory *timed = nullptr)
+        : core_(core), delegate_(del), mem_(mem), bw_(bw), params_(params),
+          timed_(timed)
     {
     }
 
@@ -43,6 +57,31 @@ class HartApi
     delegate::PicosDelegate &delegateRef() { return delegate_; }
     mem::CoherentMemory &memRef() { return mem_; }
     BandwidthModel &bandwidthRef() { return bw_; }
+
+    /** Timed memory subsystem, nullptr in MemMode::Inline. */
+    mem::TimedMemory *timedMem() { return timed_; }
+
+    // -- Loosely-coupled (MMIO/AXI) delegate link --
+
+    /** Configure the loose link's timings (the AXI runtime installs the
+     *  calibrated MMIO costs from its cost model here). */
+    void setLooseLink(sim::LinkTimings link) { loose_ = link; }
+
+    const sim::LinkTimings &looseLink() const { return loose_; }
+
+    /** Charge one posted write (command issue) over the loose link. */
+    sim::CoTask<void>
+    looseIssue()
+    {
+        co_await sim::Delay{loose_.issue};
+    }
+
+    /** Charge one read round trip (status/response) over the loose link. */
+    sim::CoTask<void>
+    looseResponse()
+    {
+        co_await sim::Delay{loose_.response};
+    }
 
     /** Pure compute: advance this hart's clock. */
     sim::CoTask<void>
@@ -113,26 +152,56 @@ class HartApi
     sim::CoTask<void>
     read(Addr addr)
     {
-        co_await sim::Delay{mem_.read(core_, addr)};
+        if (timed_) {
+            timed_->issue(core_, mem::MemOp::Read, addr, 1);
+            co_await sim::BlockHart{};
+        } else {
+            co_await sim::Delay{mem_.read(core_, addr)};
+        }
     }
 
     sim::CoTask<void>
     write(Addr addr)
     {
-        co_await sim::Delay{mem_.write(core_, addr)};
+        if (timed_) {
+            timed_->issue(core_, mem::MemOp::Write, addr, 1);
+            co_await sim::BlockHart{};
+        } else {
+            co_await sim::Delay{mem_.write(core_, addr)};
+        }
     }
 
     sim::CoTask<void>
     atomicRmw(Addr addr)
     {
-        co_await sim::Delay{mem_.atomicRmw(core_, addr)};
+        if (timed_) {
+            timed_->issue(core_, mem::MemOp::Atomic, addr, 1);
+            co_await sim::BlockHart{};
+        } else {
+            co_await sim::Delay{mem_.atomicRmw(core_, addr)};
+        }
     }
 
-    /** Touch @p lines consecutive cache lines starting at @p base. */
+    /**
+     * Touch @p lines consecutive cache lines starting at @p base. Inline
+     * mode charges the serial sum of latencies; timed mode issues the
+     * burst through the L1 front-end, so misses overlap up to the MSHR
+     * count and the hart resumes at the last response.
+     */
     sim::CoTask<void>
     streamTouch(Addr base, unsigned lines, bool is_write)
     {
-        co_await sim::Delay{mem_.streamTouch(core_, base, lines, is_write)};
+        if (lines == 0)
+            co_return; // no lines, no traffic — in either memory mode
+        if (timed_) {
+            timed_->issue(core_,
+                          is_write ? mem::MemOp::Write : mem::MemOp::Read,
+                          base, lines);
+            co_await sim::BlockHart{};
+        } else {
+            co_await sim::Delay{
+                mem_.streamTouch(core_, base, lines, is_write)};
+        }
     }
 
     // -- Task payload execution --
@@ -156,6 +225,14 @@ class HartApi
     mem::CoherentMemory &mem_;
     BandwidthModel &bw_;
     HartApiParams params_;
+    mem::TimedMemory *timed_;
+
+    /**
+     * Loose-link costs; zero (combinational) until a runtime installs
+     * its calibrated MMIO timings via setLooseLink() — Nanos-AXI does so
+     * from its cost model at install().
+     */
+    sim::LinkTimings loose_{};
 };
 
 } // namespace picosim::cpu

@@ -11,6 +11,9 @@ System::System(const SystemParams &params)
     sim_.setEvalMode(params.evalMode);
     memory_ = std::make_unique<mem::CoherentMemory>(params.numCores,
                                                     params.mem);
+    if (params.mem.mode == mem::MemMode::Timed)
+        timedMem_ = std::make_unique<mem::TimedMemory>(
+            sim_.clock(), *memory_, sim_.stats());
     picos_ = std::make_unique<picos::Picos>(sim_.clock(), params.picos,
                                             sim_.stats());
     manager_ = std::make_unique<manager::PicosManager>(
@@ -25,15 +28,23 @@ System::System(const SystemParams &params)
         delegates_.push_back(std::make_unique<delegate::PicosDelegate>(
             i, *manager_, sim_.stats()));
         hartApis_.push_back(std::make_unique<HartApi>(
-            i, *delegates_.back(), *memory_, bandwidth_, params.hartApi));
+            i, *delegates_.back(), *memory_, bandwidth_, params.hartApi,
+            timedMem_.get()));
     }
 
     // Evaluation order each cycle: cores produce transactions, the manager
-    // moves them, Picos consumes them.
+    // moves them, Picos consumes them, and the timed memory subsystem
+    // schedules this cycle's requests last (harts must have issued before
+    // it runs so responses are armed within the issue cycle).
     for (auto &core : cores_)
         sim_.addTicked(core.get());
     sim_.addTicked(manager_.get());
     sim_.addTicked(picos_.get());
+    if (timedMem_) {
+        sim_.addTicked(timedMem_.get());
+        for (CoreId i = 0; i < params.numCores; ++i)
+            timedMem_->bindHart(i, &cores_[i]->context(), cores_[i].get());
+    }
 }
 
 bool

@@ -17,6 +17,7 @@
 #include "delegate/picos_delegate.hh"
 #include "manager/picos_manager.hh"
 #include "mem/coherent_memory.hh"
+#include "mem/mem_subsystem.hh"
 #include "picos/picos.hh"
 #include "sim/kernel.hh"
 
@@ -50,6 +51,9 @@ class System
     delegate::PicosDelegate &delegateOf(CoreId i) { return *delegates_.at(i); }
     HartApi &hartApi(CoreId i) { return *hartApis_.at(i); }
     mem::CoherentMemory &memory() { return *memory_; }
+
+    /** Timed memory subsystem; nullptr when mem.mode == MemMode::Inline. */
+    mem::TimedMemory *timedMemory() { return timedMem_.get(); }
     picos::Picos &picos() { return *picos_; }
     manager::PicosManager &manager() { return *manager_; }
     BandwidthModel &bandwidth() { return bandwidth_; }
@@ -77,6 +81,7 @@ class System
     sim::Simulator sim_;
     BandwidthModel bandwidth_;
     std::unique_ptr<mem::CoherentMemory> memory_;
+    std::unique_ptr<mem::TimedMemory> timedMem_;
     std::unique_ptr<picos::Picos> picos_;
     std::unique_ptr<manager::PicosManager> manager_;
     std::vector<std::unique_ptr<Core>> cores_;

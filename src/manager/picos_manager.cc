@@ -12,15 +12,19 @@ PicosManager::PicosManager(const sim::Clock &clock, picos::Picos &picos,
                            sim::StatGroup &stats)
     : sim::Ticked("picosManager"), clock_(clock), picos_(picos),
       params_(params), stats_(stats),
-      finalBuffer_(clock, params.finalBufferDepth),
-      routingQueue_(clock, params.routingQueueDepth, /*latency=*/1),
-      roccReadyQueue_(clock, params.roccReadyQueueDepth)
+      finalBuffer_(clock, {params.finalBufferDepth, 0, 0}, &stats,
+                   "manager.finalBuffer"),
+      routingQueue_(clock, {params.routingQueueDepth, /*latency=*/1, 0},
+                    &stats, "manager.routingQueue", this),
+      roccReadyQueue_(clock, {params.roccReadyQueueDepth, 0, 0}, &stats,
+                      "manager.roccReadyQueue")
 {
     if (num_cores == 0)
         sim::fatal("PicosManager needs at least one core");
     ports_.reserve(num_cores);
     for (unsigned i = 0; i < num_cores; ++i)
-        ports_.emplace_back(clock, params);
+        ports_.emplace_back(clock, params, stats,
+                            "manager.core" + std::to_string(i), this);
     // The packet encoder consumes Picos's ready interface; have Picos wake
     // this manager when ready packets become visible to it.
     picos_.setReadyListener(this);
@@ -60,7 +64,6 @@ PicosManager::submissionRequest(CoreId core, unsigned num_packets)
     if (!ports_.at(core).requestQueue.push(num_packets))
         return false;
     ++stats_.scalar("manager.submissionRequests");
-    requestWake(ports_.at(core).requestQueue.nextReadyCycle());
     return true;
 }
 
@@ -70,7 +73,6 @@ PicosManager::submitPacket(CoreId core, std::uint32_t packet)
     if (!ports_.at(core).subBuffer.push(packet))
         return false;
     ++stats_.scalar("manager.packetsSubmitted");
-    requestWake(ports_.at(core).subBuffer.nextReadyCycle());
     return true;
 }
 
@@ -86,7 +88,6 @@ PicosManager::submitThreePackets(CoreId core, std::uint32_t p1,
     port.subBuffer.push(p3);
     stats_.scalar("manager.packetsSubmitted") += 3;
     ++stats_.scalar("manager.tripleSubmits");
-    requestWake(port.subBuffer.nextReadyCycle());
     return true;
 }
 
@@ -96,7 +97,6 @@ PicosManager::readyTaskRequest(CoreId core)
     if (!routingQueue_.push(core))
         return false;
     ++stats_.scalar("manager.workFetchRequests");
-    requestWake(routingQueue_.nextReadyCycle());
     return true;
 }
 
@@ -113,8 +113,7 @@ rocc::ReadyTuple
 PicosManager::popReady(CoreId core)
 {
     // Freed private-queue space may let the work-fetch arbiter deliver.
-    requestWake(clock_.now());
-    return ports_.at(core).readyQueue.pop();
+    return ports_.at(core).readyQueue.popAndWakeOwner();
 }
 
 bool
@@ -129,7 +128,6 @@ PicosManager::retirePush(CoreId core, std::uint32_t picos_id)
     if (!ports_.at(core).retireBuffer.push(picos_id))
         return false;
     ++stats_.scalar("manager.retirePackets");
-    requestWake(ports_.at(core).retireBuffer.nextReadyCycle());
     return true;
 }
 

@@ -29,7 +29,7 @@
 #include "picos/picos.hh"
 #include "rocc/task_packets.hh"
 #include "sim/clock.hh"
-#include "sim/queue.hh"
+#include "sim/port.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
 
@@ -90,20 +90,31 @@ class PicosManager : public sim::Ticked
     void reset();
 
   private:
+    /**
+     * The delegate-facing side of one core's link to the manager: four
+     * timed ports whose pushes/frees wake the manager through the kernel
+     * (the delegate itself executes synchronously on the hart timeline).
+     */
     struct CorePort
     {
-        CorePort(const sim::Clock &clock, const ManagerParams &p)
-            : requestQueue(clock, p.requestQueueDepth),
-              subBuffer(clock, p.subBufferDepth),
-              readyQueue(clock, p.coreReadyQueueDepth, /*latency=*/1),
-              retireBuffer(clock, p.retireBufferDepth, /*latency=*/1)
+        CorePort(const sim::Clock &clock, const ManagerParams &p,
+                 sim::StatGroup &stats, const std::string &prefix,
+                 sim::Ticked *owner)
+            : requestQueue(clock, {p.requestQueueDepth, 0, 0}, &stats,
+                           prefix + ".requestQueue", owner),
+              subBuffer(clock, {p.subBufferDepth, 0, 0}, &stats,
+                        prefix + ".subBuffer", owner),
+              readyQueue(clock, {p.coreReadyQueueDepth, /*latency=*/1, 0},
+                         &stats, prefix + ".readyQueue", owner),
+              retireBuffer(clock, {p.retireBufferDepth, /*latency=*/1, 0},
+                           &stats, prefix + ".retireBuffer", owner)
         {
         }
 
-        sim::TimedFifo<unsigned> requestQueue;       // announced burst sizes
-        sim::TimedFifo<std::uint32_t> subBuffer;     // submission packets
-        sim::TimedFifo<rocc::ReadyTuple> readyQueue; // private ready queue
-        sim::TimedFifo<std::uint32_t> retireBuffer;  // retirement packets
+        sim::TimedPort<unsigned> requestQueue;       // announced burst sizes
+        sim::TimedPort<std::uint32_t> subBuffer;     // submission packets
+        sim::TimedPort<rocc::ReadyTuple> readyQueue; // private ready queue
+        sim::TimedPort<std::uint32_t> retireBuffer;  // retirement packets
     };
 
     void tickSubmissionHandler();
@@ -123,11 +134,11 @@ class PicosManager : public sim::Ticked
     unsigned burstRemaining_ = 0; ///< non-zero packets left in the burst
     unsigned padRemaining_ = 0;   ///< zero packets left to inject
     unsigned rrSubNext_ = 0;      ///< round-robin scan start
-    sim::TimedFifo<std::uint32_t> finalBuffer_;
+    sim::TimedPort<std::uint32_t> finalBuffer_;
 
     // Work-fetch path.
-    sim::TimedFifo<CoreId> routingQueue_;
-    sim::TimedFifo<rocc::ReadyTuple> roccReadyQueue_;
+    sim::TimedPort<CoreId> routingQueue_;
+    sim::TimedPort<rocc::ReadyTuple> roccReadyQueue_;
     std::uint32_t encodeBuf_[3] = {0, 0, 0};
     unsigned encodeCount_ = 0;
 

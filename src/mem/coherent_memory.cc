@@ -68,10 +68,11 @@ CoherentMemory::allocLine(CoreId core, Addr line)
 
 Cycle
 CoherentMemory::snoopRemotes(CoreId core, Addr line, bool exclusive_intent,
-                             bool &had_sharers)
+                             bool &had_sharers, bool &had_dirty)
 {
     Cycle extra = 0;
     had_sharers = false;
+    had_dirty = false;
     for (CoreId c = 0; c < l1s_.size(); ++c) {
         if (c == core)
             continue;
@@ -81,6 +82,7 @@ CoherentMemory::snoopRemotes(CoreId core, Addr line, bool exclusive_intent,
         had_sharers = true;
         if (w->state == LineState::Modified) {
             // MESI: dirty data travels through main memory.
+            had_dirty = true;
             extra += params_.dirtyRemoteExtra;
             ++stats_.scalar("mem.dirtyRemoteTransfers");
         }
@@ -98,48 +100,57 @@ CoherentMemory::snoopRemotes(CoreId core, Addr line, bool exclusive_intent,
     return extra;
 }
 
-Cycle
-CoherentMemory::read(CoreId core, Addr addr)
+CoherentMemory::AccessDetail
+CoherentMemory::access(CoreId core, Addr addr, MemOp op)
 {
-    ++useClock_;
-    const Addr line = lineAddr(addr);
-    ++stats_.scalar("mem.reads");
-
-    if (Way *w = findLine(core, line)) {
-        w->lastUse = useClock_;
-        return params_.hitLatency;
+    if (op == MemOp::Atomic) {
+        ++stats_.scalar("mem.atomics");
+        AccessDetail d = access(core, addr, MemOp::Write);
+        d.latency += params_.atomicExtra;
+        return d;
     }
 
-    ++stats_.scalar("mem.readMisses");
-    bool had_sharers = false;
-    Cycle extra = snoopRemotes(core, line, /*exclusive_intent=*/false,
-                               had_sharers);
-    Way *w = allocLine(core, line);
-    w->valid = true;
-    w->tag = line;
-    w->lastUse = useClock_;
-    w->state = had_sharers ? LineState::Shared : LineState::Exclusive;
-    return params_.hitLatency + params_.missLatency + extra;
-}
-
-Cycle
-CoherentMemory::write(CoreId core, Addr addr)
-{
     ++useClock_;
     const Addr line = lineAddr(addr);
-    ++stats_.scalar("mem.writes");
+    AccessDetail d;
 
+    if (op == MemOp::Read) {
+        ++stats_.scalar("mem.reads");
+        if (Way *w = findLine(core, line)) {
+            w->lastUse = useClock_;
+            d.hit = true;
+            d.latency = params_.hitLatency;
+            return d;
+        }
+        ++stats_.scalar("mem.readMisses");
+        bool had_sharers = false;
+        const Cycle extra = snoopRemotes(
+            core, line, /*exclusive_intent=*/false, had_sharers,
+            d.dirtyTransfer);
+        Way *w = allocLine(core, line);
+        w->valid = true;
+        w->tag = line;
+        w->lastUse = useClock_;
+        w->state = had_sharers ? LineState::Shared : LineState::Exclusive;
+        d.refill = true;
+        d.latency = params_.hitLatency + params_.missLatency + extra;
+        return d;
+    }
+
+    ++stats_.scalar("mem.writes");
     Way *w = findLine(core, line);
     if (w && (w->state == LineState::Modified ||
               w->state == LineState::Exclusive)) {
         w->state = LineState::Modified;
         w->lastUse = useClock_;
-        return params_.hitLatency;
+        d.hit = true;
+        d.latency = params_.hitLatency;
+        return d;
     }
 
     bool had_sharers = false;
-    Cycle extra = snoopRemotes(core, line, /*exclusive_intent=*/true,
-                               had_sharers);
+    const Cycle extra = snoopRemotes(core, line, /*exclusive_intent=*/true,
+                                     had_sharers, d.dirtyTransfer);
     Cycle lat = params_.hitLatency + extra;
     if (w) {
         // Shared -> Modified upgrade; no refill needed.
@@ -147,20 +158,43 @@ CoherentMemory::write(CoreId core, Addr addr)
     } else {
         ++stats_.scalar("mem.writeMisses");
         lat += params_.missLatency;
+        d.refill = true;
         w = allocLine(core, line);
         w->valid = true;
         w->tag = line;
     }
     w->state = LineState::Modified;
     w->lastUse = useClock_;
-    return lat;
+    d.latency = lat;
+    return d;
+}
+
+Cycle
+CoherentMemory::read(CoreId core, Addr addr)
+{
+    return access(core, addr, MemOp::Read).latency;
+}
+
+Cycle
+CoherentMemory::write(CoreId core, Addr addr)
+{
+    return access(core, addr, MemOp::Write).latency;
 }
 
 Cycle
 CoherentMemory::atomicRmw(CoreId core, Addr addr)
 {
-    ++stats_.scalar("mem.atomics");
-    return write(core, addr) + params_.atomicExtra;
+    return access(core, addr, MemOp::Atomic).latency;
+}
+
+bool
+CoherentMemory::probeHit(CoreId core, Addr addr, MemOp op) const
+{
+    const Way *w = findLine(core, lineAddr(addr));
+    if (!w)
+        return false;
+    return op == MemOp::Read || w->state == LineState::Modified ||
+           w->state == LineState::Exclusive;
 }
 
 Cycle

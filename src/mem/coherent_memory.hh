@@ -33,12 +33,28 @@ namespace picosim::mem
 /** MESI stable states. */
 enum class LineState : std::uint8_t { Invalid, Shared, Exclusive, Modified };
 
+/** Kinds of line-granular accesses the model distinguishes. */
+enum class MemOp : std::uint8_t { Read, Write, Atomic };
+
 /**
  * All L1s plus main memory of one simulated system.
  */
 class CoherentMemory
 {
   public:
+    /**
+     * Functional outcome of one access: the inline latency plus the
+     * classification the timed front-end (TimedMemory) needs to decide
+     * which shared resources — bus, main memory — the access occupies.
+     */
+    struct AccessDetail
+    {
+        Cycle latency = 0;        ///< zero-contention (inline) latency
+        bool hit = false;         ///< satisfied entirely by the local L1
+        bool refill = false;      ///< line filled from main memory
+        bool dirtyTransfer = false; ///< remote Modified moved through memory
+    };
+
     CoherentMemory(unsigned num_cores, const MemParams &params);
 
     /** Load one word in the line containing @p addr. @return latency. */
@@ -49,6 +65,20 @@ class CoherentMemory
 
     /** Atomic read-modify-write (amoadd & friends). @return latency. */
     Cycle atomicRmw(CoreId core, Addr addr);
+
+    /**
+     * Perform one access, updating tag/sharer state exactly as the plain
+     * read/write/atomicRmw entry points do (which are thin wrappers over
+     * this), and report the classification alongside the latency.
+     */
+    AccessDetail access(CoreId core, Addr addr, MemOp op);
+
+    /**
+     * Non-mutating hit test: would an access of @p op kind be satisfied
+     * by @p core's L1 alone? (Writes and atomics need M or E.) Used by
+     * the timed front-end for MSHR allocation before committing.
+     */
+    bool probeHit(CoreId core, Addr addr, MemOp op) const;
 
     /**
      * Charge the latency of touching @p lines distinct lines of payload
@@ -96,7 +126,7 @@ class CoherentMemory
      * @return extra latency due to remote state.
      */
     Cycle snoopRemotes(CoreId core, Addr line, bool exclusive_intent,
-                       bool &had_sharers);
+                       bool &had_sharers, bool &had_dirty);
 
     MemParams params_;
     std::vector<L1> l1s_;

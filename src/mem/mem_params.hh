@@ -11,13 +11,37 @@
 #ifndef PICOSIM_MEM_MEM_PARAMS_HH
 #define PICOSIM_MEM_MEM_PARAMS_HH
 
+#include <algorithm>
+#include <cstdint>
+
 #include "sim/types.hh"
 
 namespace picosim::mem
 {
 
+/** Memory-subsystem evaluation strategy. */
+enum class MemMode : std::uint8_t
+{
+    /**
+     * Functional-latency mode: every access charges its full latency
+     * inline on the issuing hart with zero bus occupancy. Fast, and the
+     * seed-golden baseline.
+     */
+    Inline,
+
+    /**
+     * Timed mode: accesses flow through per-core L1 front-ends with a
+     * bounded number of MSHRs, a shared bus, and main memory with
+     * occupancy (TimedMemory). Uncontended blocking accesses cost exactly
+     * the inline latency; contention and burst parallelism emerge from
+     * the port schedule.
+     */
+    Timed,
+};
+
 struct MemParams
 {
+    MemMode mode = MemMode::Inline;
     unsigned lineBytes = 64;
 
     /** 32 KiB / 64 B line / 8 ways = 64 sets. */
@@ -45,6 +69,30 @@ struct MemParams
 
     /** Extra cycles for an atomic read-modify-write beyond the write path. */
     Cycle atomicExtra = 6;
+
+    // -- Timed-mode structure (ignored in MemMode::Inline) --
+
+    /** Outstanding misses per core's L1 (MSHR entries). */
+    unsigned mshrs = 4;
+
+    /**
+     * Shared-bus width in bytes per cycle; a line transfer occupies the
+     * bus for lineBytes / busBytesPerCycle cycles.
+     */
+    unsigned busBytesPerCycle = 16;
+
+    /** Main-memory occupancy per refill (a dirty transfer pays twice:
+     *  the owner's writeback plus the requester's refill). */
+    Cycle memOccupancy = 8;
+
+    /** Bus cycles one coherence/refill transaction occupies. */
+    Cycle
+    busOccupancy() const
+    {
+        return busBytesPerCycle == 0
+                   ? 1
+                   : std::max<Cycle>(1, lineBytes / busBytesPerCycle);
+    }
 };
 
 } // namespace picosim::mem

@@ -31,6 +31,8 @@ struct CostModel
     Cycle dealloc = 260;
     Cycle mutexLock = 240;   ///< pthread fast path incl. fences
     Cycle mutexUnlock = 180;
+    std::uint64_t mutexSpinLimit = 512; ///< failed CASes before the futex sleep path
+                                  ///  (calibrated runs peak near 116)
     Cycle condSignal = 900;  ///< futex syscall
     Cycle condWake = 2600;   ///< sleep + wake round trip
 

@@ -45,6 +45,18 @@ makeRuntime(RuntimeKind kind, const CostModel &cm)
     sim::fatal("unknown runtime kind");
 }
 
+void
+fillContentionStats(RunResult &res, cpu::System &sys)
+{
+    const auto stat = [&sys](const char *name) {
+        return static_cast<std::uint64_t>(sys.stats().scalarValue(name));
+    };
+    res.busTransactions = stat("port.membus.grants");
+    res.busStallCycles = stat("port.membus.stallCycles");
+    res.dramStallCycles = stat("port.dram.stallCycles");
+    res.mshrStallCycles = stat("mem.timed.mshrStallCycles");
+}
+
 RunResult
 runProgram(RuntimeKind kind, const Program &prog,
            const HarnessParams &params)
@@ -69,6 +81,7 @@ runProgram(RuntimeKind kind, const Program &prog,
     res.evaluatedCycles = sys.simulator().evaluatedCycles();
     res.componentTicks = sys.simulator().componentTicks();
     res.tickWorldTicks = sys.simulator().tickWorldTicks();
+    fillContentionStats(res, sys);
     if (!res.completed) {
         PSIM_WARN(sys.clock(), "harness",
                   res.runtime << " did not complete " << prog.name << " ("

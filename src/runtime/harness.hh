@@ -43,6 +43,10 @@ struct HarnessParams
 RunResult runProgram(RuntimeKind kind, const Program &prog,
                      const HarnessParams &params = {});
 
+/** Copy the interconnect/memory contention counters of a finished run
+ *  (timed memory mode; zeros under MemMode::Inline) into @p res. */
+void fillContentionStats(RunResult &res, cpu::System &sys);
+
 /** Run serial + the given runtime and fill in the speedup baseline. */
 RunResult runWithSpeedup(RuntimeKind kind, const Program &prog,
                          const HarnessParams &params = {});

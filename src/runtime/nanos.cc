@@ -31,6 +31,12 @@ Nanos::install(cpu::System &sys, const Program &prog)
     sys_ = &sys;
     prog_ = &prog;
     outstandingReq_.assign(sys.numCores(), 0);
+    if (variant_ == Variant::AXI) {
+        // The loosely-coupled baseline reaches the delegate over MMIO;
+        // publish the calibrated link costs as the harts' loose link.
+        for (CoreId c = 0; c < sys.numCores(); ++c)
+            sys.hartApi(c).setLooseLink({cm_.axiWrite, cm_.axiRead});
+    }
     sys.installThread(0, master(sys.hartApi(0)));
     for (CoreId c = 1; c < sys.numCores(); ++c)
         sys.installThread(c, worker(sys.hartApi(c)));
@@ -135,7 +141,7 @@ Nanos::hwSubmitAxi(cpu::HartApi &api, const Task &task)
                        cm_.axiPerDep * task.deps.size());
     for (unsigned l = 0; l < 3; ++l) // 48 * 4B descriptor = 3 lines
         co_await api.write(0x6000'0000 + task.id * 256 + l * 64);
-    co_await api.delay(cm_.axiWrite); // doorbell
+    co_await api.looseIssue(); // doorbell
 
     rocc::TaskDescriptor desc;
     desc.swId = task.id;
@@ -147,7 +153,7 @@ Nanos::hwSubmitAxi(cpu::HartApi &api, const Task &task)
     while (!del.submissionRequest(rocc::kDescriptorPackets)) {
         // Request queue full: poll status, then help drain the system by
         // running a ready task (the master doubles as a worker).
-        co_await api.delay(cm_.axiRead);
+        co_await api.looseResponse();
         const bool ran = co_await tryExecuteOne(api);
         if (!ran)
             co_await api.delay(cm_.nanosIdleBackoff);
@@ -232,15 +238,15 @@ Nanos::hwFetchToCentral(cpu::HartApi &api)
     // AXI: poll the accelerator's ready registers over MMIO.
     auto &del = api.delegateRef();
     if (outstandingReq_[c] == 0) {
-        co_await api.delay(cm_.axiWrite);
+        co_await api.looseIssue();
         if (del.readyTaskRequest())
             ++outstandingReq_[c];
     }
-    co_await api.delay(cm_.axiRead);
+    co_await api.looseResponse();
     const auto sw = del.fetchSwId();
     if (!sw)
         co_return false;
-    co_await api.delay(cm_.axiRead);
+    co_await api.looseResponse();
     const auto pid = del.fetchPicosId();
     if (!pid)
         sim::panic("AXI FetchPicosId failed after FetchSwId");
@@ -280,7 +286,7 @@ Nanos::retire(cpu::HartApi &api, const Task &task)
         const auto it = picosIdBySw_.find(task.id);
         if (it == picosIdBySw_.end())
             sim::panic("Nanos-AXI retire without Picos ID");
-        co_await api.delay(cm_.axiWrite);
+        co_await api.looseIssue();
         auto &del = api.delegateRef();
         if (!del.retireCanAccept()) {
             auto *d = &del;

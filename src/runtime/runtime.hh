@@ -67,6 +67,13 @@ struct RunResult
     std::uint64_t componentTicks = 0;  ///< component evaluations performed
     std::uint64_t tickWorldTicks = 0;  ///< tick-the-world baseline ticks
 
+    // -- Interconnect/memory contention (timed memory mode; zero under
+    //    MemMode::Inline, which models no occupancy) --
+    std::uint64_t busTransactions = 0; ///< coherence/refill bus grants
+    std::uint64_t busStallCycles = 0;  ///< cycles waited for the shared bus
+    std::uint64_t dramStallCycles = 0; ///< cycles refills waited for DRAM
+    std::uint64_t mshrStallCycles = 0; ///< issue slots delayed by full MSHRs
+
     double
     speedup() const
     {

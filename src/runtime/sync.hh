@@ -12,6 +12,7 @@
 #define PICOSIM_RUNTIME_SYNC_HH
 
 #include <algorithm>
+#include <deque>
 
 #include "cpu/hart_api.hh"
 #include "runtime/cost_model.hh"
@@ -26,24 +27,55 @@ struct SimLock
     Addr lineAddr = 0;
     std::uint64_t acquisitions = 0;
     std::uint64_t contentions = 0;
+    std::uint64_t maxSpinStreak = 0; ///< longest run of failed CASes
+    std::uint64_t sleeps = 0;        ///< futex waits taken
+
+    /** FIFO of harts sleeping on the futex (cores past the spin limit). */
+    std::deque<CoreId> sleepers;
+
+    /** Core a release handed the still-held lock to; -1 when none. */
+    int handoffTo = -1;
 };
 
 /**
  * Acquire: test-and-set with backoff. The CAS takes effect atomically at
  * the end of the RMW latency (no suspension between the test and the set,
  * so two harts waking in the same cycle cannot both win).
+ *
+ * The spin is bounded, like the adaptive mutex this models: after
+ * mutexSpinLimit consecutive failed CASes the waiter parks on the
+ * lock's futex queue and the next release hands ownership over directly
+ * (FIFO). The handoff is essential in a deterministic simulation: a
+ * parked waiter that merely retried on release would race CASes that
+ * spinners issued while the lock was still held, and with every latency
+ * deterministic it can lose that race forever — a livelock the timed
+ * memory model's contention latencies actually exposed. The spin limit
+ * is far above any streak the calibrated runs reach, so the fast path
+ * (and the seed-golden cycle counts) are untouched.
  */
 inline sim::CoTask<void>
 lockAcquire(cpu::HartApi &api, SimLock &lock, const CostModel &cm)
 {
     Cycle backoff = 24;
+    std::uint64_t attempts = 0;
     while (true) {
         co_await api.atomicRmw(lock.lineAddr);
-        if (!lock.held) {
+        if (!lock.held && lock.handoffTo < 0) {
             lock.held = true;
             break;
         }
         ++lock.contentions;
+        lock.maxSpinStreak = std::max(lock.maxSpinStreak, ++attempts);
+        if (attempts >= cm.mutexSpinLimit) {
+            ++lock.sleeps;
+            const CoreId me = api.coreId();
+            lock.sleepers.push_back(me);
+            SimLock *l = &lock;
+            co_await sim::WaitUntil{
+                [l, me] { return l->handoffTo == static_cast<int>(me); }};
+            lock.handoffTo = -1; // ownership received; held stayed true
+            break;
+        }
         co_await api.delay(backoff);
         backoff = std::min<Cycle>(backoff * 2, 384);
     }
@@ -51,13 +83,20 @@ lockAcquire(cpu::HartApi &api, SimLock &lock, const CostModel &cm)
     co_await api.delay(cm.mutexLock);
 }
 
-/** Release: charge cost, write the lock line, free waiters. */
+/** Release: charge cost, write the lock line, free waiters. A parked
+ *  waiter (if any) is handed the still-held lock FIFO; spinners see the
+ *  lock busy throughout, so sleepers cannot be starved by CAS races. */
 inline sim::CoTask<void>
 lockRelease(cpu::HartApi &api, SimLock &lock, const CostModel &cm)
 {
     co_await api.delay(cm.mutexUnlock);
     co_await api.write(lock.lineAddr);
-    lock.held = false;
+    if (!lock.sleepers.empty()) {
+        lock.handoffTo = static_cast<int>(lock.sleepers.front());
+        lock.sleepers.pop_front();
+    } else {
+        lock.held = false;
+    }
 }
 
 } // namespace picosim::rt

@@ -29,6 +29,32 @@ withMode(sim::EvalMode mode)
     return hp;
 }
 
+HarnessParams
+withTimedMem(sim::EvalMode mode)
+{
+    HarnessParams hp = withMode(mode);
+    hp.system.mem.mode = mem::MemMode::Timed;
+    return hp;
+}
+
+Program
+namedWorkload(const char *name)
+{
+    return std::string(name) == "task-free" ? apps::taskFree(256, 1, 1000)
+                                            : apps::taskChain(256, 1, 1000);
+}
+
+std::string
+testName(const char *workload, RuntimeKind kind)
+{
+    std::string name = std::string(workload) + "_" +
+                       std::string(kindName(kind));
+    for (char &c : name)
+        if (c == '-')
+            c = '_';
+    return name;
+}
+
 } // namespace
 
 struct GoldenRun
@@ -45,9 +71,7 @@ class SeedGolden : public ::testing::TestWithParam<GoldenRun>
 TEST_P(SeedGolden, CyclesMatchSeedKernel)
 {
     const GoldenRun &g = GetParam();
-    const Program prog = std::string(g.workload) == "task-free"
-                             ? apps::taskFree(256, 1, 1000)
-                             : apps::taskChain(256, 1, 1000);
+    const Program prog = namedWorkload(g.workload);
     const RunResult res = runProgram(g.kind, prog);
     EXPECT_TRUE(res.completed);
     EXPECT_EQ(res.cycles, g.cycles);
@@ -69,12 +93,50 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenRun{"task-chain", RuntimeKind::NanosAXI, 3'097'835},
         GoldenRun{"task-chain", RuntimeKind::Phentos, 289'118}),
     [](const auto &info) {
-        std::string name = std::string(info.param.workload) + "_" +
-                           std::string(kindName(info.param.kind));
-        for (char &c : name)
-            if (c == '-')
-                c = '_';
-        return name;
+        return testName(info.param.workload, info.param.kind);
+    });
+
+/**
+ * Timed-memory goldens: pinned at the introduction of MemMode::Timed so
+ * later PRs cannot silently shift the contention model, plus the core
+ * invariant that the event-driven and tick-the-world kernels stay
+ * bit-identical under the timed memory subsystem.
+ */
+class TimedGolden : public ::testing::TestWithParam<GoldenRun>
+{
+};
+
+TEST_P(TimedGolden, KernelsAgreeAndMatchGolden)
+{
+    const GoldenRun &g = GetParam();
+    const Program prog = namedWorkload(g.workload);
+
+    const RunResult ev =
+        runProgram(g.kind, prog, withTimedMem(sim::EvalMode::EventDriven));
+    const RunResult tw =
+        runProgram(g.kind, prog, withTimedMem(sim::EvalMode::TickWorld));
+
+    EXPECT_TRUE(ev.completed);
+    EXPECT_TRUE(tw.completed);
+    EXPECT_EQ(ev.cycles, tw.cycles);
+    EXPECT_EQ(ev.cycles, g.cycles);
+}
+
+// Golden values captured from the introduction of the timed memory
+// subsystem (default MemParams structure, 8 cores; serial forced to 1).
+// A single uncontended hart charges exactly the inline latencies, so the
+// serial rows must equal the inline goldens above.
+INSTANTIATE_TEST_SUITE_P(
+    TimedMem, TimedGolden,
+    ::testing::Values(
+        GoldenRun{"task-free", RuntimeKind::Serial, 257'280},
+        GoldenRun{"task-free", RuntimeKind::Phentos, 51'558},
+        GoldenRun{"task-free", RuntimeKind::NanosRV, 967'598},
+        GoldenRun{"task-chain", RuntimeKind::Serial, 257'280},
+        GoldenRun{"task-chain", RuntimeKind::Phentos, 291'785},
+        GoldenRun{"task-chain", RuntimeKind::NanosAXI, 7'533'015}),
+    [](const auto &info) {
+        return testName(info.param.workload, info.param.kind);
     });
 
 class ModeEquivalence : public ::testing::TestWithParam<RuntimeKind>

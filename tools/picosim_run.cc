@@ -7,7 +7,8 @@
  * Usage:
  *   picosim_run [--list] [--workload=NAME[,NAME...]] [--runtime=KIND]
  *               [--cores=N] [--jobs=N] [--mode=event|tickworld]
- *               [--stats] [--trace=FILE.json]
+ *               [--mem=inline|timed] [--mshrs=N] [--bus-bytes=N]
+ *               [--mem-occupancy=N] [--stats] [--trace=FILE.json]
  *
  *   NAME: a Figure-9 input label substring, e.g. "blackscholes 4K B8",
  *         or one of: task-free, task-chain.
@@ -15,6 +16,9 @@
  *   --jobs: worker threads for multi-workload batches (default: hardware
  *           concurrency).
  *   --mode: kernel evaluation strategy (default: event).
+ *   --mem:  memory model (default: inline). timed routes accesses through
+ *           the contention-aware subsystem; --mshrs, --bus-bytes and
+ *           --mem-occupancy tune its structure.
  *
  * --stats / --trace need the simulated System inspectable after the run,
  * so they force the single-workload in-process path.
@@ -40,6 +44,11 @@ using namespace picosim;
 
 namespace
 {
+
+constexpr const char *kValidRuntimes =
+    "serial, nanos-sw, nanos-rv, nanos-axi, phentos";
+constexpr const char *kValidMemModes = "inline, timed";
+constexpr const char *kValidModes = "event, tickworld";
 
 std::optional<rt::RuntimeKind>
 parseKind(const std::string &s)
@@ -141,6 +150,14 @@ printResult(const rt::RunResult &res, unsigned cores)
                         : static_cast<double>(res.tickWorldTicks) /
                               static_cast<double>(res.componentTicks));
     }
+    if (res.busTransactions > 0) {
+        std::printf("contention: %llu bus transactions; stall cycles "
+                    "bus %llu, dram %llu, mshr %llu\n",
+                    static_cast<unsigned long long>(res.busTransactions),
+                    static_cast<unsigned long long>(res.busStallCycles),
+                    static_cast<unsigned long long>(res.dramStallCycles),
+                    static_cast<unsigned long long>(res.mshrStallCycles));
+    }
 }
 
 /** Single-workload path with the System kept inspectable (stats/trace). */
@@ -186,6 +203,7 @@ runInspectable(const std::string &wl, rt::RuntimeKind kind,
     res.evaluatedCycles = sys.simulator().evaluatedCycles();
     res.componentTicks = sys.simulator().componentTicks();
     res.tickWorldTicks = sys.simulator().tickWorldTicks();
+    rt::fillContentionStats(res, sys);
     printResult(res, sys.numCores());
 
     if (trace_path) {
@@ -215,6 +233,7 @@ main(int argc, char **argv)
                         input.label.c_str());
         std::printf("runtimes: serial nanos-sw nanos-rv nanos-axi "
                     "phentos\n");
+        std::printf("memory models: inline timed\n");
         return 0;
     }
 
@@ -225,7 +244,8 @@ main(int argc, char **argv)
 
     const auto kind = parseKind(rtname);
     if (!kind) {
-        std::fprintf(stderr, "unknown runtime '%s'\n", rtname.c_str());
+        std::fprintf(stderr, "unknown runtime '%s' (valid: %s)\n",
+                     rtname.c_str(), kValidRuntimes);
         return 1;
     }
 
@@ -246,9 +266,46 @@ main(int argc, char **argv)
         } else if (*mode == "tickworld") {
             hp.system.evalMode = sim::EvalMode::TickWorld;
         } else {
-            std::fprintf(stderr, "unknown mode '%s'\n", mode->c_str());
+            std::fprintf(stderr, "unknown mode '%s' (valid: %s)\n",
+                         mode->c_str(), kValidModes);
             return 1;
         }
+    }
+    if (auto memmode = argValue(argc, argv, "--mem")) {
+        if (*memmode == "inline") {
+            hp.system.mem.mode = mem::MemMode::Inline;
+        } else if (*memmode == "timed") {
+            hp.system.mem.mode = mem::MemMode::Timed;
+        } else {
+            std::fprintf(stderr, "unknown memory model '%s' (valid: %s)\n",
+                         memmode->c_str(), kValidMemModes);
+            return 1;
+        }
+    }
+    const auto memStructure =
+        [&](const char *flag, auto apply) -> bool {
+        const auto v = argValue(argc, argv, flag);
+        if (!v)
+            return true;
+        const auto n = parseUnsigned(*v);
+        if (!n || *n == 0) {
+            std::fprintf(stderr, "%s needs a positive integer, got '%s'\n",
+                         flag, v->c_str());
+            return false;
+        }
+        apply(*n);
+        return true;
+    };
+    if (!memStructure("--mshrs",
+                      [&](unsigned n) { hp.system.mem.mshrs = n; }) ||
+        !memStructure("--bus-bytes",
+                      [&](unsigned n) {
+                          hp.system.mem.busBytesPerCycle = n;
+                      }) ||
+        !memStructure("--mem-occupancy", [&](unsigned n) {
+            hp.system.mem.memOccupancy = n;
+        })) {
+        return 1;
     }
     unsigned jobs = 0;
     if (auto j = argValue(argc, argv, "--jobs")) {
