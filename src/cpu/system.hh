@@ -1,8 +1,14 @@
 /**
  * @file
  * Assembly of one complete simulated system: N cores with delegates, the
- * Picos Manager, Picos, the coherent memory model and the kernel
- * (paper Figure 2).
+ * Picos Manager(s), the dependence-management scheduler, the coherent
+ * memory model and the kernel (paper Figure 2).
+ *
+ * With the default topology (1 shard, 1 cluster) the paper's single
+ * centralized Picos is constructed, bit-identical to the seed model.
+ * Larger topologies group cores into clusters — one PicosManager each —
+ * in front of a ShardedPicos whose dependence table is address-
+ * interleaved over N shards (the many-core scaling layer).
  */
 
 #ifndef PICOSIM_CPU_SYSTEM_HH
@@ -19,6 +25,8 @@
 #include "mem/coherent_memory.hh"
 #include "mem/mem_subsystem.hh"
 #include "picos/picos.hh"
+#include "picos/sharded_picos.hh"
+#include "picos/topology.hh"
 #include "sim/kernel.hh"
 
 namespace picosim::cpu
@@ -28,6 +36,7 @@ struct SystemParams
 {
     unsigned numCores = 8;
     picos::PicosParams picos{};
+    picos::TopologyParams topology{};
     manager::ManagerParams manager{};
     mem::MemParams mem{};
     HartApiParams hartApi{};
@@ -54,8 +63,28 @@ class System
 
     /** Timed memory subsystem; nullptr when mem.mode == MemMode::Inline. */
     mem::TimedMemory *timedMemory() { return timedMem_.get(); }
-    picos::Picos &picos() { return *picos_; }
-    manager::PicosManager &manager() { return *manager_; }
+
+    /** The single centralized Picos; only valid in the default
+     *  (1 shard, 1 cluster) topology — panics otherwise. */
+    picos::Picos &picos();
+
+    /** The sharded scheduler; nullptr in the single-Picos topology. */
+    picos::ShardedPicos *sharded() { return sharded_.get(); }
+
+    unsigned numClusters() const
+    {
+        return static_cast<unsigned>(managers_.size());
+    }
+
+    /** Cluster that core @p i belongs to (contiguous, balanced blocks). */
+    unsigned clusterOfCore(CoreId i) const;
+
+    /** Manager of cluster @p cluster (the only one by default). */
+    manager::PicosManager &manager(unsigned cluster = 0)
+    {
+        return *managers_.at(cluster);
+    }
+
     BandwidthModel &bandwidth() { return bandwidth_; }
 
     /** Install a software thread on core @p i. */
@@ -77,13 +106,17 @@ class System
     const SystemParams &params() const { return params_; }
 
   private:
+    /** First core of @p cluster (balanced contiguous blocks). */
+    unsigned clusterBegin(unsigned cluster) const;
+
     SystemParams params_;
     sim::Simulator sim_;
     BandwidthModel bandwidth_;
     std::unique_ptr<mem::CoherentMemory> memory_;
     std::unique_ptr<mem::TimedMemory> timedMem_;
     std::unique_ptr<picos::Picos> picos_;
-    std::unique_ptr<manager::PicosManager> manager_;
+    std::unique_ptr<picos::ShardedPicos> sharded_;
+    std::vector<std::unique_ptr<manager::PicosManager>> managers_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<delegate::PicosDelegate>> delegates_;
     std::vector<std::unique_ptr<HartApi>> hartApis_;

@@ -8,8 +8,14 @@ namespace picosim::delegate
 {
 
 PicosDelegate::PicosDelegate(CoreId core, manager::PicosManager &mgr,
+                             sim::StatGroup &stats, CoreId mgr_port)
+    : core_(core), port_(mgr_port), mgr_(mgr), stats_(stats)
+{
+}
+
+PicosDelegate::PicosDelegate(CoreId core, manager::PicosManager &mgr,
                              sim::StatGroup &stats)
-    : core_(core), mgr_(mgr), stats_(stats)
+    : PicosDelegate(core, mgr, stats, core)
 {
 }
 
@@ -23,14 +29,14 @@ bool
 PicosDelegate::submissionRequest(unsigned num_packets)
 {
     count("submissionRequest");
-    return mgr_.submissionRequest(core_, num_packets);
+    return mgr_.submissionRequest(port_, num_packets);
 }
 
 bool
 PicosDelegate::submitPacket(std::uint32_t packet)
 {
     count("submitPacket");
-    return mgr_.submitPacket(core_, packet);
+    return mgr_.submitPacket(port_, packet);
 }
 
 bool
@@ -40,21 +46,21 @@ PicosDelegate::submitThreePackets(std::uint64_t rs1, std::uint64_t rs2)
     const auto p1 = static_cast<std::uint32_t>(rs1 >> 32);
     const auto p2 = static_cast<std::uint32_t>(rs1 & 0xffffffffu);
     const auto p3 = static_cast<std::uint32_t>(rs2 & 0xffffffffu);
-    return mgr_.submitThreePackets(core_, p1, p2, p3);
+    return mgr_.submitThreePackets(port_, p1, p2, p3);
 }
 
 bool
 PicosDelegate::readyTaskRequest()
 {
     count("readyTaskRequest");
-    return mgr_.readyTaskRequest(core_);
+    return mgr_.readyTaskRequest(port_);
 }
 
 std::optional<std::uint64_t>
 PicosDelegate::fetchSwId()
 {
     count("fetchSwId");
-    const auto front = mgr_.peekReady(core_);
+    const auto front = mgr_.peekReady(port_);
     if (!front)
         return std::nullopt;
     swIdFetched_ = true;
@@ -65,23 +71,23 @@ std::optional<std::uint32_t>
 PicosDelegate::fetchPicosId()
 {
     count("fetchPicosId");
-    if (!swIdFetched_ || !mgr_.peekReady(core_))
+    if (!swIdFetched_ || !mgr_.peekReady(port_))
         return std::nullopt;
     swIdFetched_ = false;
-    return mgr_.popReady(core_).picosId;
+    return mgr_.popReady(port_).picosId;
 }
 
 bool
 PicosDelegate::retireCanAccept() const
 {
-    return mgr_.retireCanAccept(core_);
+    return mgr_.retireCanAccept(port_);
 }
 
 void
 PicosDelegate::retireTask(std::uint32_t picos_id)
 {
     count("retireTask");
-    if (!mgr_.retirePush(core_, picos_id))
+    if (!mgr_.retirePush(port_, picos_id))
         sim::panic("retireTask pushed without retireCanAccept");
 }
 

@@ -47,10 +47,19 @@ inline constexpr std::uint64_t kFailureValue = ~std::uint64_t{0};
 class PicosDelegate
 {
   public:
+    /**
+     * @param mgr_port Port index of this core on @p mgr. Equals the
+     *        global core id by default; clustered topologies pass the
+     *        cluster-local index (each cluster's manager numbers its
+     *        cores from zero).
+     */
+    PicosDelegate(CoreId core, manager::PicosManager &mgr,
+                  sim::StatGroup &stats, CoreId mgr_port);
     PicosDelegate(CoreId core, manager::PicosManager &mgr,
                   sim::StatGroup &stats);
 
     CoreId coreId() const { return core_; }
+    CoreId managerPort() const { return port_; }
 
     /**
      * Execute one decoded RoCC instruction against the manager. rs1/rs2
@@ -92,6 +101,7 @@ class PicosDelegate
 
   private:
     CoreId core_;
+    CoreId port_; ///< this core's port index on mgr_
     manager::PicosManager &mgr_;
     sim::StatGroup &stats_;
 

@@ -7,27 +7,30 @@
 namespace picosim::manager
 {
 
-PicosManager::PicosManager(const sim::Clock &clock, picos::Picos &picos,
-                           unsigned num_cores, const ManagerParams &params,
-                           sim::StatGroup &stats)
-    : sim::Ticked("picosManager"), clock_(clock), picos_(picos),
-      params_(params), stats_(stats),
+PicosManager::PicosManager(const sim::Clock &clock,
+                           picos::SchedulerIf &sched, unsigned num_cores,
+                           const ManagerParams &params,
+                           sim::StatGroup &stats, const std::string &prefix)
+    : sim::Ticked(prefix == "manager" ? "picosManager"
+                                      : "picosManager." + prefix),
+      clock_(clock), sched_(sched), params_(params), stats_(stats),
+      prefix_(prefix),
       finalBuffer_(clock, {params.finalBufferDepth, 0, 0}, &stats,
-                   "manager.finalBuffer"),
+                   prefix_ + ".finalBuffer"),
       routingQueue_(clock, {params.routingQueueDepth, /*latency=*/1, 0},
-                    &stats, "manager.routingQueue", this),
+                    &stats, prefix_ + ".routingQueue", this),
       roccReadyQueue_(clock, {params.roccReadyQueueDepth, 0, 0}, &stats,
-                      "manager.roccReadyQueue")
+                      prefix_ + ".roccReadyQueue")
 {
     if (num_cores == 0)
         sim::fatal("PicosManager needs at least one core");
     ports_.reserve(num_cores);
     for (unsigned i = 0; i < num_cores; ++i)
         ports_.emplace_back(clock, params, stats,
-                            "manager.core" + std::to_string(i), this);
+                            prefix_ + ".core" + std::to_string(i), this);
     // The packet encoder consumes Picos's ready interface; have Picos wake
     // this manager when ready packets become visible to it.
-    picos_.setReadyListener(this);
+    sched_.setReadyListener(this);
 }
 
 void
@@ -63,7 +66,7 @@ PicosManager::submissionRequest(CoreId core, unsigned num_packets)
     }
     if (!ports_.at(core).requestQueue.push(num_packets))
         return false;
-    ++stats_.scalar("manager.submissionRequests");
+    ++stats_.scalar(prefix_ + ".submissionRequests");
     return true;
 }
 
@@ -72,7 +75,7 @@ PicosManager::submitPacket(CoreId core, std::uint32_t packet)
 {
     if (!ports_.at(core).subBuffer.push(packet))
         return false;
-    ++stats_.scalar("manager.packetsSubmitted");
+    ++stats_.scalar(prefix_ + ".packetsSubmitted");
     return true;
 }
 
@@ -86,8 +89,8 @@ PicosManager::submitThreePackets(CoreId core, std::uint32_t p1,
     port.subBuffer.push(p1);
     port.subBuffer.push(p2);
     port.subBuffer.push(p3);
-    stats_.scalar("manager.packetsSubmitted") += 3;
-    ++stats_.scalar("manager.tripleSubmits");
+    stats_.scalar(prefix_ + ".packetsSubmitted") += 3;
+    ++stats_.scalar(prefix_ + ".tripleSubmits");
     return true;
 }
 
@@ -96,7 +99,7 @@ PicosManager::readyTaskRequest(CoreId core)
 {
     if (!routingQueue_.push(core))
         return false;
-    ++stats_.scalar("manager.workFetchRequests");
+    ++stats_.scalar(prefix_ + ".workFetchRequests");
     return true;
 }
 
@@ -127,7 +130,7 @@ PicosManager::retirePush(CoreId core, std::uint32_t picos_id)
 {
     if (!ports_.at(core).retireBuffer.push(picos_id))
         return false;
-    ++stats_.scalar("manager.retirePackets");
+    ++stats_.scalar(prefix_ + ".retirePackets");
     return true;
 }
 
@@ -137,8 +140,8 @@ void
 PicosManager::tickSubmissionHandler()
 {
     // Final Buffer -> Picos (protocol crossing), one packet per cycle.
-    if (finalBuffer_.frontReady() && picos_.subCanAccept())
-        picos_.subPush(finalBuffer_.pop());
+    if (finalBuffer_.frontReady() && sched_.subCanAccept())
+        sched_.subPush(finalBuffer_.pop());
 
     // Grant a new core when idle: in-order round-robin over cores with a
     // pending Submission Request (Guided Arbiter).
@@ -151,7 +154,7 @@ PicosManager::tickSubmissionHandler()
                 padRemaining_ =
                     rocc::kDescriptorPackets - burstRemaining_;
                 rrSubNext_ = (c + 1) % ports_.size();
-                ++stats_.scalar("manager.burstsGranted");
+                ++stats_.scalar(prefix_ + ".burstsGranted");
                 break;
             }
         }
@@ -172,7 +175,7 @@ PicosManager::tickSubmissionHandler()
     } else if (padRemaining_ > 0) {
         finalBuffer_.push(0);
         --padRemaining_;
-        ++stats_.scalar("manager.zeroPadPackets");
+        ++stats_.scalar(prefix_ + ".zeroPadPackets");
     }
     if (burstRemaining_ == 0 && padRemaining_ == 0)
         grantedCore_ = -1; // release the port for the next burst
@@ -192,11 +195,11 @@ PicosManager::tickPacketEncoder()
                      encodeBuf_[2];
         roccReadyQueue_.push(tuple);
         encodeCount_ = 0;
-        ++stats_.scalar("manager.tuplesEncoded");
+        ++stats_.scalar(prefix_ + ".tuplesEncoded");
         return;
     }
-    if (picos_.readyValid())
-        encodeBuf_[encodeCount_++] = picos_.readyPop();
+    if (sched_.readyValid())
+        encodeBuf_[encodeCount_++] = sched_.readyPop();
 }
 
 void
@@ -211,18 +214,18 @@ PicosManager::tickWorkFetchArbiter()
         return;
     routingQueue_.pop();
     port.readyQueue.push(roccReadyQueue_.pop());
-    ++stats_.scalar("manager.readyDelivered");
+    ++stats_.scalar(prefix_ + ".readyDelivered");
 }
 
 void
 PicosManager::tickRetireArbiter()
 {
-    if (!picos_.retireCanAccept())
+    if (!sched_.retireCanAccept())
         return;
     for (unsigned i = 0; i < ports_.size(); ++i) {
         const unsigned c = (rrRetireNext_ + i) % ports_.size();
         if (ports_[c].retireBuffer.frontReady()) {
-            picos_.retirePush(ports_[c].retireBuffer.pop());
+            sched_.retirePush(ports_[c].retireBuffer.pop());
             rrRetireNext_ = (c + 1) % ports_.size();
             return;
         }
@@ -247,7 +250,7 @@ PicosManager::active() const
     // The encoder makes progress when collecting packets or when it can
     // emit its tuple; a stalled encoder (central queue full) sleeps until
     // the work-fetch path drains it.
-    if (encodeCount_ == 3 ? roccReadyQueue_.canPush() : picos_.readyValid())
+    if (encodeCount_ == 3 ? roccReadyQueue_.canPush() : sched_.readyValid())
         return true;
     if (finalBuffer_.nextReadyCycle() <= next)
         return true;
@@ -268,7 +271,7 @@ PicosManager::wakeAt() const
     Cycle wake = kCycleNever;
     wake = std::min(wake, finalBuffer_.nextReadyCycle());
     if (!roccReadyQueue_.empty() || encodeCount_ > 0 ||
-        picos_.readyValid()) {
+        sched_.readyValid()) {
         wake = std::min(wake, routingQueue_.nextReadyCycle());
     }
     for (const CorePort &port : ports_) {

@@ -23,10 +23,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "manager/manager_params.hh"
-#include "picos/picos.hh"
+#include "picos/scheduler_if.hh"
 #include "rocc/task_packets.hh"
 #include "sim/clock.hh"
 #include "sim/port.hh"
@@ -39,9 +40,15 @@ namespace picosim::manager
 class PicosManager : public sim::Ticked
 {
   public:
-    PicosManager(const sim::Clock &clock, picos::Picos &picos,
+    /**
+     * @param sched The scheduler this manager fronts: the single Picos,
+     *        or one cluster port of the sharded scaling layer.
+     * @param prefix Statistic-name prefix; per-cluster managers pass
+     *        "manager.c<k>" so their port stats stay distinguishable.
+     */
+    PicosManager(const sim::Clock &clock, picos::SchedulerIf &sched,
                  unsigned num_cores, const ManagerParams &params,
-                 sim::StatGroup &stats);
+                 sim::StatGroup &stats, const std::string &prefix = "manager");
 
     // -- Delegate-facing interface (one "port" per core) --
 
@@ -123,9 +130,10 @@ class PicosManager : public sim::Ticked
     void tickRetireArbiter();
 
     const sim::Clock &clock_;
-    picos::Picos &picos_;
+    picos::SchedulerIf &sched_;
     ManagerParams params_;
     sim::StatGroup &stats_;
+    std::string prefix_; ///< statistic-name prefix of this instance
 
     std::vector<CorePort> ports_;
 

@@ -41,10 +41,28 @@ struct DepEntry
 class DepTable
 {
   public:
-    DepTable(unsigned sets, unsigned ways);
+    /**
+     * @param shard_id/@param num_shards Identity of this table within an
+     *        address-interleaved multi-shard scheduler. The default
+     *        (0 of 1) is the paper's single centralized table. A sharded
+     *        table refuses (via sim::panic) addresses routed to it that
+     *        shardOf() assigns elsewhere — cross-shard bookkeeping bugs
+     *        surface at the table, not as silently missed dependences.
+     */
+    DepTable(unsigned sets, unsigned ways, unsigned shard_id = 0,
+             unsigned num_shards = 1);
 
     unsigned sets() const { return sets_; }
     unsigned ways() const { return ways_; }
+    unsigned shardId() const { return shardId_; }
+
+    /**
+     * Owning shard of a monitored address under @p num_shards-way
+     * interleaving. Uses the same splitmix64 finalizer as the set index,
+     * folded over a different bit range so shard and set selection stay
+     * decorrelated (stride patterns must spread over shards *and* sets).
+     */
+    static unsigned shardOf(Addr addr, unsigned num_shards);
 
     /** Find the entry for @p addr, or nullptr. */
     DepEntry *find(Addr addr);
@@ -64,9 +82,12 @@ class DepTable
 
   private:
     unsigned setOf(Addr addr) const;
+    void checkOwnership(Addr addr) const;
 
     unsigned sets_;
     unsigned ways_;
+    unsigned shardId_;
+    unsigned numShards_;
     std::vector<DepEntry> entries_; // sets * ways, row-major
 };
 

@@ -119,6 +119,11 @@ Picos::applyDescriptor()
     const std::uint32_t id = static_cast<std::uint32_t>(gwTaskId_);
     TaskEntry &task = tasks_[id];
 
+    // KEEP IN SYNC with ShardedPicos::applyDescriptor
+    // (sharded_picos.cc), which reproduces this walk over
+    // address-interleaved table shards. A semantic fix to one engine
+    // applies to both.
+    //
     // Apply one dependence at a time, tracking progress in gwDepIndex_ so
     // a table-conflict stall can resume idempotently. Entries already
     // claimed by earlier deps of this task hold live references and are
@@ -160,6 +165,9 @@ Picos::applyDescriptor()
     ++tasksProcessed_;
     ++inFlight_;
     stats_.dist("picos.inFlight").sample(inFlight_);
+    // Only now may retirements ready this task: wakeups that arrived
+    // during a mid-walk table stall were counted but deferred.
+    task.applying = false;
     if (task.pendingDeps == 0) {
         markReady(id);
     } else {
@@ -202,6 +210,7 @@ Picos::tickGateway()
                 t.pendingDeps = 0;
                 t.dependents.clear();
                 t.state = TaskState::Waiting;
+                t.applying = true;
                 gwDepIndex_ = 0;
                 gwBusyUntil_ = now + params_.headerCycles +
                                params_.depCycles * gwDesc_.deps.size();
@@ -279,7 +288,11 @@ Picos::tickRetire()
         TaskEntry &d = tasks_[dep.id];
         if (d.pendingDeps == 0)
             sim::panic("dependence underflow on wakeup");
-        if (--d.pendingDeps == 0 && d.state == TaskState::Waiting)
+        // A task mid-application at a stalled gateway is not ready even
+        // at zero pending deps — applyDescriptor may add more edges and
+        // performs the deferred markReady itself.
+        if (--d.pendingDeps == 0 && d.state == TaskState::Waiting &&
+            !d.applying)
             markReady(dep.id);
     }
     t.dependents.clear();

@@ -25,6 +25,7 @@
 
 #include "picos/dep_table.hh"
 #include "picos/picos_params.hh"
+#include "picos/scheduler_if.hh"
 #include "rocc/task_packets.hh"
 #include "sim/clock.hh"
 #include "sim/queue.hh"
@@ -42,21 +43,21 @@ enum class TaskState : std::uint8_t {
     Running, ///< handed to a core, awaiting retirement
 };
 
-class Picos : public sim::Ticked
+class Picos : public sim::Ticked, public SchedulerIf
 {
   public:
     Picos(const sim::Clock &clock, const PicosParams &params,
           sim::StatGroup &stats);
 
     // -- Submission interface --
-    bool subCanAccept() const { return subQueue_.canPush(); }
-    bool subPush(std::uint32_t packet);
+    bool subCanAccept() const override { return subQueue_.canPush(); }
+    bool subPush(std::uint32_t packet) override;
 
     // -- Ready interface (3 packets per task) --
-    bool readyValid() const { return readyQueue_.frontReady(); }
+    bool readyValid() const override { return readyQueue_.frontReady(); }
 
     std::uint32_t
-    readyPop()
+    readyPop() override
     {
         // Freed ready-queue space may unblock a stalled descriptor issue.
         requestWake(clock_.now());
@@ -69,11 +70,15 @@ class Picos : public sim::Ticked
      * components, so Picos wakes its consumer whenever ready packets
      * become visible; without this the encoder would sleep through them.
      */
-    void setReadyListener(sim::Ticked *listener) { readyListener_ = listener; }
+    void
+    setReadyListener(sim::Ticked *listener) override
+    {
+        readyListener_ = listener;
+    }
 
     // -- Retirement interface --
-    bool retireCanAccept() const { return retireQueue_.canPush(); }
-    bool retirePush(std::uint32_t picos_id);
+    bool retireCanAccept() const override { return retireQueue_.canPush(); }
+    bool retirePush(std::uint32_t picos_id) override;
 
     // -- Ticked --
     void tick() override;
@@ -99,6 +104,11 @@ class Picos : public sim::Ticked
         std::uint64_t swId = 0;
         unsigned pendingDeps = 0;
         std::vector<TaskRef> dependents;
+
+        /** Descriptor still being applied by the gateway: retirements
+         *  must not mark the task ready yet — deps beyond a table-stall
+         *  resume point may still add edges. */
+        bool applying = false;
     };
 
     bool alive(const TaskRef &ref) const;

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The packet-level interface a dependence-management scheduler presents
+ * to a Picos Manager: the submission, ready and retirement queues of the
+ * paper's Picos (Section IV-D).
+ *
+ * Two implementations exist: the single centralized picos::Picos (the
+ * paper's accelerator, bit-exact reference) and one cluster-facing port
+ * of picos::ShardedPicos (the address-interleaved multi-shard scaling
+ * layer). The manager is written against this interface only, so cluster
+ * topology is a construction-time decision, not a manager variant.
+ */
+
+#ifndef PICOSIM_PICOS_SCHEDULER_IF_HH
+#define PICOSIM_PICOS_SCHEDULER_IF_HH
+
+#include <cstdint>
+
+#include "sim/ticked.hh"
+
+namespace picosim::picos
+{
+
+class SchedulerIf
+{
+  public:
+    virtual ~SchedulerIf() = default;
+
+    // -- Submission interface (32-bit descriptor packets) --
+    virtual bool subCanAccept() const = 0;
+    virtual bool subPush(std::uint32_t packet) = 0;
+
+    // -- Ready interface (3 packets per ready task) --
+    virtual bool readyValid() const = 0;
+    virtual std::uint32_t readyPop() = 0;
+
+    /** Register the consumer of the ready interface (the manager's packet
+     *  encoder); it is woken when ready packets become visible. */
+    virtual void setReadyListener(sim::Ticked *listener) = 0;
+
+    // -- Retirement interface (one Picos ID per packet) --
+    virtual bool retireCanAccept() const = 0;
+    virtual bool retirePush(std::uint32_t picos_id) = 0;
+};
+
+} // namespace picosim::picos
+
+#endif // PICOSIM_PICOS_SCHEDULER_IF_HH

@@ -51,10 +51,24 @@ fillContentionStats(RunResult &res, cpu::System &sys)
     const auto stat = [&sys](const char *name) {
         return static_cast<std::uint64_t>(sys.stats().scalarValue(name));
     };
+    const auto sum = [&sys](const char *prefix, const char *suffix) {
+        return static_cast<std::uint64_t>(
+            sys.stats().sumScalars(prefix, suffix));
+    };
     res.busTransactions = stat("port.membus.grants");
     res.busStallCycles = stat("port.membus.stallCycles");
     res.dramStallCycles = stat("port.dram.stallCycles");
     res.mshrStallCycles = stat("mem.timed.mshrStallCycles");
+
+    // Scheduler-fabric contention. The "manager" prefix matches the
+    // single manager and every per-cluster "manager.c<k>" instance, so
+    // single-Picos and sharded runs are directly comparable.
+    res.schedSubStalls = sum("manager", ".finalBuffer.pushStalls");
+    res.schedRoutingStalls = sum("manager", ".routingQueue.pushStalls");
+    res.schedReadyStalls = sum("manager", ".roccReadyQueue.pushStalls");
+    res.schedGatewayStallCycles = sum("sharded.", ".gate.stallCycles");
+    res.crossShardEdges = stat("sharded.crossShardEdges");
+    res.workSteals = stat("sharded.steals");
 }
 
 RunResult
@@ -63,6 +77,11 @@ runProgram(RuntimeKind kind, const Program &prog,
 {
     cpu::SystemParams sp = params.system;
     sp.numCores = kind == RuntimeKind::Serial ? 1 : params.numCores;
+    if (kind == RuntimeKind::Serial) {
+        // The serial baseline never touches the scheduler; a clustered
+        // topology cannot be laid out over its single core.
+        sp.topology = {};
+    }
 
     cpu::System sys(sp);
     std::unique_ptr<Runtime> runtime = makeRuntime(kind, params.costs);

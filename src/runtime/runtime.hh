@@ -74,6 +74,15 @@ struct RunResult
     std::uint64_t dramStallCycles = 0; ///< cycles refills waited for DRAM
     std::uint64_t mshrStallCycles = 0; ///< issue slots delayed by full MSHRs
 
+    // -- Scheduler-fabric contention (all topologies; the sharded-only
+    //    counters stay zero in the single-Picos topology) --
+    std::uint64_t schedSubStalls = 0;     ///< final-buffer push stalls
+    std::uint64_t schedRoutingStalls = 0; ///< work-fetch queue push stalls
+    std::uint64_t schedReadyStalls = 0;   ///< central ready-queue stalls
+    std::uint64_t schedGatewayStallCycles = 0; ///< shard gate arbiter waits
+    std::uint64_t crossShardEdges = 0; ///< dependence edges spanning shards
+    std::uint64_t workSteals = 0;      ///< cross-cluster ready-task steals
+
     double
     speedup() const
     {

@@ -11,6 +11,7 @@
 #ifndef PICOSIM_RUNTIME_TASK_TRACE_HH
 #define PICOSIM_RUNTIME_TASK_TRACE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <ostream>
 #include <vector>
@@ -32,38 +33,50 @@ struct TaskRecord
 class TaskTrace
 {
   public:
+    /**
+     * Hard ceiling on stored records (~40 MB of trace memory). Events for
+     * ids at or beyond it are counted in droppedRecords() instead of
+     * silently vanishing from latency breakdowns.
+     */
+    static constexpr std::uint64_t kMaxRecords = 1u << 20;
+
     void
     reset(std::uint64_t num_tasks)
     {
         records_.assign(num_tasks, TaskRecord{});
+        dropped_ = 0;
     }
 
     bool enabled() const { return !records_.empty(); }
     std::size_t size() const { return records_.size(); }
 
+    /** Events whose id exceeded kMaxRecords (lost from breakdowns). */
+    std::uint64_t droppedRecords() const { return dropped_; }
+
     void
     onSubmit(std::uint64_t id, Cycle now)
     {
-        if (id < records_.size()) {
-            records_[id].submitted = now;
-            records_[id].valid = true;
-        }
+        if (!grownTo(id))
+            return;
+        records_[id].submitted = now;
+        records_[id].valid = true;
     }
 
     void
     onDispatch(std::uint64_t id, Cycle now, CoreId core)
     {
-        if (id < records_.size()) {
-            records_[id].dispatched = now;
-            records_[id].core = core;
-        }
+        if (!grownTo(id))
+            return;
+        records_[id].dispatched = now;
+        records_[id].core = core;
     }
 
     void
     onRetire(std::uint64_t id, Cycle now)
     {
-        if (id < records_.size())
-            records_[id].retired = now;
+        if (!grownTo(id))
+            return;
+        records_[id].retired = now;
     }
 
     const TaskRecord &record(std::uint64_t id) const
@@ -89,7 +102,32 @@ class TaskTrace
                           const std::string &name = "picosim") const;
 
   private:
+    /**
+     * Ensure a record for @p id exists. Runtimes may spawn more tasks
+     * than the reset() count (programs whose task ids are produced
+     * dynamically); those records must not silently vanish, so the
+     * vector grows geometrically up to kMaxRecords. @return false when
+     * the id is beyond the ceiling (the event is counted as dropped).
+     */
+    bool
+    grownTo(std::uint64_t id)
+    {
+        if (id < records_.size())
+            return true;
+        if (id >= kMaxRecords) {
+            ++dropped_;
+            return false;
+        }
+        records_.resize(
+            std::min<std::uint64_t>(
+                kMaxRecords,
+                std::max<std::uint64_t>(id + 1, records_.size() * 2)),
+            TaskRecord{});
+        return true;
+    }
+
     std::vector<TaskRecord> records_;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace picosim::rt

@@ -8,12 +8,27 @@
  * expressed. Latency 0 yields a fallthrough (combinational) queue, which is
  * the Chisel default used inside Rocket Chip; the Picos-facing protocol
  * crossing modules instantiate latency-1 queues (Section IV-F2).
+ *
+ * Same-cycle push/pop ordering (audited, deliberate): canPush() reflects
+ * occupancy at the moment of the call and does NOT anticipate a pop
+ * happening later in the same cycle — like a Chisel Queue built without
+ * the `pipe` option, whose enq.ready ignores same-cycle deq.fire. With
+ * latency > 0 a producer evaluated before the consumer therefore sees a
+ * full queue for one extra cycle per wrap, mildly under-utilizing
+ * latency-1 protocol-crossing queues. This is the deterministic,
+ * registration-order-independent choice: the alternative (ready combinationally
+ * coupled to deq) would make throughput depend on the order components
+ * tick within a cycle, breaking EventDriven/TickWorld equivalence — and
+ * the goldens are calibrated to it. The conservativeFrees() counter
+ * quantifies the effect: it increments whenever a pop frees a slot in a
+ * cycle in which a push() was already refused.
  */
 
 #ifndef PICOSIM_SIM_QUEUE_HH
 #define PICOSIM_SIM_QUEUE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 
 #include "sim/clock.hh"
@@ -49,15 +64,22 @@ class TimedFifo
         return !items_.empty() && items_.front().readyAt <= clock_.now();
     }
 
-    /** True when a producer may push this cycle. */
+    /** True when a producer may push this cycle (occupancy at the time of
+     *  the call; a later same-cycle pop is not anticipated — see the
+     *  file comment). */
     bool canPush() const { return !full(); }
 
     /** Push; returns false when full (producer must retry). */
     bool
     push(T value)
     {
-        if (full())
+        if (full()) {
+            // An actual attempted push was refused; a pop later this
+            // cycle will count the missed slot. (canPush() polls do not
+            // arm this — a status check is not a refused producer.)
+            fullQueryAt_ = clock_.now();
             return false;
+        }
         items_.push_back(Slot{clock_.now() + latency_, std::move(value)});
         return true;
     }
@@ -77,12 +99,27 @@ class TimedFifo
     {
         if (!frontReady())
             panic("TimedFifo::pop on not-ready queue");
+        if (full() && fullQueryAt_ == clock_.now())
+            ++conservativeFrees_; // a refused producer missed this slot
         T value = std::move(items_.front().value);
         items_.pop_front();
         return value;
     }
 
-    void clear() { items_.clear(); }
+    /**
+     * Times a pop freed a slot in a cycle in which a push() had already
+     * been refused: the throughput cost of the conservative (non-pipe)
+     * ready semantics documented above. canPush()-guarded producers that
+     * never attempt the push are not counted.
+     */
+    std::uint64_t conservativeFrees() const { return conservativeFrees_; }
+
+    void
+    clear()
+    {
+        items_.clear();
+        fullQueryAt_ = kCycleNever;
+    }
 
     /**
      * Earliest cycle at which the front element becomes consumable, or
@@ -105,6 +142,10 @@ class TimedFifo
     std::size_t capacity_;
     Cycle latency_;
     std::deque<Slot> items_;
+
+    /** Cycle of the last refused push(). */
+    Cycle fullQueryAt_ = kCycleNever;
+    std::uint64_t conservativeFrees_ = 0;
 };
 
 } // namespace picosim::sim

@@ -107,6 +107,28 @@ class StatGroup
         return it == scalars_.end() ? 0.0 : it->second.value();
     }
 
+    /**
+     * Sum of every scalar whose name starts with @p prefix and ends with
+     * @p suffix — aggregates per-instance port stats ("manager.c3
+     * .routingQueue.pushStalls") across replicated components.
+     */
+    double
+    sumScalars(const std::string &prefix, const std::string &suffix) const
+    {
+        double sum = 0.0;
+        for (auto it = scalars_.lower_bound(prefix);
+             it != scalars_.end() && it->first.compare(0, prefix.size(),
+                                                       prefix) == 0;
+             ++it) {
+            const std::string &name = it->first;
+            if (name.size() >= suffix.size() &&
+                name.compare(name.size() - suffix.size(), suffix.size(),
+                             suffix) == 0)
+                sum += it->second.value();
+        }
+        return sum;
+    }
+
     void
     reset()
     {

@@ -139,6 +139,43 @@ INSTANTIATE_TEST_SUITE_P(
         return testName(info.param.workload, info.param.kind);
     });
 
+/**
+ * Single-shard topology goldens: an explicit --sched-shards=1
+ * --clusters=1 configuration must construct the centralized Picos path
+ * and reproduce the seed goldens bit-identically in both kernel modes —
+ * the sharded scaling layer is opt-in and must not perturb the paper
+ * reproduction.
+ */
+class SingleShardGolden : public ::testing::TestWithParam<GoldenRun>
+{
+};
+
+TEST_P(SingleShardGolden, ExplicitSingleShardMatchesSeedGoldens)
+{
+    const GoldenRun &g = GetParam();
+    const Program prog = namedWorkload(g.workload);
+    for (const auto mode :
+         {sim::EvalMode::EventDriven, sim::EvalMode::TickWorld}) {
+        HarnessParams hp = withMode(mode);
+        hp.system.topology.schedShards = 1;
+        hp.system.topology.clusters = 1;
+        const RunResult res = runProgram(g.kind, prog, hp);
+        EXPECT_TRUE(res.completed);
+        EXPECT_EQ(res.cycles, g.cycles)
+            << (mode == sim::EvalMode::EventDriven ? "event" : "tickworld");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6Style, SingleShardGolden,
+    ::testing::Values(
+        GoldenRun{"task-free", RuntimeKind::Phentos, 51'566},
+        GoldenRun{"task-free", RuntimeKind::NanosRV, 978'924},
+        GoldenRun{"task-chain", RuntimeKind::Phentos, 289'118}),
+    [](const auto &info) {
+        return testName(info.param.workload, info.param.kind);
+    });
+
 class ModeEquivalence : public ::testing::TestWithParam<RuntimeKind>
 {
 };

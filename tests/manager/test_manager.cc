@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "manager/picos_manager.hh"
+#include "picos/picos.hh"
 #include "rocc/task_packets.hh"
 #include "sim/kernel.hh"
 

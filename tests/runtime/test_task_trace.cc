@@ -29,12 +29,32 @@ TEST(TaskTrace, RecordsLifecycle)
     EXPECT_EQ(trace.record(0).core, 3u);
 }
 
-TEST(TaskTrace, OutOfRangeIdsIgnored)
+TEST(TaskTrace, GrowsForIdsBeyondResetCount)
+{
+    // Tasks spawned beyond the reset() count must not vanish from the
+    // latency breakdowns: the record vector grows on demand.
+    TaskTrace trace;
+    trace.reset(1);
+    trace.onSubmit(5, 100);
+    trace.onDispatch(5, 150, 2);
+    trace.onRetire(5, 300);
+    EXPECT_GE(trace.size(), 6u);
+    EXPECT_EQ(trace.completedCount(), 1u);
+    EXPECT_DOUBLE_EQ(trace.meanQueueLatency(), 50.0);
+    EXPECT_EQ(trace.record(5).core, 2u);
+    EXPECT_EQ(trace.droppedRecords(), 0u);
+}
+
+TEST(TaskTrace, CountsDropsBeyondTheCeiling)
 {
     TaskTrace trace;
     trace.reset(1);
-    trace.onSubmit(5, 100); // silently ignored
+    trace.onSubmit(TaskTrace::kMaxRecords, 100);
+    trace.onRetire(TaskTrace::kMaxRecords + 7, 200);
+    EXPECT_EQ(trace.droppedRecords(), 2u);
     EXPECT_EQ(trace.completedCount(), 0u);
+    trace.reset(1); // reset clears the drop counter with the records
+    EXPECT_EQ(trace.droppedRecords(), 0u);
 }
 
 TEST(TaskTrace, ChromeTraceIsWellFormedJson)

@@ -94,6 +94,37 @@ TEST(TimedFifo, MixedAgeFrontGatesYoungerEntries)
     EXPECT_EQ(q.nextReadyCycle(), 6u);
 }
 
+TEST(TimedFifo, SameCyclePopDoesNotUnblockCanPush)
+{
+    // Audited same-cycle ordering (see the file comment in queue.hh):
+    // canPush() reflects occupancy at the call, so a producer refused
+    // this cycle stays refused even if the consumer pops later in the
+    // same cycle — the freed slot becomes pushable next cycle. This is
+    // what makes throughput independent of component evaluation order.
+    Clock clk;
+    TimedFifo<int> q(clk, 1, 1);
+    ASSERT_TRUE(q.push(1));
+    clk.advanceTo(1);
+    // Producer evaluated first: refused while the consumer's pop is
+    // still pending this cycle.
+    EXPECT_FALSE(q.canPush());
+    EXPECT_FALSE(q.push(2));
+    EXPECT_EQ(q.conservativeFrees(), 0u);
+    // Consumer evaluated second: the pop frees the slot too late for
+    // the refused producer; the queue records the conservative miss.
+    EXPECT_TRUE(q.frontReady());
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.conservativeFrees(), 1u);
+    // The slot is usable from the producer's next evaluation on.
+    EXPECT_TRUE(q.canPush());
+    EXPECT_TRUE(q.push(2));
+    EXPECT_FALSE(q.frontReady()); // latency 1: visible at cycle 2
+    clk.advanceTo(2);
+    EXPECT_EQ(q.pop(), 2);
+    // A pop with no refused producer this cycle is not a missed slot.
+    EXPECT_EQ(q.conservativeFrees(), 1u);
+}
+
 class TimedFifoLatencyTest : public ::testing::TestWithParam<Cycle>
 {
 };

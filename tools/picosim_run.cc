@@ -8,7 +8,8 @@
  *   picosim_run [--list] [--workload=NAME[,NAME...]] [--runtime=KIND]
  *               [--cores=N] [--jobs=N] [--mode=event|tickworld]
  *               [--mem=inline|timed] [--mshrs=N] [--bus-bytes=N]
- *               [--mem-occupancy=N] [--stats] [--trace=FILE.json]
+ *               [--mem-occupancy=N] [--sched-shards=N] [--clusters=N]
+ *               [--steal=on|off] [--stats] [--trace=FILE.json]
  *
  *   NAME: a Figure-9 input label substring, e.g. "blackscholes 4K B8",
  *         or one of: task-free, task-chain.
@@ -19,6 +20,11 @@
  *   --mem:  memory model (default: inline). timed routes accesses through
  *           the contention-aware subsystem; --mshrs, --bus-bytes and
  *           --mem-occupancy tune its structure.
+ *   --sched-shards / --clusters / --steal: scheduler topology. The
+ *           default (1, 1) is the paper's single centralized Picos;
+ *           larger values instantiate the sharded scaling layer with
+ *           per-cluster managers and optional cross-cluster work
+ *           stealing (on by default).
  *
  * --stats / --trace need the simulated System inspectable after the run,
  * so they force the single-workload in-process path.
@@ -97,18 +103,39 @@ hasFlag(int argc, char **argv, const char *flag)
     return false;
 }
 
-std::optional<unsigned>
-parseUnsigned(const std::string &s)
+/**
+ * Strict numeric flag parsing: base-10 digits only (trailing garbage,
+ * signs and hex prefixes are rejected, never truncated) and an explicit
+ * valid range reported in the same style as the enum-flag messages.
+ * @return false after printing the error; true with @p out untouched
+ * when the flag is absent.
+ */
+bool
+parseCountFlag(int argc, char **argv, const char *flag, unsigned min,
+               unsigned max, unsigned &out)
 {
-    if (s.empty())
-        return std::nullopt;
-    unsigned value = 0;
-    for (const char c : s) {
-        if (c < '0' || c > '9' || value > 100'000'000)
-            return std::nullopt;
-        value = value * 10 + static_cast<unsigned>(c - '0');
+    const auto v = argValue(argc, argv, flag);
+    if (!v)
+        return true;
+    unsigned long long value = 0;
+    bool ok = !v->empty() && v->size() <= 12;
+    if (ok) {
+        for (const char c : *v) {
+            if (c < '0' || c > '9') {
+                ok = false;
+                break;
+            }
+            value = value * 10 + static_cast<unsigned>(c - '0');
+        }
     }
-    return value;
+    if (!ok || value < min || value > max) {
+        std::fprintf(stderr, "%s expects an integer in [%u, %u], got "
+                             "'%s'\n",
+                     flag, min, max, v->c_str());
+        return false;
+    }
+    out = static_cast<unsigned>(value);
+    return true;
 }
 
 std::vector<std::string>
@@ -157,6 +184,21 @@ printResult(const rt::RunResult &res, unsigned cores)
                     static_cast<unsigned long long>(res.busStallCycles),
                     static_cast<unsigned long long>(res.dramStallCycles),
                     static_cast<unsigned long long>(res.mshrStallCycles));
+    }
+    if (res.schedSubStalls + res.schedRoutingStalls + res.schedReadyStalls +
+            res.schedGatewayStallCycles + res.crossShardEdges +
+            res.workSteals >
+        0) {
+        std::printf("scheduler : push stalls sub %llu, routing %llu, "
+                    "ready %llu; gateway wait %llu cyc; "
+                    "cross-shard edges %llu; steals %llu\n",
+                    static_cast<unsigned long long>(res.schedSubStalls),
+                    static_cast<unsigned long long>(res.schedRoutingStalls),
+                    static_cast<unsigned long long>(res.schedReadyStalls),
+                    static_cast<unsigned long long>(
+                        res.schedGatewayStallCycles),
+                    static_cast<unsigned long long>(res.crossShardEdges),
+                    static_cast<unsigned long long>(res.workSteals));
     }
 }
 
@@ -212,6 +254,13 @@ runInspectable(const std::string &wl, rt::RuntimeKind kind,
         std::printf("trace     : %s (queue %.0f cyc, service %.0f cyc)\n",
                     trace_path->c_str(), trace.meanQueueLatency(),
                     trace.meanServiceTime());
+        if (trace.droppedRecords() > 0)
+            std::printf("trace     : WARNING %llu events beyond the "
+                        "%llu-record ceiling were dropped\n",
+                        static_cast<unsigned long long>(
+                            trace.droppedRecords()),
+                        static_cast<unsigned long long>(
+                            rt::TaskTrace::kMaxRecords));
     }
     if (stats) {
         std::printf("\n-- system statistics --\n");
@@ -250,16 +299,8 @@ main(int argc, char **argv)
     }
 
     rt::HarnessParams hp;
-    if (auto cores = argValue(argc, argv, "--cores")) {
-        const auto n = parseUnsigned(*cores);
-        if (!n || *n == 0) {
-            std::fprintf(stderr, "--cores needs a positive integer, got "
-                                 "'%s'\n",
-                         cores->c_str());
-            return 1;
-        }
-        hp.numCores = *n;
-    }
+    if (!parseCountFlag(argc, argv, "--cores", 1, 4096, hp.numCores))
+        return 1;
     if (auto mode = argValue(argc, argv, "--mode")) {
         if (*mode == "event") {
             hp.system.evalMode = sim::EvalMode::EventDriven;
@@ -282,42 +323,49 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    const auto memStructure =
-        [&](const char *flag, auto apply) -> bool {
-        const auto v = argValue(argc, argv, flag);
-        if (!v)
-            return true;
-        const auto n = parseUnsigned(*v);
-        if (!n || *n == 0) {
-            std::fprintf(stderr, "%s needs a positive integer, got '%s'\n",
-                         flag, v->c_str());
-            return false;
-        }
-        apply(*n);
-        return true;
-    };
-    if (!memStructure("--mshrs",
-                      [&](unsigned n) { hp.system.mem.mshrs = n; }) ||
-        !memStructure("--bus-bytes",
-                      [&](unsigned n) {
-                          hp.system.mem.busBytesPerCycle = n;
-                      }) ||
-        !memStructure("--mem-occupancy", [&](unsigned n) {
-            hp.system.mem.memOccupancy = n;
-        })) {
+    unsigned mem_occupancy = 0; // Cycle-typed param needs a widening copy
+    if (!parseCountFlag(argc, argv, "--mshrs", 1, 100'000'000,
+                        hp.system.mem.mshrs) ||
+        !parseCountFlag(argc, argv, "--bus-bytes", 1, 100'000'000,
+                        hp.system.mem.busBytesPerCycle) ||
+        !parseCountFlag(argc, argv, "--mem-occupancy", 1, 100'000'000,
+                        mem_occupancy)) {
         return 1;
     }
-    unsigned jobs = 0;
-    if (auto j = argValue(argc, argv, "--jobs")) {
-        const auto n = parseUnsigned(*j);
-        if (!n) {
+    if (mem_occupancy > 0)
+        hp.system.mem.memOccupancy = mem_occupancy;
+
+    // Scheduler topology: shards/clusters select the scaling layer;
+    // (1, 1) keeps the paper's single centralized Picos.
+    if (!parseCountFlag(argc, argv, "--sched-shards", 1, 64,
+                        hp.system.topology.schedShards) ||
+        !parseCountFlag(argc, argv, "--clusters", 1, 256,
+                        hp.system.topology.clusters)) {
+        return 1;
+    }
+    if (hp.system.topology.clusters > hp.numCores) {
+        std::fprintf(stderr,
+                     "--clusters=%u exceeds --cores=%u (each cluster "
+                     "needs at least one core)\n",
+                     hp.system.topology.clusters, hp.numCores);
+        return 1;
+    }
+    if (auto steal = argValue(argc, argv, "--steal")) {
+        if (*steal == "on") {
+            hp.system.topology.workStealing = true;
+        } else if (*steal == "off") {
+            hp.system.topology.workStealing = false;
+        } else {
             std::fprintf(stderr,
-                         "--jobs needs a non-negative integer, got '%s'\n",
-                         j->c_str());
+                         "unknown steal policy '%s' (valid: on, off)\n",
+                         steal->c_str());
             return 1;
         }
-        jobs = *n;
     }
+
+    unsigned jobs = 0;
+    if (!parseCountFlag(argc, argv, "--jobs", 0, 4096, jobs))
+        return 1;
 
     const auto trace_path = argValue(argc, argv, "--trace");
     const bool stats = hasFlag(argc, argv, "--stats");
