@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Nested-tasking extension: how do the runtimes and the scheduler fabrics
+ * behave when tasks spawn tasks? The recursive workloads (fork-join
+ * Cholesky panels, divide-and-conquer mergesort, the nested taskbench
+ * tree) submit most of their tasks from worker harts — every core's
+ * delegate port carries submission bursts, which is exactly the traffic
+ * pattern the sharded multi-Picos fabrics were built for. The sweep
+ * reports makespan, speedup over the serial baseline, the share of
+ * worker-side submissions, and the sharded-fabric counters (gateway
+ * waits, cross-shard edges, steals).
+ *
+ * Emits BENCH_nested.json alongside the table.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/workloads.hh"
+#include "bench/bench_util.hh"
+
+using namespace picosim;
+using namespace picosim::bench;
+
+namespace
+{
+
+struct Topo
+{
+    unsigned shards;
+    unsigned clusters;
+};
+
+rt::RunResult
+runTopo(rt::RuntimeKind kind, const rt::Program &prog, unsigned cores,
+        const Topo &t)
+{
+    rt::HarnessParams hp;
+    hp.numCores = cores;
+    hp.system.topology.schedShards = t.shards;
+    hp.system.topology.clusters = t.clusters;
+    return rt::runWithSpeedup(kind, prog, hp);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<rt::Program> progs = {
+        apps::choleskyNested(12, 16),      // fork-join panels, real deps
+        apps::mergesortNested(16384, 256), // deep recursion, binary tree
+        apps::taskTree(4, 4, 1000),        // wide independent fan-out
+    };
+    const std::vector<rt::RuntimeKind> kinds = {rt::RuntimeKind::Phentos,
+                                                rt::RuntimeKind::NanosRV};
+    const std::vector<unsigned> coreCounts =
+        quickMode() ? std::vector<unsigned>{8u}
+                    : std::vector<unsigned>{8u, 16u, 32u};
+    const Topo topos[] = {{1, 1}, {4, 4}};
+
+    BenchJson json("BENCH_nested.json");
+    bool allCompleted = true;
+    for (const rt::Program &prog : progs) {
+        std::printf("# Nested scaling: %s (%llu tasks, mean size %.0f "
+                    "cycles)\n",
+                    prog.name.c_str(),
+                    static_cast<unsigned long long>(prog.numTasks()),
+                    prog.meanTaskSize());
+        std::printf("%-9s %-6s %-9s %12s %8s %10s %7s %12s %8s %8s\n",
+                    "runtime", "cores", "topology", "cycles", "speedup",
+                    "workerSub", "inline", "gateWaitCyc", "xEdges",
+                    "steals");
+        for (const rt::RuntimeKind kind : kinds) {
+            for (unsigned cores : coreCounts) {
+                for (const Topo &t : topos) {
+                    if (t.clusters > cores)
+                        continue;
+                    const rt::RunResult r = runTopo(kind, prog, cores, t);
+                    allCompleted = allCompleted && r.completed;
+                    char topo[16];
+                    std::snprintf(topo, sizeof topo, "%ux%u", t.shards,
+                                  t.clusters);
+                    std::printf(
+                        "%-9s %-6u %-9s %12llu %8.2f %10llu %7llu "
+                        "%12llu %8llu %8llu%s\n",
+                        r.runtime.c_str(), cores, topo,
+                        static_cast<unsigned long long>(r.cycles),
+                        r.speedup(),
+                        static_cast<unsigned long long>(r.workerSubmits),
+                        static_cast<unsigned long long>(r.inlineTasks),
+                        static_cast<unsigned long long>(
+                            r.schedGatewayStallCycles),
+                        static_cast<unsigned long long>(r.crossShardEdges),
+                        static_cast<unsigned long long>(r.workSteals),
+                        r.completed ? "" : "  INCOMPLETE");
+                    json.beginRow();
+                    json.field("bench", "nested_scaling");
+                    json.field("workload", prog.name);
+                    json.field("runtime", r.runtime);
+                    json.field("cores", std::uint64_t{cores});
+                    json.field("shards", std::uint64_t{t.shards});
+                    json.field("clusters", std::uint64_t{t.clusters});
+                    json.field("cycles", r.cycles);
+                    json.field("speedup", r.speedup());
+                    json.field("tasks", r.tasks);
+                    json.field("workerSubmits", r.workerSubmits);
+                    json.field("inlineTasks", r.inlineTasks);
+                    json.field("gatewayStallCycles",
+                               r.schedGatewayStallCycles);
+                    json.field("crossShardEdges", r.crossShardEdges);
+                    json.field("steals", r.workSteals);
+                    json.field("completed", r.completed);
+                }
+            }
+        }
+        std::printf("\n");
+    }
+    if (json.write())
+        std::printf("json: %s\n", json.path().c_str());
+    else
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     json.path().c_str());
+    std::printf("# Most tasks are submitted from worker harts (the "
+                "workerSub column): nested\n# programs exercise every "
+                "core's submission port, not just the master's.\n");
+    return allCompleted ? 0 : 1;
+}

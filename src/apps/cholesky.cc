@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Blocked Cholesky factorization as a nested (fork-join) task program.
+ *
+ * The classic tiled algorithm factorizes an nb x nb grid of bs x bs
+ * blocks: panel k runs potrf on the diagonal block, trsm on the column
+ * panel below it, then the syrk/gemm trailing update. Here each panel is
+ * one parent task; the executing worker spawns the panel's kernel tasks
+ * (with their block dependences) from its own core and joins them with a
+ * single scoped taskwait, so the dependence engines see submission
+ * traffic from every hart instead of only the master.
+ *
+ * Panels are serialized through a token dependence between the parent
+ * tasks: panel k+1 may only start once panel k's parent retired, which —
+ * because the parent retires after its scoped taskwait — guarantees the
+ * whole panel-k subtree reached the dependence tables before any panel-
+ * k+1 kernel is submitted (conflicting block addresses thus arrive in
+ * program order).
+ */
+
+#include "apps/workloads.hh"
+
+#include <string>
+
+#include "sim/log.hh"
+
+namespace picosim::apps
+{
+
+namespace
+{
+constexpr Addr kCholeskyBase = 0x5900'0000;
+constexpr Addr kCholeskyToken = 0x59F0'0000;
+
+/** ~1.6 cycles per FLOP at -O3 on the in-order Rocket FPU. */
+constexpr double kCyclesPerFlop = 1.6;
+constexpr Cycle kTaskFixed = 220;
+/** Panel-orchestration body: loop control + spawn bookkeeping. */
+constexpr Cycle kPanelPayload = 120;
+
+Cycle
+flops(double count)
+{
+    return kTaskFixed + static_cast<Cycle>(kCyclesPerFlop * count);
+}
+} // namespace
+
+rt::Program
+choleskyNested(unsigned nb, unsigned bs)
+{
+    if (nb == 0 || bs == 0)
+        sim::fatal("choleskyNested: empty matrix");
+    rt::Program prog;
+    prog.name = "cholesky-nested nb" + std::to_string(nb) + " bs" +
+                std::to_string(bs);
+
+    const double b3 = static_cast<double>(bs) * bs * bs;
+    const auto blockAddr = [&](unsigned i, unsigned j) {
+        return kCholeskyBase +
+               (static_cast<Addr>(i) * nb + j) * bs * bs * sizeof(double);
+    };
+
+    for (unsigned k = 0; k < nb; ++k) {
+        // The panel parent: chained to its predecessor through the token
+        // so panel subtrees enter the dependence engines in order.
+        const std::uint64_t panel = prog.spawn(
+            kPanelPayload, {{kCholeskyToken, rt::Dir::InOut}});
+
+        // potrf: factorize the diagonal block.
+        prog.spawnChild(panel, flops(b3 / 3.0),
+                        {{blockAddr(k, k), rt::Dir::InOut}});
+
+        // trsm: triangular solves down the column panel.
+        for (unsigned i = k + 1; i < nb; ++i)
+            prog.spawnChild(panel, flops(b3),
+                            {{blockAddr(k, k), rt::Dir::In},
+                             {blockAddr(i, k), rt::Dir::InOut}});
+
+        // Trailing update: syrk on the diagonal, gemm off it.
+        for (unsigned i = k + 1; i < nb; ++i) {
+            prog.spawnChild(panel, flops(b3),
+                            {{blockAddr(i, k), rt::Dir::In},
+                             {blockAddr(i, i), rt::Dir::InOut}});
+            for (unsigned j = k + 1; j < i; ++j)
+                prog.spawnChild(panel, flops(2.0 * b3),
+                                {{blockAddr(i, k), rt::Dir::In},
+                                 {blockAddr(j, k), rt::Dir::In},
+                                 {blockAddr(i, j), rt::Dir::InOut}});
+        }
+
+        // One scoped join for the whole panel: intra-panel ordering is
+        // the dependence engine's job (potrf -> trsm -> syrk/gemm RAW
+        // edges); the parent only retires once its subtree drained.
+        prog.taskwaitChildren(panel);
+    }
+    prog.taskwait();
+    return prog;
+}
+
+} // namespace picosim::apps

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Divide-and-conquer mergesort as a nested task program.
+ *
+ * Every internal node is a task whose body spawns the two half-sorts,
+ * scoped-waits on them, then spawns and joins the merge of the halves —
+ * the canonical recursive OmpSs pattern. The task tree therefore grows
+ * from whichever workers execute the internal nodes, and scoped
+ * taskwaits release strictly per subtree: a node's join never waits on
+ * its siblings' halves.
+ */
+
+#include "apps/workloads.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/log.hh"
+
+namespace picosim::apps
+{
+
+namespace
+{
+constexpr Addr kSortArray = 0x5A00'0000;
+
+/** Per-element costs at -O3 (8-byte keys, branchy compare loop). */
+constexpr Cycle kSortPerElem = 14;  ///< leaf insertion/quick sort
+constexpr Cycle kMergePerElem = 7;  ///< linear merge of the halves
+constexpr Cycle kTaskFixed = 220;
+constexpr Cycle kSplitPayload = 90; ///< internal node: split bookkeeping
+
+Addr
+rangeAddr(unsigned lo)
+{
+    return kSortArray + static_cast<Addr>(lo) * sizeof(std::uint64_t);
+}
+
+/** Leaf cost: n * log2(n)-ish comparison sort of a small range. */
+Cycle
+leafCost(unsigned n)
+{
+    unsigned log2n = 0;
+    for (unsigned v = n; v > 1; v >>= 1)
+        ++log2n;
+    return kTaskFixed + static_cast<Cycle>(n) * kSortPerElem *
+                            std::max(1u, log2n) / 4;
+}
+
+/** Recursively emit the sort of [lo, lo+n) as a child of @p parent. */
+void
+buildSort(rt::Program &prog, std::uint64_t parent, unsigned lo, unsigned n,
+          unsigned cutoff)
+{
+    if (n <= cutoff) {
+        prog.spawnChild(parent, leafCost(n),
+                        {{rangeAddr(lo), rt::Dir::InOut}});
+        return;
+    }
+    const unsigned half = n / 2;
+    const std::uint64_t node = prog.spawnChild(parent, kSplitPayload);
+    buildSort(prog, node, lo, half, cutoff);
+    buildSort(prog, node, lo + half, n - half, cutoff);
+    prog.taskwaitChildren(node);
+    prog.spawnChild(node, kTaskFixed + static_cast<Cycle>(n) * kMergePerElem,
+                    {{rangeAddr(lo), rt::Dir::InOut},
+                     {rangeAddr(lo + half), rt::Dir::In}});
+    prog.taskwaitChildren(node);
+}
+
+} // namespace
+
+rt::Program
+mergesortNested(unsigned n, unsigned cutoff)
+{
+    if (n == 0 || cutoff == 0)
+        sim::fatal("mergesortNested: empty input or zero cutoff");
+    rt::Program prog;
+    prog.name = "mergesort-nested n" + std::to_string(n) + " c" +
+                std::to_string(cutoff);
+
+    // The root is a top-level task; everything below it is spawned by
+    // whichever worker executes the enclosing node.
+    if (n <= cutoff) {
+        prog.spawn(leafCost(n), {{rangeAddr(0), rt::Dir::InOut}});
+    } else {
+        const unsigned half = n / 2;
+        const std::uint64_t root = prog.spawn(kSplitPayload);
+        buildSort(prog, root, 0, half, cutoff);
+        buildSort(prog, root, half, n - half, cutoff);
+        prog.taskwaitChildren(root);
+        prog.spawnChild(root,
+                        kTaskFixed + static_cast<Cycle>(n) * kMergePerElem,
+                        {{rangeAddr(0), rt::Dir::InOut},
+                         {rangeAddr(half), rt::Dir::In}});
+        prog.taskwaitChildren(root);
+    }
+    prog.taskwait();
+    return prog;
+}
+
+} // namespace picosim::apps

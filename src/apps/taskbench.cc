@@ -40,6 +40,55 @@ taskFree(unsigned num_tasks, unsigned num_deps, Cycle payload)
     return prog;
 }
 
+namespace
+{
+
+/** Emit @p fanout children of @p parent, recursing below @p depth. */
+void
+buildTree(rt::Program &prog, std::uint64_t parent, unsigned fanout,
+          unsigned depth, Cycle payload, bool chained, Addr &next_chain)
+{
+    // Chained siblings share one inout line: the nested Task Chain.
+    const Addr chain = next_chain;
+    if (chained)
+        next_chain += 64;
+    for (unsigned c = 0; c < fanout; ++c) {
+        std::vector<rt::TaskDep> deps;
+        if (chained)
+            deps.push_back({chain, rt::Dir::InOut});
+        const std::uint64_t child =
+            prog.spawnChild(parent, payload, std::move(deps));
+        if (depth > 0)
+            buildTree(prog, child, fanout, depth - 1, payload, chained,
+                      next_chain);
+    }
+    prog.taskwaitChildren(parent);
+}
+
+} // namespace
+
+rt::Program
+taskTree(unsigned fanout, unsigned depth, Cycle payload, bool chained)
+{
+    if (fanout == 0)
+        sim::fatal("taskTree: zero fanout");
+    rt::Program prog;
+    prog.name = std::string("task-tree f") + std::to_string(fanout) + " d" +
+                std::to_string(depth) + (chained ? " chained" : "");
+
+    // Roots are top-level tasks; every level below is spawned by the
+    // worker executing the parent (worker-side submission).
+    Addr next_chain = kTaskbenchBase + 0x0080'0000;
+    for (unsigned r = 0; r < fanout; ++r) {
+        const std::uint64_t root = prog.spawn(payload);
+        if (depth > 0)
+            buildTree(prog, root, fanout, depth - 1, payload, chained,
+                      next_chain);
+    }
+    prog.taskwait();
+    return prog;
+}
+
 rt::Program
 taskChain(unsigned num_tasks, unsigned num_deps, Cycle payload)
 {

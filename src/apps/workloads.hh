@@ -62,6 +62,37 @@ rt::Program streamDeps(unsigned num_blocks, unsigned block_elems,
 rt::Program streamBarr(unsigned num_blocks, unsigned block_elems,
                        unsigned iterations);
 
+// -- Nested (recursive) workloads: tasks spawning child tasks with
+//    scoped taskwaits; every spawn below the top level originates on the
+//    worker that executes the parent --
+
+/**
+ * Blocked Cholesky factorization (fork-join panels): one parent task per
+ * panel k whose body spawns the potrf/trsm/syrk/gemm children with their
+ * block dependences and joins them with a single scoped taskwait. Panels
+ * are chained through a token dependence so the dependence engines see
+ * panel subtrees in program order.
+ */
+rt::Program choleskyNested(unsigned nb, unsigned bs);
+
+/**
+ * Divide-and-conquer mergesort: each internal node spawns its two half
+ * sorts, scoped-waits on them, then spawns and joins the merge child.
+ * Leaves of @p cutoff elements or fewer sort in place.
+ */
+rt::Program mergesortNested(unsigned n, unsigned cutoff);
+
+/**
+ * Nested taskbench (the `--nested` mode of the lifetime microbenchmarks):
+ * a @p fanout-ary task tree of the given @p depth; every inner node
+ * spawns its children from the executing worker and scoped-waits on
+ * them. @p chained links siblings with an inout dependence (the nested
+ * analogue of Task Chain); otherwise children are independent (Task
+ * Free).
+ */
+rt::Program taskTree(unsigned fanout, unsigned depth, Cycle payload,
+                     bool chained = false);
+
 // -- The 37 Figure-9 inputs --
 
 struct BenchInput

@@ -27,12 +27,19 @@ inline constexpr Addr kPhentosRetireCounter = 0x2000'0000;
 /** Phentos program-done flag. */
 inline constexpr Addr kPhentosDoneFlag = 0x2000'0040;
 
+/** Phentos per-parent child-retirement counters (one line each; nested
+ *  programs only). Siblings contend only on their own parent's line. */
+inline constexpr Addr kPhentosChildCounterBase = 0x2100'0000;
+
 /** Nanos scheduler singleton: lock line and queue head/slots. */
 inline constexpr Addr kNanosSchedLock = 0x3000'0000;
 inline constexpr Addr kNanosQueueHead = 0x3000'0040;
 inline constexpr Addr kNanosQueueSlots = 0x3000'0080;
 inline constexpr Addr kNanosCompletion = 0x3001'0000;
 inline constexpr Addr kNanosDoneFlag = 0x3001'0040;
+
+/** Nanos per-parent child-completion counters (nested programs only). */
+inline constexpr Addr kNanosChildCounterBase = 0x3100'0000;
 
 /** Nanos-SW dependence-domain lock and hash buckets. */
 inline constexpr Addr kSwDepLock = 0x4000'0000;
@@ -44,6 +51,20 @@ constexpr Addr
 phentosMetadataAddr(std::uint64_t sw_id, unsigned elem_lines)
 {
     return kPhentosMetadataBase + sw_id * elem_lines * kLine;
+}
+
+/** Child-retirement counter line of Phentos parent task @p sw_id. */
+constexpr Addr
+phentosChildCounterAddr(std::uint64_t sw_id)
+{
+    return kPhentosChildCounterBase + sw_id * kLine;
+}
+
+/** Child-completion counter line of Nanos parent task @p sw_id. */
+constexpr Addr
+nanosChildCounterAddr(std::uint64_t sw_id)
+{
+    return kNanosChildCounterBase + sw_id * kLine;
 }
 
 /** Hash-bucket line of a monitored address in the SW dependence domain. */

@@ -100,6 +100,8 @@ runProgram(RuntimeKind kind, const Program &prog,
     res.evaluatedCycles = sys.simulator().evaluatedCycles();
     res.componentTicks = sys.simulator().componentTicks();
     res.tickWorldTicks = sys.simulator().tickWorldTicks();
+    res.workerSubmits = runtime->tasksSubmittedByWorkers();
+    res.inlineTasks = runtime->tasksExecutedInline();
     fillContentionStats(res, sys);
     if (!res.completed) {
         PSIM_WARN(sys.clock(), "harness",

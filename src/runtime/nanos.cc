@@ -1,7 +1,10 @@
 #include "runtime/nanos.hh"
 
+#include <algorithm>
+
 #include "rocc/task_packets.hh"
 #include "runtime/addr_space.hh"
+#include "runtime/task_window.hh"
 #include "sim/log.hh"
 
 namespace picosim::rt
@@ -31,6 +34,23 @@ Nanos::install(cpu::System &sys, const Program &prog)
     sys_ = &sys;
     prog_ = &prog;
     outstandingReq_.assign(sys.numCores(), 0);
+    nested_ = prog.hasNested();
+    childRetired_.assign(nested_ ? prog.numTasks() : 0, 0);
+    hwInFlight_ = 0;
+    inlineExecuted_ = 0;
+    inFlightLimit_ = 0;
+    liveWriters_.clear();
+    // Nested RV/AXI programs bound their hardware-in-flight tasks (the
+    // software dependence graph of Nanos-SW is unbounded and needs no
+    // throttle).
+    if (nested_ && variant_ != Variant::SW)
+        inFlightLimit_ = taskWindowLimit(sys.params().picos,
+                                         sys.numCores(), prog.maxDeps());
+    // When the program's last action already is an explicit taskwait, the
+    // master's final barrier would re-poll the completion line for a
+    // target the explicit wait just drained — skip the redundant barrier.
+    skipFinalBarrier_ = !prog.actions.empty() &&
+                        prog.actions.back().kind == Action::Kind::Taskwait;
     if (variant_ == Variant::AXI) {
         // The loosely-coupled baseline reaches the delegate over MMIO;
         // publish the calibrated link costs as the harts' loose link.
@@ -174,9 +194,13 @@ Nanos::hwSubmitAxi(cpu::HartApi &api, const Task &task)
     }
 }
 
-sim::CoTask<void>
-Nanos::submitTask(cpu::HartApi &api, const Task &task)
+sim::CoTask<bool>
+Nanos::submitTask(cpu::HartApi &api, const Task &task, bool allow_throttle)
 {
+    if (allow_throttle && variant_ != Variant::SW &&
+        hwInFlight_ >= inFlightLimit_)
+        co_return false; // saturated: the caller drains + runs inline
+
     // WorkDescriptor allocation + plugin boilerplate (virtual hops).
     co_await api.delay(cm_.nanosSubmitPath + cm_.alloc +
                        cm_.virtualCall * 4);
@@ -200,14 +224,80 @@ Nanos::submitTask(cpu::HartApi &api, const Task &task)
       }
       case Variant::RV:
         co_await hwSubmitRocc(api, task);
+        ++hwInFlight_;
         break;
       case Variant::AXI:
         co_await hwSubmitAxi(api, task);
+        ++hwInFlight_;
         break;
     }
+    if (inFlightLimit_ > 0)
+        registerWriters(liveWriters_, task.deps);
     ++submitted_;
+    if (api.coreId() != 0)
+        ++workerSubmitted_;
     if (trace_)
         trace_->onSubmit(task.id, sys_->clock().now());
+    co_return true;
+}
+
+sim::CoTask<void>
+Nanos::executeInline(cpu::HartApi &api, const Task &task)
+{
+    // Saturation fallback: run the task without the dependence hardware.
+    // It joins the same submission/completion bookkeeping so barriers and
+    // scoped waits stay exact; dependence safety is the caller's contract
+    // (the task's earlier siblings have already drained). Violations
+    // fail loudly.
+    checkInlineSafe(liveWriters_, task.deps);
+    ++submitted_;
+    ++inlineExecuted_;
+    if (api.coreId() != 0)
+        ++workerSubmitted_;
+    if (trace_) {
+        trace_->onSubmit(task.id, sys_->clock().now());
+        trace_->onDispatch(task.id, sys_->clock().now(), api.coreId());
+    }
+    co_await api.delay(cm_.nanosExecWrap + cm_.virtualCall * 2);
+    co_await api.executePayload(task.payload);
+    ++executed_;
+    co_await runBody(api, task);
+    co_await api.delay(cm_.nanosRetirePath + cm_.virtualCall * 2);
+    co_await noteCompletion(api, task);
+    if (trace_)
+        trace_->onRetire(task.id, sys_->clock().now());
+}
+
+sim::CoTask<void>
+Nanos::runBody(cpu::HartApi &api, const Task &task)
+{
+    // Replay the task body's nested operations on the executing core:
+    // child WorkDescriptors are submitted through this core's own
+    // dependence path (worker-side submission), scoped waits poll the
+    // parent's completion counter line.
+    std::uint64_t spawned = 0;
+    for (const BodyOp &op : prog_->bodyOf(task.id)) {
+        if (op.kind == BodyOp::Kind::SpawnChild) {
+            const Task &child = prog_->taskById(op.child);
+            const bool ok =
+                co_await submitTask(api, child, /*allow_throttle=*/true);
+            if (!ok) {
+                // Task window saturated. Drain this task's own children
+                // (their producers are all submitted siblings, so the
+                // subtree always makes progress), then run the new child
+                // inline — its earlier siblings have now retired, so its
+                // dependences are satisfied without the hardware.
+                co_await taskwaitChildren(api, task.id, spawned);
+                const bool retried =
+                    co_await submitTask(api, child, /*allow_throttle=*/true);
+                if (!retried)
+                    co_await executeInline(api, child);
+            }
+            ++spawned;
+        } else {
+            co_await taskwaitChildren(api, task.id, op.waitTarget);
+        }
+    }
 }
 
 // -- Fetch / execute / retire ---------------------------------------------
@@ -280,6 +370,9 @@ Nanos::retire(cpu::HartApi &api, const Task &task)
             sim::panic("Nanos-RV retire without Picos ID");
         co_await api.retireTask(it->second);
         picosIdBySw_.erase(it);
+        --hwInFlight_;
+        if (inFlightLimit_ > 0)
+            releaseWriters(liveWriters_, task.deps);
         break;
       }
       case Variant::AXI: {
@@ -294,14 +387,30 @@ Nanos::retire(cpu::HartApi &api, const Task &task)
         }
         del.retireTask(it->second);
         picosIdBySw_.erase(it);
+        --hwInFlight_;
+        if (inFlightLimit_ > 0)
+            releaseWriters(liveWriters_, task.deps);
         break;
       }
     }
 
+    co_await noteCompletion(api, task);
+}
+
+sim::CoTask<void>
+Nanos::noteCompletion(cpu::HartApi &api, const Task &task)
+{
     // Completion bookkeeping under the scheduler lock + condvar signal.
     co_await lockAcquire(api, schedLock_, cm_);
     co_await api.write(layout::kNanosCompletion);
     ++completed_;
+    if (nested_ && task.parent != kNoParent) {
+        // Parent -> child retire notification: the parent's scoped
+        // counter shares the completion critical section, exactly like
+        // Nanos's WorkDescriptor parent accounting.
+        co_await api.write(layout::nanosChildCounterAddr(task.parent));
+        ++childRetired_[task.parent];
+    }
     co_await lockRelease(api, schedLock_, cm_);
     co_await api.delay(cm_.condSignal);
 }
@@ -328,6 +437,8 @@ Nanos::tryExecuteOne(cpu::HartApi &api)
         trace_->onDispatch(task.id, sys_->clock().now(), api.coreId());
     co_await api.executePayload(task.payload);
     ++executed_;
+    if (nested_)
+        co_await runBody(api, task);
     co_await retire(api, task);
     if (trace_)
         trace_->onRetire(task.id, sys_->clock().now());
@@ -350,16 +461,66 @@ Nanos::taskwait(cpu::HartApi &api, std::uint64_t target)
 }
 
 sim::CoTask<void>
+Nanos::taskwaitAll(cpu::HartApi &api)
+{
+    // Nested-program barrier: drain every task submitted so far *and*
+    // their subtrees. The target is re-read each poll because in-flight
+    // parents keep growing submitted_; a child is always submitted before
+    // its parent's completion is counted, so completed_ == submitted_
+    // implies the whole subtree has drained.
+    while (true) {
+        co_await api.read(layout::kNanosCompletion);
+        if (completed_ >= submitted_)
+            break;
+        const bool ran = co_await tryExecuteOne(api);
+        if (!ran)
+            co_await api.delay(cm_.nanosIdleBackoff);
+    }
+}
+
+sim::CoTask<void>
+Nanos::taskwaitChildren(cpu::HartApi &api, std::uint64_t id,
+                        std::uint64_t target)
+{
+    // Scoped taskwait: wait for this task's own children only; unrelated
+    // siblings may still be in flight. The waiting worker keeps running
+    // ready tasks so occupying the core can never deadlock the subtree.
+    while (true) {
+        co_await api.read(layout::nanosChildCounterAddr(id));
+        if (childRetired_[id] >= target)
+            break;
+        const bool ran = co_await tryExecuteOne(api);
+        if (!ran)
+            co_await api.delay(cm_.nanosIdleBackoff);
+    }
+}
+
+sim::CoTask<void>
 Nanos::master(cpu::HartApi &api)
 {
     for (const Action &a : prog_->actions) {
         if (a.kind == Action::Kind::Spawn) {
-            co_await submitTask(api, a.task);
+            const bool ok =
+                co_await submitTask(api, a.task, /*allow_throttle=*/nested_);
+            if (!ok) {
+                // Saturated: drain everything in flight. The window is
+                // provably empty afterwards (every hardware submission
+                // has retired), so this submission cannot be throttled.
+                co_await taskwaitAll(api);
+                co_await submitTask(api, a.task);
+            }
+        } else if (nested_) {
+            co_await taskwaitAll(api);
         } else {
             co_await taskwait(api, submitted_);
         }
     }
-    co_await taskwait(api, prog_->numTasks());
+    if (!skipFinalBarrier_) {
+        if (nested_)
+            co_await taskwaitAll(api);
+        else
+            co_await taskwait(api, prog_->numTasks());
+    }
     doneFlag_ = true;
     co_await api.write(layout::kNanosDoneFlag);
     masterDone_ = true;

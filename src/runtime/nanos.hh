@@ -26,6 +26,7 @@
 #include "runtime/sw_dep_graph.hh"
 #include "runtime/sync.hh"
 #include "runtime/task_trace.hh"
+#include "runtime/task_window.hh"
 
 namespace picosim::rt
 {
@@ -43,6 +44,14 @@ class Nanos : public Runtime
 
     bool finished() const override;
     std::uint64_t tasksExecuted() const override { return executed_; }
+    std::uint64_t tasksSubmittedByWorkers() const override
+    {
+        return workerSubmitted_;
+    }
+    std::uint64_t tasksExecutedInline() const override
+    {
+        return inlineExecuted_;
+    }
 
     Variant variant() const { return variant_; }
 
@@ -53,7 +62,21 @@ class Nanos : public Runtime
     sim::CoTask<void> master(cpu::HartApi &api);
     sim::CoTask<void> worker(cpu::HartApi &api);
 
-    sim::CoTask<void> submitTask(cpu::HartApi &api, const Task &task);
+    /**
+     * Submit one task through the variant's dependence path. With
+     * @p allow_throttle (nested RV/AXI programs), co_returns false
+     * without submitting when the hardware task window is saturated —
+     * the caller must fall back (drain, then execute inline).
+     */
+    sim::CoTask<bool> submitTask(cpu::HartApi &api, const Task &task,
+                                 bool allow_throttle = false);
+
+    /** Saturation fallback: run @p task without the dependence hardware
+     *  (the caller guarantees its earlier siblings drained). */
+    sim::CoTask<void> executeInline(cpu::HartApi &api, const Task &task);
+
+    /** Completion bookkeeping shared by retire() and executeInline(). */
+    sim::CoTask<void> noteCompletion(cpu::HartApi &api, const Task &task);
 
     /** Push a ready task into the Scheduler singleton's central queue. */
     sim::CoTask<void> pushCentral(cpu::HartApi &api, std::uint64_t sw_id);
@@ -77,6 +100,17 @@ class Nanos : public Runtime
 
     sim::CoTask<void> taskwait(cpu::HartApi &api, std::uint64_t target);
 
+    /** Nested-program barrier: drain everything submitted so far,
+     *  subtrees included (re-reads the growing submission count). */
+    sim::CoTask<void> taskwaitAll(cpu::HartApi &api);
+
+    /** Scoped taskwait: wait until @p target children of @p id retired. */
+    sim::CoTask<void> taskwaitChildren(cpu::HartApi &api, std::uint64_t id,
+                                       std::uint64_t target);
+
+    /** Replay a task body's child spawns and scoped waits (nested). */
+    sim::CoTask<void> runBody(cpu::HartApi &api, const Task &task);
+
     Variant variant_;
     CostModel cm_;
     cpu::System *sys_ = nullptr;
@@ -98,8 +132,21 @@ class Nanos : public Runtime
     std::uint64_t submitted_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t workerSubmitted_ = 0; ///< spawns from non-master harts
     bool doneFlag_ = false;
     bool masterDone_ = false;
+
+    // -- Nested tasking (inert for flat programs) --
+    bool nested_ = false;           ///< program spawns child tasks
+    bool skipFinalBarrier_ = false; ///< last action already is a taskwait
+    std::vector<std::uint64_t> childRetired_; ///< per-parent counts
+
+    /** Hardware task-window throttle (nested RV/AXI only): blocked
+     *  parents must never fill the accelerator — see Phentos. */
+    std::uint64_t hwInFlight_ = 0;     ///< submitted to HW, not retired
+    std::uint64_t inFlightLimit_ = 0;  ///< 0 = no throttle
+    std::uint64_t inlineExecuted_ = 0; ///< saturation-fallback executions
+    LiveWriters liveWriters_; ///< guards the inline fallback (throttled runs)
 };
 
 } // namespace picosim::rt

@@ -4,6 +4,7 @@
 
 #include "rocc/task_packets.hh"
 #include "runtime/addr_space.hh"
+#include "runtime/task_window.hh"
 #include "sim/log.hh"
 
 namespace picosim::rt
@@ -18,17 +19,28 @@ Phentos::install(cpu::System &sys, const Program &prog)
     submitted_ = 0;
     sharedRetired_ = 0;
     executed_ = 0;
+    workerSubmitted_ = 0;
     doneFlag_ = false;
     masterDone_ = false;
+    nested_ = prog.hasNested();
+    childRetired_.assign(nested_ ? prog.numTasks() : 0, 0);
+    hwInFlight_ = 0;
+    inlineExecuted_ = 0;
+    inFlightLimit_ = 0;
+    const unsigned max_deps = prog.maxDeps();
+    liveWriters_.clear();
+    if (nested_)
+        inFlightLimit_ =
+            taskWindowLimit(sys.params().picos, sys.numCores(), max_deps);
+
+    // When the program's last action already is an explicit taskwait, the
+    // master's final barrier would re-poll for a target the explicit wait
+    // just drained — skip it (it costs an extra flush + poll round).
+    skipFinalBarrier_ = !prog.actions.empty() &&
+                        prog.actions.back().kind == Action::Kind::Taskwait;
 
     // Pre-processor macro in real Phentos: element size of one cache line
     // covers up to 7 dependences, two lines cover up to 15 (Section V-B).
-    unsigned max_deps = 0;
-    for (const Action &a : prog.actions) {
-        if (a.kind == Action::Kind::Spawn)
-            max_deps = std::max<unsigned>(
-                max_deps, static_cast<unsigned>(a.task.deps.size()));
-    }
     elemLines_ = max_deps <= 7 ? 1 : 2;
 
     sys.installThread(0, master(sys.hartApi(0)));
@@ -62,9 +74,13 @@ Phentos::flushPrivate(cpu::HartApi &api)
     pc.fetchFails = 0;
 }
 
-sim::CoTask<void>
-Phentos::submitTask(cpu::HartApi &api, const Task &task)
+sim::CoTask<bool>
+Phentos::submitTask(cpu::HartApi &api, const Task &task,
+                    bool allow_throttle)
 {
+    if (allow_throttle && hwInFlight_ >= inFlightLimit_)
+        co_return false; // saturated: the caller drains + runs inline
+
     co_await api.delay(cm_.phentosSubmitFixed);
 
     // Fill this task's element of the Task Metadata Array (single writer:
@@ -116,9 +132,77 @@ Phentos::submitTask(cpu::HartApi &api, const Task &task)
         }
     }
     ++submitted_;
+    ++hwInFlight_;
+    if (inFlightLimit_ > 0)
+        registerWriters(liveWriters_, task.deps);
+    if (api.coreId() != 0)
+        ++workerSubmitted_;
     if (trace_)
         trace_->onSubmit(task.id, sys_->clock().now());
     co_await api.delay(cm_.phentosLoop);
+    co_return true;
+}
+
+sim::CoTask<void>
+Phentos::executeInline(cpu::HartApi &api, const Task &task)
+{
+    // The task never touches the accelerator, but it joins the same
+    // submission/retirement bookkeeping so barriers (children submitted
+    // before the parent's retirement is counted) and scoped waits stay
+    // exact. Dependence safety is the caller's contract: the task's
+    // earlier siblings — the only tasks OmpSs dependences can name —
+    // have already drained. Violations fail loudly.
+    checkInlineSafe(liveWriters_, task.deps);
+    ++submitted_;
+    ++inlineExecuted_;
+    if (api.coreId() != 0)
+        ++workerSubmitted_;
+    if (trace_) {
+        trace_->onSubmit(task.id, sys_->clock().now());
+        trace_->onDispatch(task.id, sys_->clock().now(), api.coreId());
+    }
+    co_await api.executePayload(task.payload);
+    co_await runBody(api, task);
+    if (task.parent != kNoParent) {
+        co_await api.atomicRmw(layout::phentosChildCounterAddr(task.parent));
+        ++childRetired_[task.parent];
+    }
+    if (trace_)
+        trace_->onRetire(task.id, sys_->clock().now());
+    ++perCore_[api.coreId()].privateRetired;
+    ++executed_;
+    co_await api.delay(cm_.phentosLoop);
+}
+
+sim::CoTask<void>
+Phentos::runBody(cpu::HartApi &api, const Task &task)
+{
+    // Replay the task body's nested operations on the executing core:
+    // child submissions go through this core's own delegate port (worker-
+    // side submission), scoped waits spin on the parent's counter line.
+    std::uint64_t spawned = 0;
+    for (const BodyOp &op : prog_->bodyOf(task.id)) {
+        if (op.kind == BodyOp::Kind::SpawnChild) {
+            const Task &child = prog_->taskById(op.child);
+            const bool ok =
+                co_await submitTask(api, child, /*allow_throttle=*/true);
+            if (!ok) {
+                // Task window saturated. Drain this task's own children
+                // (their producers are all submitted siblings, so the
+                // subtree can always make progress), then run the new
+                // child inline — its earlier siblings have now retired,
+                // so its dependences are satisfied without the hardware.
+                co_await taskwaitChildren(api, task.id, spawned);
+                const bool retried =
+                    co_await submitTask(api, child, /*allow_throttle=*/true);
+                if (!retried)
+                    co_await executeInline(api, child);
+            }
+            ++spawned;
+        } else {
+            co_await taskwaitChildren(api, task.id, op.waitTarget);
+        }
+    }
 }
 
 sim::CoTask<bool>
@@ -154,7 +238,18 @@ Phentos::tryExecuteOne(cpu::HartApi &api)
     if (trace_)
         trace_->onDispatch(task.id, sys_->clock().now(), api.coreId());
     co_await api.executePayload(task.payload);
+    if (nested_)
+        co_await runBody(api, task);
     co_await api.retireTask(*pid);
+    --hwInFlight_;
+    if (inFlightLimit_ > 0)
+        releaseWriters(liveWriters_, task.deps);
+    if (nested_ && task.parent != kNoParent) {
+        // Parent -> child retire notification: bump the parent's scoped
+        // counter line so its taskwaitChildren() can observe the drain.
+        co_await api.atomicRmw(layout::phentosChildCounterAddr(task.parent));
+        ++childRetired_[task.parent];
+    }
     if (trace_)
         trace_->onRetire(task.id, sys_->clock().now());
 
@@ -167,21 +262,63 @@ Phentos::tryExecuteOne(cpu::HartApi &api)
 sim::CoTask<void>
 Phentos::taskwait(cpu::HartApi &api, std::uint64_t target)
 {
-    unsigned idle_polls = 0;
     while (true) {
         co_await flushPrivate(api);
         co_await api.read(layout::kPhentosRetireCounter);
         if (sharedRetired_ >= target)
             break;
         const bool ran = co_await tryExecuteOne(api);
+        if (!ran) {
+            // The paper's taskwait checks the counter only every N cycles
+            // with N in [10, 100] depending on the taskwait method; the
+            // blocking-wait method polls at the large fixed N (Section
+            // V-B) — the counter is written by every core, so re-reading
+            // it faster only adds coherence traffic. The ramped backoff
+            // (backoffOf) is for the work-*fetch* paths, where a ready
+            // task may appear at any cycle.
+            co_await api.delay(cm_.taskwaitPollMax);
+        }
+    }
+}
+
+sim::CoTask<void>
+Phentos::taskwaitAll(cpu::HartApi &api)
+{
+    // Nested-program barrier: drain every task submitted so far *and*
+    // their subtrees. The target is re-read each poll because in-flight
+    // parents keep growing submitted_; a child is always submitted before
+    // its parent's retirement is counted, so sharedRetired_ == submitted_
+    // implies the whole subtree has drained (and every private counter
+    // has been flushed).
+    while (true) {
+        co_await flushPrivate(api);
+        co_await api.read(layout::kPhentosRetireCounter);
+        if (sharedRetired_ >= submitted_)
+            break;
+        const bool ran = co_await tryExecuteOne(api);
+        if (!ran)
+            co_await api.delay(cm_.taskwaitPollMax);
+    }
+}
+
+sim::CoTask<void>
+Phentos::taskwaitChildren(cpu::HartApi &api, std::uint64_t id,
+                          std::uint64_t target)
+{
+    // Scoped taskwait: wait for this task's own children only. Unrelated
+    // siblings may still be in flight. The waiting worker keeps executing
+    // ready tasks (its own children included) so occupying the core can
+    // never deadlock the subtree.
+    unsigned idle_polls = 0;
+    while (true) {
+        co_await api.read(layout::phentosChildCounterAddr(id));
+        if (childRetired_[id] >= target)
+            break;
+        const bool ran = co_await tryExecuteOne(api);
         if (ran) {
             idle_polls = 0;
         } else {
-            // The paper's taskwait checks the counter only every N cycles
-            // with N in [10, 100] depending on the taskwait method; the
-            // blocking-wait method uses the large N (Section V-B).
-            ++idle_polls;
-            co_await api.delay(cm_.taskwaitPollMax);
+            co_await api.delay(backoffOf(++idle_polls));
         }
     }
 }
@@ -191,12 +328,27 @@ Phentos::master(cpu::HartApi &api)
 {
     for (const Action &a : prog_->actions) {
         if (a.kind == Action::Kind::Spawn) {
-            co_await submitTask(api, a.task);
+            const bool ok =
+                co_await submitTask(api, a.task, /*allow_throttle=*/nested_);
+            if (!ok) {
+                // Saturated: drain everything in flight. The window is
+                // provably empty afterwards (every hardware submission
+                // has retired), so this submission cannot be throttled.
+                co_await taskwaitAll(api);
+                co_await submitTask(api, a.task);
+            }
+        } else if (nested_) {
+            co_await taskwaitAll(api);
         } else {
             co_await taskwait(api, submitted_);
         }
     }
-    co_await taskwait(api, prog_->numTasks());
+    if (!skipFinalBarrier_) {
+        if (nested_)
+            co_await taskwaitAll(api);
+        else
+            co_await taskwait(api, prog_->numTasks());
+    }
     doneFlag_ = true;
     co_await api.write(layout::kPhentosDoneFlag);
     masterDone_ = true;

@@ -46,6 +46,15 @@ class Runtime
 
     /** Tasks actually executed (must equal prog.numTasks() when done). */
     virtual std::uint64_t tasksExecuted() const = 0;
+
+    /** Tasks submitted from worker harts (their own delegate/RoCC port).
+     *  Non-zero only for nested programs, whose child spawns originate on
+     *  whichever core executes the parent. */
+    virtual std::uint64_t tasksSubmittedByWorkers() const { return 0; }
+
+    /** Tasks executed by the saturation fallback (inline, without the
+     *  dependence hardware) when a nested program fills the task window. */
+    virtual std::uint64_t tasksExecutedInline() const { return 0; }
 };
 
 /** Outcome of one program run on one runtime. */
@@ -82,6 +91,10 @@ struct RunResult
     std::uint64_t schedGatewayStallCycles = 0; ///< shard gate arbiter waits
     std::uint64_t crossShardEdges = 0; ///< dependence edges spanning shards
     std::uint64_t workSteals = 0;      ///< cross-cluster ready-task steals
+
+    // -- Nested tasking (zero for flat programs) --
+    std::uint64_t workerSubmits = 0; ///< tasks submitted from worker harts
+    std::uint64_t inlineTasks = 0;   ///< saturation-fallback executions
 
     double
     speedup() const

@@ -4,14 +4,27 @@ namespace picosim::rt
 {
 
 sim::CoTask<void>
+Serial::runTask(cpu::HartApi &api, const Program &prog, const Task &task)
+{
+    co_await api.delay(cm_.call);
+    co_await api.executePayload(task.payload);
+    ++executed_;
+    // Nested bodies run depth-first in body order; by the time a scoped
+    // taskwait is reached its children have already completed, so it is a
+    // no-op serially (flat tasks have empty bodies and add no awaits).
+    for (const BodyOp &op : prog.bodyOf(task.id)) {
+        if (op.kind == BodyOp::Kind::SpawnChild)
+            co_await runTask(api, prog, prog.taskById(op.child));
+    }
+}
+
+sim::CoTask<void>
 Serial::thread(cpu::HartApi &api, const Program &prog)
 {
     for (const Action &a : prog.actions) {
         if (a.kind != Action::Kind::Spawn)
             continue; // taskwait is a no-op serially
-        co_await api.delay(cm_.call);
-        co_await api.executePayload(a.task.payload);
-        ++executed_;
+        co_await runTask(api, prog, a.task);
     }
     finished_ = true;
 }

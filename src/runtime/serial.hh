@@ -28,6 +28,10 @@ class Serial : public Runtime
   private:
     sim::CoTask<void> thread(cpu::HartApi &api, const Program &prog);
 
+    /** Execute one task and, depth-first, every task its body spawns. */
+    sim::CoTask<void> runTask(cpu::HartApi &api, const Program &prog,
+                              const Task &task);
+
     CostModel cm_;
     bool finished_ = false;
     std::uint64_t executed_ = 0;

@@ -5,10 +5,99 @@
 namespace picosim::rt
 {
 
+namespace
+{
+/** Tag bit marking an index_ entry that points into childTasks_. */
+constexpr std::size_t kChildBit = ~(~std::size_t{0} >> 1);
+constexpr std::size_t kInvalid = ~std::size_t{0}; // reserved: never a tag
+} // namespace
+
+std::uint64_t
+Program::spawnChild(std::uint64_t parent, Cycle payload,
+                    std::vector<TaskDep> deps)
+{
+    if (parent >= numTasks_)
+        sim::fatal("Program::spawnChild: unknown parent task id");
+    Task child;
+    child.id = numTasks_;
+    child.payload = payload;
+    child.deps = std::move(deps);
+    child.parent = parent;
+    childTasks_.push_back(std::move(child));
+
+    BodyOp op;
+    op.kind = BodyOp::Kind::SpawnChild;
+    op.child = numTasks_;
+    bodies_[parent].push_back(op);
+    return numTasks_++;
+}
+
+void
+Program::taskwaitChildren(std::uint64_t parent)
+{
+    if (parent >= numTasks_)
+        sim::fatal("Program::taskwaitChildren: unknown parent task id");
+    BodyOp op;
+    op.kind = BodyOp::Kind::TaskwaitChildren;
+    op.waitTarget = childrenOf(parent);
+    bodies_[parent].push_back(op);
+}
+
+const std::vector<BodyOp> &
+Program::bodyOf(std::uint64_t id) const
+{
+    static const std::vector<BodyOp> kEmpty;
+    const auto it = bodies_.find(id);
+    return it == bodies_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t
+Program::childrenOf(std::uint64_t id) const
+{
+    std::uint64_t count = 0;
+    for (const BodyOp &op : bodyOf(id)) {
+        if (op.kind == BodyOp::Kind::SpawnChild)
+            ++count;
+    }
+    return count;
+}
+
+unsigned
+Program::maxDeps() const
+{
+    unsigned max_deps = 0;
+    for (const Action &a : actions) {
+        if (a.kind == Action::Kind::Spawn)
+            max_deps = std::max<unsigned>(
+                max_deps, static_cast<unsigned>(a.task.deps.size()));
+    }
+    for (const Task &t : childTasks_)
+        max_deps =
+            std::max<unsigned>(max_deps, static_cast<unsigned>(t.deps.size()));
+    return max_deps;
+}
+
+Cycle
+Program::serialPayloadCycles() const
+{
+    Cycle total = 0;
+    const auto add = [&total](Cycle payload) {
+        if (__builtin_add_overflow(total, payload, &total))
+            sim::fatal("Program::serialPayloadCycles: payload sum overflows "
+                       "Cycle — the serial speedup baseline would wrap");
+    };
+    for (const Action &a : actions) {
+        if (a.kind == Action::Kind::Spawn)
+            add(a.task.payload);
+    }
+    for (const Task &t : childTasks_)
+        add(t.payload);
+    return total;
+}
+
 const Task &
 Program::taskById(std::uint64_t id) const
 {
-    constexpr std::size_t kInvalid = ~std::size_t{0};
     if (index_.size() != numTasks_) {
         index_.clear();
         index_.resize(numTasks_, kInvalid);
@@ -17,10 +106,14 @@ Program::taskById(std::uint64_t id) const
             if (a.kind == Action::Kind::Spawn)
                 index_[a.task.id] = pos;
         }
+        for (std::size_t pos = 0; pos < childTasks_.size(); ++pos)
+            index_[childTasks_[pos].id] = pos | kChildBit;
     }
     if (id >= index_.size() || index_[id] == kInvalid)
         sim::fatal("Program::taskById: unknown task id");
-    return actions[index_[id]].task;
+    const std::size_t pos = index_[id];
+    return pos & kChildBit ? childTasks_[pos & ~kChildBit]
+                           : actions[pos].task;
 }
 
 } // namespace picosim::rt

@@ -7,6 +7,13 @@
  * pointer parameters) interleaved with taskwait barriers. Payload cost is
  * the -O3 serial execution time of the task body in core cycles; the
  * workload generators in src/apps compute it from their block sizes.
+ *
+ * Nested tasking: any spawned task may itself spawn child tasks and issue
+ * *scoped* taskwaits (wait on its own children, not the global barrier).
+ * A task's body is described by an ordered list of BodyOps the executing
+ * worker replays after the payload; children record their parent id so
+ * runtimes can count per-parent retirements. Flat programs carry no body
+ * lists and take exactly the legacy code paths.
  */
 
 #ifndef PICOSIM_RUNTIME_TASK_TYPES_HH
@@ -14,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "rocc/task_packets.hh"
@@ -25,12 +33,16 @@ namespace picosim::rt
 using rocc::Dir;
 using rocc::TaskDep;
 
+/** Parent id of tasks spawned by the master thread (no parent task). */
+inline constexpr std::uint64_t kNoParent = ~std::uint64_t{0};
+
 /** One spawned task. */
 struct Task
 {
     std::uint64_t id = 0; ///< dense software id (index in spawn order)
     Cycle payload = 0;    ///< serial execution cost of the task body
     std::vector<TaskDep> deps;
+    std::uint64_t parent = kNoParent; ///< spawning task (kNoParent = master)
 };
 
 /** One program action, in program order. */
@@ -40,6 +52,22 @@ struct Action
 
     Kind kind = Kind::Spawn;
     Task task; ///< valid when kind == Spawn
+};
+
+/**
+ * One operation inside a task body, in body order. The executing worker
+ * replays these after the task payload: child spawns submit through the
+ * worker's own delegate port, scoped taskwaits block until the children
+ * spawned so far (waitTarget of them) have retired.
+ */
+struct BodyOp
+{
+    enum class Kind : std::uint8_t { SpawnChild, TaskwaitChildren };
+
+    Kind kind = Kind::SpawnChild;
+    std::uint64_t child = 0;      ///< spawned task id (SpawnChild)
+    std::uint64_t waitTarget = 0; ///< children spawned before this op
+                                  ///  (TaskwaitChildren)
 };
 
 /** A whole task-parallel program. */
@@ -70,19 +98,41 @@ struct Program
         actions.push_back(std::move(a));
     }
 
+    /**
+     * Append a child spawn to @p parent's body; assigns and returns the
+     * child's task id. @p parent must be an already-spawned task (top
+     * level or itself a child — nesting depth is unbounded).
+     */
+    std::uint64_t spawnChild(std::uint64_t parent, Cycle payload,
+                             std::vector<TaskDep> deps = {});
+
+    /**
+     * Append a scoped taskwait to @p parent's body: the executing worker
+     * blocks until every child @p parent has spawned *so far* (in body
+     * order) has retired. Unrelated sibling tasks may still be in flight.
+     */
+    void taskwaitChildren(std::uint64_t parent);
+
+    /** True when any task spawns children (enables the nested paths). */
+    bool hasNested() const { return !childTasks_.empty(); }
+
+    /** Body operations of task @p id (empty for leaf/flat tasks). */
+    const std::vector<BodyOp> &bodyOf(std::uint64_t id) const;
+
+    /** Number of children task @p id spawns over its whole body. */
+    std::uint64_t childrenOf(std::uint64_t id) const;
+
     std::uint64_t numTasks() const { return numTasks_; }
 
-    /** Serial baseline: the task bodies executed back to back. */
-    Cycle
-    serialPayloadCycles() const
-    {
-        Cycle total = 0;
-        for (const Action &a : actions) {
-            if (a.kind == Action::Kind::Spawn)
-                total += a.task.payload;
-        }
-        return total;
-    }
+    /** Largest dependence count over all tasks, children included. */
+    unsigned maxDeps() const;
+
+    /**
+     * Serial baseline: the task bodies (children included) executed back
+     * to back. Fails loudly (sim::fatal) on Cycle overflow so pathological
+     * generator parameters cannot silently wrap the speedup baseline.
+     */
+    Cycle serialPayloadCycles() const;
 
     /** Mean task payload in cycles (task granularity, Section III-E). */
     double
@@ -93,15 +143,23 @@ struct Program
                    : static_cast<double>(serialPayloadCycles()) / numTasks_;
     }
 
-    /** The task for a given id (spawn order). O(actions) build, cached. */
+    /** The task for a given id (spawn order). O(tasks) build, cached. */
     const Task &taskById(std::uint64_t id) const;
 
   private:
     std::uint64_t numTasks_ = 0;
+
+    /** Child tasks in spawn order; ids share the dense numTasks_ space. */
+    std::vector<Task> childTasks_;
+
+    /** Body operations per spawning task (absent key = leaf task). */
+    std::unordered_map<std::uint64_t, std::vector<BodyOp>> bodies_;
+
     /**
-     * Lazy id -> actions position index. Positions (not pointers) so the
-     * cache stays valid across Program copies — batch jobs copy their
-     * programs so each worker thread owns its (lazily mutated) index.
+     * Lazy id -> position index. Positions (not pointers) so the cache
+     * stays valid across Program copies — batch jobs copy their programs
+     * so each worker thread owns its (lazily mutated) index. Entries with
+     * the top bit set index childTasks_, the rest index actions.
      */
     mutable std::vector<std::size_t> index_;
 };

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hardware task-window sizing shared by the Phentos and Nanos models.
+ *
+ * A nested program can wedge the dependence accelerator: every
+ * reservation-station entry held by a *blocked parent* (scoped taskwait)
+ * whose children cannot be submitted leaves nothing ready to execute.
+ * The runtimes therefore bound their hardware-in-flight task count below
+ * the accelerator's structural capacity; past the bound the spawner
+ * drains its own children and runs new ones inline.
+ */
+
+#ifndef PICOSIM_RUNTIME_TASK_WINDOW_HH
+#define PICOSIM_RUNTIME_TASK_WINDOW_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "picos/picos_params.hh"
+#include "rocc/task_packets.hh"
+#include "sim/log.hh"
+
+namespace picosim::rt
+{
+
+/**
+ * In-flight limit that keeps the accelerator's reservation station and
+ * dependence table from saturating: structural capacity (table capacity
+ * scaled by the program's worst-case dependence count) minus a margin
+ * for the retire pipeline and one in-flight submission per core.
+ */
+inline std::uint64_t
+taskWindowLimit(const picos::PicosParams &pp, unsigned num_cores,
+                unsigned max_deps)
+{
+    const std::uint64_t margin = pp.retireQueueDepth + num_cores + 2;
+    const std::uint64_t trs_cap =
+        pp.trsEntries > margin ? pp.trsEntries - margin : 1;
+    const std::uint64_t dct_entries =
+        static_cast<std::uint64_t>(pp.dctSets) * pp.dctWays;
+    std::uint64_t dep_cap = dct_entries / std::max(1u, max_deps);
+    dep_cap = dep_cap > margin ? dep_cap - margin : 1;
+    return std::max<std::uint64_t>(1, std::min(trs_cap, dep_cap));
+}
+
+/**
+ * Live-writer ledger guarding the inline fallback. Inline execution
+ * bypasses the dependence hardware on the contract that the task's
+ * earlier siblings — the only tasks OmpSs dependences may name — have
+ * drained. The ledger makes a contract violation loud instead of
+ * silently corrupting the simulated schedule: writers (Out/InOut) of
+ * every hardware-in-flight task are counted per address, and a task
+ * about to run inline must not touch an address with a live writer.
+ */
+using LiveWriters = std::unordered_map<Addr, std::uint32_t>;
+
+inline void
+registerWriters(LiveWriters &writers, const std::vector<rocc::TaskDep> &deps)
+{
+    for (const rocc::TaskDep &dep : deps) {
+        if (dep.dir != rocc::Dir::In)
+            ++writers[dep.addr];
+    }
+}
+
+inline void
+releaseWriters(LiveWriters &writers, const std::vector<rocc::TaskDep> &deps)
+{
+    for (const rocc::TaskDep &dep : deps) {
+        if (dep.dir == rocc::Dir::In)
+            continue;
+        const auto it = writers.find(dep.addr);
+        if (it != writers.end() && --it->second == 0)
+            writers.erase(it);
+    }
+}
+
+/** Fail loudly when @p deps touch an address with a live writer. */
+inline void
+checkInlineSafe(const LiveWriters &writers,
+                const std::vector<rocc::TaskDep> &deps)
+{
+    for (const rocc::TaskDep &dep : deps) {
+        if (writers.count(dep.addr))
+            sim::fatal("inline fallback would violate a dependence: an "
+                       "in-flight task still writes a monitored address "
+                       "of the task being inlined (nested dependences "
+                       "must only name earlier siblings)");
+    }
+}
+
+} // namespace picosim::rt
+
+#endif // PICOSIM_RUNTIME_TASK_WINDOW_HH

@@ -144,14 +144,16 @@ TEST_P(SystemCoreSweep, AllCoresCanTouchTheirDelegates)
     p.numCores = GetParam();
     System sys(p);
     unsigned ok_count = 0;
-    for (CoreId c = 0; c < p.numCores; ++c) {
-        auto body = [&ok_count](cpu::HartApi &api) -> sim::CoTask<void> {
-            const bool ok = co_await api.readyTaskRequest();
-            if (ok)
-                ++ok_count;
-        };
+    // The closure must outlive sys.run(): a coroutine born from a lambda
+    // keeps a reference to the closure object, so a loop-local lambda
+    // would dangle once its iteration ends.
+    auto body = [&ok_count](cpu::HartApi &api) -> sim::CoTask<void> {
+        const bool ok = co_await api.readyTaskRequest();
+        if (ok)
+            ++ok_count;
+    };
+    for (CoreId c = 0; c < p.numCores; ++c)
         sys.installThread(c, body(sys.hartApi(c)));
-    }
     ASSERT_TRUE(sys.run(10'000));
     EXPECT_EQ(ok_count, p.numCores);
 }

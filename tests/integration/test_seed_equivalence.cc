@@ -126,11 +126,17 @@ TEST_P(TimedGolden, KernelsAgreeAndMatchGolden)
 // subsystem (default MemParams structure, 8 cores; serial forced to 1).
 // A single uncontended hart charges exactly the inline latencies, so the
 // serial rows must equal the inline goldens above.
+//
+// task-free/Phentos was re-pinned from 51'558 when the master stopped
+// issuing its redundant final barrier for programs whose last action
+// already is an explicit taskwait (the skipped poll round saved 36
+// timed-memory cycles; every other golden is quantized by the worker
+// done-flag backoff and did not move).
 INSTANTIATE_TEST_SUITE_P(
     TimedMem, TimedGolden,
     ::testing::Values(
         GoldenRun{"task-free", RuntimeKind::Serial, 257'280},
-        GoldenRun{"task-free", RuntimeKind::Phentos, 51'558},
+        GoldenRun{"task-free", RuntimeKind::Phentos, 51'522},
         GoldenRun{"task-free", RuntimeKind::NanosRV, 967'598},
         GoldenRun{"task-chain", RuntimeKind::Serial, 257'280},
         GoldenRun{"task-chain", RuntimeKind::Phentos, 291'785},

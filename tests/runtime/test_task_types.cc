@@ -71,3 +71,107 @@ TEST(Program, DepsArePreserved)
     p.spawn(1'000, deps);
     EXPECT_EQ(p.taskById(0).deps, deps);
 }
+
+// -- Nested tasking -------------------------------------------------------
+
+TEST(Program, FlatProgramsHaveNoNesting)
+{
+    Program p;
+    p.spawn(100);
+    p.taskwait();
+    EXPECT_FALSE(p.hasNested());
+    EXPECT_TRUE(p.bodyOf(0).empty());
+    EXPECT_EQ(p.childrenOf(0), 0u);
+    EXPECT_EQ(p.taskById(0).parent, kNoParent);
+}
+
+TEST(Program, SpawnChildSharesTheDenseIdSpace)
+{
+    Program p;
+    const auto root = p.spawn(100);
+    const auto c0 = p.spawnChild(root, 10);
+    const auto c1 = p.spawnChild(root, 20, {{0xA0, Dir::InOut}});
+    const auto grand = p.spawnChild(c1, 30);
+    EXPECT_EQ(c0, 1u);
+    EXPECT_EQ(c1, 2u);
+    EXPECT_EQ(grand, 3u);
+    EXPECT_EQ(p.numTasks(), 4u);
+    EXPECT_TRUE(p.hasNested());
+
+    EXPECT_EQ(p.taskById(c0).parent, root);
+    EXPECT_EQ(p.taskById(c1).parent, root);
+    EXPECT_EQ(p.taskById(grand).parent, c1);
+    EXPECT_EQ(p.taskById(c1).payload, 20u);
+    EXPECT_EQ(p.taskById(grand).payload, 30u);
+    EXPECT_EQ(p.childrenOf(root), 2u);
+    EXPECT_EQ(p.childrenOf(c1), 1u);
+}
+
+TEST(Program, ScopedTaskwaitTargetsCountPriorSpawnsOnly)
+{
+    Program p;
+    const auto root = p.spawn(100);
+    p.spawnChild(root, 10);
+    p.taskwaitChildren(root); // after 1 child
+    p.spawnChild(root, 20);
+    p.spawnChild(root, 30);
+    p.taskwaitChildren(root); // after 3 children
+
+    const auto &body = p.bodyOf(root);
+    ASSERT_EQ(body.size(), 5u);
+    EXPECT_EQ(body[1].kind, BodyOp::Kind::TaskwaitChildren);
+    EXPECT_EQ(body[1].waitTarget, 1u);
+    EXPECT_EQ(body[4].kind, BodyOp::Kind::TaskwaitChildren);
+    EXPECT_EQ(body[4].waitTarget, 3u);
+}
+
+TEST(Program, SpawnChildRejectsUnknownParent)
+{
+    Program p;
+    p.spawn(100);
+    EXPECT_THROW(p.spawnChild(7, 10), std::runtime_error);
+    EXPECT_THROW(p.taskwaitChildren(7), std::runtime_error);
+}
+
+TEST(Program, NestedPayloadsAndDepsCountInAggregates)
+{
+    Program p;
+    const auto root = p.spawn(100, {{0xA0, Dir::Out}});
+    p.spawnChild(root, 250,
+                 {{0xB0, Dir::In}, {0xC0, Dir::In}, {0xD0, Dir::InOut}});
+    EXPECT_EQ(p.serialPayloadCycles(), 350u);
+    EXPECT_EQ(p.maxDeps(), 3u);
+    EXPECT_DOUBLE_EQ(p.meanTaskSize(), 175.0);
+}
+
+TEST(Program, CopiedNestedProgramIsIndependent)
+{
+    Program p;
+    const auto root = p.spawn(100);
+    p.spawnChild(root, 10);
+    p.taskwaitChildren(root);
+    p.taskById(1); // warm the index before copying
+    const Program copy = p;
+    EXPECT_EQ(copy.taskById(1).parent, root);
+    EXPECT_EQ(copy.bodyOf(root).size(), 2u);
+    EXPECT_EQ(copy.childrenOf(root), 1u);
+}
+
+// Satellite: the serial speedup baseline must fail loudly on overflow
+// instead of wrapping (a wrapped baseline would silently corrupt every
+// speedup a bench reports).
+TEST(Program, SerialPayloadOverflowFailsLoudly)
+{
+    Program p;
+    p.spawn(~Cycle{0} - 100);
+    p.spawn(200);
+    EXPECT_THROW(p.serialPayloadCycles(), std::runtime_error);
+}
+
+TEST(Program, SerialPayloadNearOverflowStillSums)
+{
+    Program p;
+    p.spawn(~Cycle{0} - 100);
+    p.spawn(100);
+    EXPECT_EQ(p.serialPayloadCycles(), ~Cycle{0});
+}

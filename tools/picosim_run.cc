@@ -9,10 +9,13 @@
  *               [--cores=N] [--jobs=N] [--mode=event|tickworld]
  *               [--mem=inline|timed] [--mshrs=N] [--bus-bytes=N]
  *               [--mem-occupancy=N] [--sched-shards=N] [--clusters=N]
- *               [--steal=on|off] [--stats] [--trace=FILE.json]
+ *               [--steal=on|off] [--nested] [--stats] [--trace=FILE.json]
  *
  *   NAME: a Figure-9 input label substring, e.g. "blackscholes 4K B8",
- *         or one of: task-free, task-chain.
+ *         one of: task-free, task-chain, or a nested workload:
+ *         cholesky-nested, mergesort-nested, task-tree.
+ *   --nested: taskbench nested mode — task-free/task-chain become the
+ *         equivalent recursive task trees (workers spawn the children).
  *   KIND: serial | nanos-sw | nanos-rv | nanos-axi | phentos
  *   --jobs: worker threads for multi-workload batches (default: hardware
  *           concurrency).
@@ -68,12 +71,22 @@ parseKind(const std::string &s)
 }
 
 std::optional<rt::Program>
-buildWorkload(const std::string &name)
+buildWorkload(const std::string &name, bool nested)
 {
-    if (name == "task-free")
-        return apps::taskFree(256, 1, 1000);
-    if (name == "task-chain")
-        return apps::taskChain(256, 1, 1000);
+    if (name == "task-free") {
+        return nested ? apps::taskTree(4, 3, 1000, /*chained=*/false)
+                      : apps::taskFree(256, 1, 1000);
+    }
+    if (name == "task-chain") {
+        return nested ? apps::taskTree(4, 3, 1000, /*chained=*/true)
+                      : apps::taskChain(256, 1, 1000);
+    }
+    if (name == "cholesky-nested")
+        return apps::choleskyNested(10, 16);
+    if (name == "mergesort-nested")
+        return apps::mergesortNested(4096, 128);
+    if (name == "task-tree")
+        return apps::taskTree(4, 3, 1000);
     for (const auto &input : apps::figure9Inputs()) {
         const std::string full = input.program + " " + input.label;
         if (full.find(name) != std::string::npos)
@@ -200,15 +213,22 @@ printResult(const rt::RunResult &res, unsigned cores)
                     static_cast<unsigned long long>(res.crossShardEdges),
                     static_cast<unsigned long long>(res.workSteals));
     }
+    if (res.workerSubmits > 0) {
+        std::printf("nested    : %llu of %llu tasks submitted from worker "
+                    "harts, %llu run inline (window full)\n",
+                    static_cast<unsigned long long>(res.workerSubmits),
+                    static_cast<unsigned long long>(res.tasks),
+                    static_cast<unsigned long long>(res.inlineTasks));
+    }
 }
 
 /** Single-workload path with the System kept inspectable (stats/trace). */
 int
 runInspectable(const std::string &wl, rt::RuntimeKind kind,
-               const rt::HarnessParams &hp,
+               const rt::HarnessParams &hp, bool nested,
                const std::optional<std::string> &trace_path, bool stats)
 {
-    const auto prog = buildWorkload(wl);
+    const auto prog = buildWorkload(wl, nested);
     if (!prog) {
         std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
                      wl.c_str());
@@ -245,6 +265,8 @@ runInspectable(const std::string &wl, rt::RuntimeKind kind,
     res.evaluatedCycles = sys.simulator().evaluatedCycles();
     res.componentTicks = sys.simulator().componentTicks();
     res.tickWorldTicks = sys.simulator().tickWorldTicks();
+    res.workerSubmits = runtime->tasksSubmittedByWorkers();
+    res.inlineTasks = runtime->tasksExecutedInline();
     rt::fillContentionStats(res, sys);
     printResult(res, sys.numCores());
 
@@ -276,7 +298,8 @@ int
 main(int argc, char **argv)
 {
     if (hasFlag(argc, argv, "--list")) {
-        std::printf("workloads:\n  task-free\n  task-chain\n");
+        std::printf("workloads:\n  task-free\n  task-chain\n"
+                    "  cholesky-nested\n  mergesort-nested\n  task-tree\n");
         for (const auto &input : apps::figure9Inputs())
             std::printf("  %s %s\n", input.program.c_str(),
                         input.label.c_str());
@@ -369,6 +392,7 @@ main(int argc, char **argv)
 
     const auto trace_path = argValue(argc, argv, "--trace");
     const bool stats = hasFlag(argc, argv, "--stats");
+    const bool nested = hasFlag(argc, argv, "--nested");
     const std::vector<std::string> names = splitCommas(wl);
     if (names.empty()) {
         std::fprintf(stderr, "no workload given\n");
@@ -383,7 +407,8 @@ main(int argc, char **argv)
                          "--trace/--stats need a single workload\n");
             return 1;
         }
-        return runInspectable(names[0], *kind, hp, trace_path, stats);
+        return runInspectable(names[0], *kind, hp, nested, trace_path,
+                              stats);
     }
 
     // One main job per workload, plus a serial baseline unless the main
@@ -392,7 +417,7 @@ main(int argc, char **argv)
     const std::size_t runsPerName = isSerial ? 1 : 2;
     std::vector<rt::Job> batch;
     for (const std::string &name : names) {
-        const auto prog = buildWorkload(name);
+        const auto prog = buildWorkload(name, nested);
         if (!prog) {
             std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
                          name.c_str());
