@@ -13,6 +13,7 @@
  * Emits BENCH_nested.json alongside the table.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -31,15 +32,22 @@ struct Topo
     unsigned clusters;
 };
 
+/** One configuration run, with its wall time (the BENCH json tracks the
+ *  simulator's own perf trajectory across PRs, not just the makespans). */
 rt::RunResult
 runTopo(rt::RuntimeKind kind, const rt::Program &prog, unsigned cores,
-        const Topo &t)
+        const Topo &t, double &wall_sec)
 {
     rt::HarnessParams hp;
     hp.numCores = cores;
     hp.system.topology.schedShards = t.shards;
     hp.system.topology.clusters = t.clusters;
-    return rt::runWithSpeedup(kind, prog, hp);
+    const auto t0 = std::chrono::steady_clock::now();
+    rt::RunResult r = rt::runWithSpeedup(kind, prog, hp);
+    wall_sec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    return r;
 }
 
 } // namespace
@@ -76,7 +84,9 @@ main()
                 for (const Topo &t : topos) {
                     if (t.clusters > cores)
                         continue;
-                    const rt::RunResult r = runTopo(kind, prog, cores, t);
+                    double wallSec = 0.0;
+                    const rt::RunResult r =
+                        runTopo(kind, prog, cores, t, wallSec);
                     allCompleted = allCompleted && r.completed;
                     char topo[16];
                     std::snprintf(topo, sizeof topo, "%ux%u", t.shards,
@@ -110,6 +120,13 @@ main()
                                r.schedGatewayStallCycles);
                     json.field("crossShardEdges", r.crossShardEdges);
                     json.field("steals", r.workSteals);
+                    json.field("wallSec", wallSec);
+                    json.field("hostTicksPerSec",
+                               wallSec > 0
+                                   ? static_cast<double>(
+                                         r.componentTicks) /
+                                         wallSec
+                                   : 0.0);
                     json.field("completed", r.completed);
                 }
             }

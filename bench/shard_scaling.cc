@@ -15,6 +15,7 @@
  * Emits BENCH_shard_scaling.json alongside the table.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -33,14 +34,22 @@ struct Topo
     unsigned clusters;
 };
 
+/** One configuration run, with its wall time (the BENCH json tracks the
+ *  simulator's own perf trajectory across PRs, not just the makespans). */
 rt::RunResult
-runTopo(const rt::Program &prog, unsigned cores, const Topo &t)
+runTopo(const rt::Program &prog, unsigned cores, const Topo &t,
+        double &wall_sec)
 {
     rt::HarnessParams hp;
     hp.numCores = cores;
     hp.system.topology.schedShards = t.shards;
     hp.system.topology.clusters = t.clusters;
-    return rt::runProgram(rt::RuntimeKind::Phentos, prog, hp);
+    const auto t0 = std::chrono::steady_clock::now();
+    rt::RunResult r = rt::runProgram(rt::RuntimeKind::Phentos, prog, hp);
+    wall_sec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    return r;
 }
 
 } // namespace
@@ -72,7 +81,8 @@ main()
             for (const Topo &t : topos) {
                 if (t.clusters > cores)
                     continue;
-                const rt::RunResult r = runTopo(prog, cores, t);
+                double wallSec = 0.0;
+                const rt::RunResult r = runTopo(prog, cores, t, wallSec);
                 allCompleted = allCompleted && r.completed;
                 char topo[16];
                 std::snprintf(topo, sizeof topo, "%ux%u", t.shards,
@@ -107,6 +117,12 @@ main()
                            r.schedGatewayStallCycles);
                 json.field("crossShardEdges", r.crossShardEdges);
                 json.field("steals", r.workSteals);
+                json.field("wallSec", wallSec);
+                json.field("hostTicksPerSec",
+                           wallSec > 0
+                               ? static_cast<double>(r.componentTicks) /
+                                     wallSec
+                               : 0.0);
                 json.field("completed", r.completed);
             }
         }

@@ -17,13 +17,15 @@
 namespace picosim::cpu
 {
 
-class Core : public sim::Ticked
+class Core final : public sim::Ticked
 {
   public:
     Core(const sim::Clock &clock, CoreId id, sim::StatGroup &stats)
         : sim::Ticked("core" + std::to_string(id)), clock_(clock), id_(id),
-          ctx_(clock), stats_(stats)
+          ctx_(clock),
+          resumes_(&stats.scalar("core" + std::to_string(id) + ".resumes"))
     {
+        bindFastDispatch<Core>();
     }
 
     CoreId id() const { return id_; }
@@ -32,6 +34,11 @@ class Core : public sim::Ticked
     void
     install(sim::CoTask<void> thread)
     {
+        if (doneCounted_) {
+            doneCounted_ = false;
+            if (doneCounter_)
+                --*doneCounter_;
+        }
         ctx_.start(std::move(thread));
         // The thread wants to run at the current cycle; re-arm the core in
         // the kernel's event queue (it may have gone idle and unscheduled).
@@ -40,13 +47,32 @@ class Core : public sim::Ticked
 
     bool threadDone() const { return !ctx_.started() || ctx_.done(); }
 
+    /**
+     * Let the owning System keep an O(1) count of finished threads: the
+     * core bumps @p counter exactly once when its thread completes (and
+     * counts itself immediately while no thread is installed), so the
+     * run loop's done() predicate never rescans every core.
+     */
+    void
+    bindDoneCounter(std::uint32_t *counter)
+    {
+        doneCounter_ = counter;
+        if (doneCounted_ && counter)
+            ++*counter;
+    }
+
     sim::HartContext &context() { return ctx_; }
 
     void
     tick() override
     {
         if (ctx_.tick())
-            ++stats_.scalar("core" + std::to_string(id_) + ".resumes");
+            ++*resumes_;
+        if (!doneCounted_ && ctx_.done()) {
+            doneCounted_ = true;
+            if (doneCounter_)
+                ++*doneCounter_;
+        }
     }
 
     bool
@@ -57,11 +83,22 @@ class Core : public sim::Ticked
 
     Cycle wakeAt() const override { return ctx_.wakeAt(); }
 
+    /** Fused re-arm query: one HartContext::wakeAt() read instead of the
+     *  separate active()+wakeAt() pair. */
+    Cycle
+    nextSelfDue(Cycle next) const
+    {
+        const Cycle wake = ctx_.wakeAt();
+        return wake <= next ? next : wake;
+    }
+
   private:
     const sim::Clock &clock_;
     CoreId id_;
     sim::HartContext ctx_;
-    sim::StatGroup &stats_;
+    sim::Scalar *resumes_; ///< cached stat slot (map nodes are stable)
+    std::uint32_t *doneCounter_ = nullptr;
+    bool doneCounted_ = true; ///< no thread installed counts as done
 };
 
 } // namespace picosim::cpu

@@ -41,6 +41,108 @@ class HartApi
 {
   public:
     /**
+     * Awaitable charging a fixed latency, then executing an operation at
+     * the resume point. Replaces the former CoTask wrappers around
+     * "Delay, then act": the operation runs at exactly the same simulated
+     * cycle, but awaiting costs no coroutine frame and no symmetric
+     * transfers — the per-instruction hot path of every runtime model.
+     * Zero-latency awaits complete inline without suspending, exactly
+     * like Delay{0}.
+     */
+    template <typename Fn>
+    struct DelayedOp
+    {
+        Cycle cycles;
+        Fn fn;
+
+        bool await_ready() const { return cycles == 0; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            sim::HartContext *ctx = sim::HartContext::current();
+            if (!ctx)
+                sim::panic("HartApi op awaited outside a HartContext");
+            ctx->suspendFor(cycles, h);
+        }
+
+        auto await_resume() const { return fn(); }
+    };
+
+    /** Awaitable for one memory operation: inline mode charges the MESI
+     *  model's latency as a plain delay (zero-latency hits complete
+     *  without suspending), timed mode issues the request and parks the
+     *  hart until the response port wakes it — bit-identical to the
+     *  former coroutine wrappers, minus their frames. */
+    struct MemOpAwait
+    {
+        enum class Kind : std::uint8_t { Read, Write, Atomic, Stream };
+
+        HartApi *api;
+        Addr addr;
+        unsigned lines;
+        Kind kind;
+        bool isWrite = false; ///< stream direction (Kind::Stream only)
+        Cycle latency = 0;
+
+        bool
+        await_ready()
+        {
+            if (lines == 0)
+                return true; // no lines, no traffic — in either mode
+            if (api->timed_)
+                return false;
+            mem::CoherentMemory &mem = api->mem_;
+            const CoreId core = api->core_;
+            switch (kind) {
+              case Kind::Read:
+                latency = mem.read(core, addr);
+                break;
+              case Kind::Write:
+                latency = mem.write(core, addr);
+                break;
+              case Kind::Atomic:
+                latency = mem.atomicRmw(core, addr);
+                break;
+              case Kind::Stream:
+                latency = mem.streamTouch(core, addr, lines, isWrite);
+                break;
+            }
+            return latency == 0;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            sim::HartContext *ctx = sim::HartContext::current();
+            if (!ctx)
+                sim::panic("HartApi op awaited outside a HartContext");
+            if (api->timed_) {
+                mem::MemOp op = mem::MemOp::Read;
+                switch (kind) {
+                  case Kind::Read:
+                    break;
+                  case Kind::Write:
+                    op = mem::MemOp::Write;
+                    break;
+                  case Kind::Atomic:
+                    op = mem::MemOp::Atomic;
+                    break;
+                  case Kind::Stream:
+                    op = isWrite ? mem::MemOp::Write : mem::MemOp::Read;
+                    break;
+                }
+                api->timed_->issue(api->core_, op, addr, lines);
+                ctx->suspendBlocked(h);
+            } else {
+                ctx->suspendFor(latency, h);
+            }
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /**
      * @param timed Timed memory subsystem; nullptr selects the inline
      *        (functional-latency) path against @p mem directly.
      */
@@ -70,68 +172,55 @@ class HartApi
     const sim::LinkTimings &looseLink() const { return loose_; }
 
     /** Charge one posted write (command issue) over the loose link. */
-    sim::CoTask<void>
-    looseIssue()
-    {
-        co_await sim::Delay{loose_.issue};
-    }
+    sim::Delay looseIssue() const { return sim::Delay{loose_.issue}; }
 
     /** Charge one read round trip (status/response) over the loose link. */
-    sim::CoTask<void>
-    looseResponse()
-    {
-        co_await sim::Delay{loose_.response};
-    }
+    sim::Delay looseResponse() const { return sim::Delay{loose_.response}; }
 
     /** Pure compute: advance this hart's clock. */
-    sim::CoTask<void>
-    delay(Cycle cycles)
-    {
-        co_await sim::Delay{cycles};
-    }
+    sim::Delay delay(Cycle cycles) const { return sim::Delay{cycles}; }
 
     // -- Custom task-scheduling instructions (Table I) --
 
-    sim::CoTask<bool>
+    auto
     submissionRequest(unsigned num_packets)
     {
-        co_await sim::Delay{params_.roccLatency};
-        co_return delegate_.submissionRequest(num_packets);
+        return roccOp([this, num_packets] {
+            return delegate_.submissionRequest(num_packets);
+        });
     }
 
-    sim::CoTask<bool>
+    auto
     submitPacket(std::uint32_t packet)
     {
-        co_await sim::Delay{params_.roccLatency};
-        co_return delegate_.submitPacket(packet);
+        return roccOp(
+            [this, packet] { return delegate_.submitPacket(packet); });
     }
 
-    sim::CoTask<bool>
+    auto
     submitThreePackets(std::uint64_t rs1, std::uint64_t rs2)
     {
-        co_await sim::Delay{params_.roccLatency};
-        co_return delegate_.submitThreePackets(rs1, rs2);
+        return roccOp([this, rs1, rs2] {
+            return delegate_.submitThreePackets(rs1, rs2);
+        });
     }
 
-    sim::CoTask<bool>
+    auto
     readyTaskRequest()
     {
-        co_await sim::Delay{params_.roccLatency};
-        co_return delegate_.readyTaskRequest();
+        return roccOp([this] { return delegate_.readyTaskRequest(); });
     }
 
-    sim::CoTask<std::optional<std::uint64_t>>
+    auto
     fetchSwId()
     {
-        co_await sim::Delay{params_.roccLatency};
-        co_return delegate_.fetchSwId();
+        return roccOp([this] { return delegate_.fetchSwId(); });
     }
 
-    sim::CoTask<std::optional<std::uint32_t>>
+    auto
     fetchPicosId()
     {
-        co_await sim::Delay{params_.roccLatency};
-        co_return delegate_.fetchPicosId();
+        return roccOp([this] { return delegate_.fetchPicosId(); });
     }
 
     /** Retire Task: the one blocking instruction (Section IV-B). */
@@ -149,37 +238,22 @@ class HartApi
 
     // -- Memory operations (runtime data structures) --
 
-    sim::CoTask<void>
+    MemOpAwait
     read(Addr addr)
     {
-        if (timed_) {
-            timed_->issue(core_, mem::MemOp::Read, addr, 1);
-            co_await sim::BlockHart{};
-        } else {
-            co_await sim::Delay{mem_.read(core_, addr)};
-        }
+        return MemOpAwait{this, addr, 1, MemOpAwait::Kind::Read};
     }
 
-    sim::CoTask<void>
+    MemOpAwait
     write(Addr addr)
     {
-        if (timed_) {
-            timed_->issue(core_, mem::MemOp::Write, addr, 1);
-            co_await sim::BlockHart{};
-        } else {
-            co_await sim::Delay{mem_.write(core_, addr)};
-        }
+        return MemOpAwait{this, addr, 1, MemOpAwait::Kind::Write};
     }
 
-    sim::CoTask<void>
+    MemOpAwait
     atomicRmw(Addr addr)
     {
-        if (timed_) {
-            timed_->issue(core_, mem::MemOp::Atomic, addr, 1);
-            co_await sim::BlockHart{};
-        } else {
-            co_await sim::Delay{mem_.atomicRmw(core_, addr)};
-        }
+        return MemOpAwait{this, addr, 1, MemOpAwait::Kind::Atomic};
     }
 
     /**
@@ -188,38 +262,74 @@ class HartApi
      * burst through the L1 front-end, so misses overlap up to the MSHR
      * count and the hart resumes at the last response.
      */
-    sim::CoTask<void>
+    MemOpAwait
     streamTouch(Addr base, unsigned lines, bool is_write)
     {
-        if (lines == 0)
-            co_return; // no lines, no traffic — in either memory mode
-        if (timed_) {
-            timed_->issue(core_,
-                          is_write ? mem::MemOp::Write : mem::MemOp::Read,
-                          base, lines);
-            co_await sim::BlockHart{};
-        } else {
-            co_await sim::Delay{
-                mem_.streamTouch(core_, base, lines, is_write)};
-        }
+        return MemOpAwait{this, base, lines, MemOpAwait::Kind::Stream,
+                          is_write};
     }
 
     // -- Task payload execution --
+
+    /** Awaitable for one task body: bandwidth bookkeeping brackets the
+     *  inflated delay, at the same simulated cycles as the former
+     *  coroutine wrapper. */
+    struct PayloadAwait
+    {
+        BandwidthModel &bw;
+        Cycle baseCycles;
+        Cycle cost = 0;
+        bool finished = false;
+
+        bool
+        await_ready()
+        {
+            bw.beginPayload();
+            cost = bw.inflate(baseCycles);
+            if (cost == 0) {
+                bw.endPayload();
+                finished = true;
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h) const
+        {
+            sim::HartContext *ctx = sim::HartContext::current();
+            if (!ctx)
+                sim::panic("HartApi op awaited outside a HartContext");
+            ctx->suspendFor(cost, h);
+        }
+
+        void
+        await_resume()
+        {
+            if (!finished)
+                bw.endPayload();
+        }
+    };
 
     /**
      * Execute a task body of @p base_cycles, inflated by memory-bandwidth
      * contention with other concurrently executing payloads.
      */
-    sim::CoTask<void>
+    PayloadAwait
     executePayload(Cycle base_cycles)
     {
-        bw_.beginPayload();
-        const Cycle cost = bw_.inflate(base_cycles);
-        co_await sim::Delay{cost};
-        bw_.endPayload();
+        return PayloadAwait{bw_, base_cycles};
     }
 
   private:
+    /** Wrap a delegate call in the RoCC round-trip latency. */
+    template <typename Fn>
+    DelayedOp<Fn>
+    roccOp(Fn fn)
+    {
+        return DelayedOp<Fn>{params_.roccLatency, std::move(fn)};
+    }
+
     CoreId core_;
     delegate::PicosDelegate &delegate_;
     mem::CoherentMemory &mem_;

@@ -58,6 +58,7 @@ System::System(const SystemParams &params)
         const unsigned cluster = clusterOfCore(i);
         cores_.push_back(
             std::make_unique<Core>(sim_.clock(), i, sim_.stats()));
+        cores_.back()->bindDoneCounter(&coresDone_);
         delegates_.push_back(std::make_unique<delegate::PicosDelegate>(
             i, *managers_[cluster], sim_.stats(),
             i - clusterBegin(cluster)));
@@ -120,13 +121,15 @@ System::clusterOfCore(CoreId i) const
 bool
 System::allThreadsDone() const
 {
-    return std::all_of(cores_.begin(), cores_.end(),
-                       [](const auto &c) { return c->threadDone(); });
+    return coresDone_ == cores_.size();
 }
 
 bool
 System::run(Cycle limit)
 {
+    // The predicate is an O(1) counter comparison: cores report their
+    // thread's completion to coresDone_ exactly once, so the kernel's
+    // per-evaluated-cycle done() check never rescans every core.
     return sim_.run([this] { return allThreadsDone(); }, limit);
 }
 

@@ -120,6 +120,10 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<delegate::PicosDelegate>> delegates_;
     std::vector<std::unique_ptr<HartApi>> hartApis_;
+
+    /** Cores whose thread is finished (or absent), maintained by the
+     *  cores themselves — makes the run loop's done() check O(1). */
+    std::uint32_t coresDone_ = 0;
 };
 
 } // namespace picosim::cpu

@@ -9,8 +9,19 @@ namespace picosim::delegate
 
 PicosDelegate::PicosDelegate(CoreId core, manager::PicosManager &mgr,
                              sim::StatGroup &stats, CoreId mgr_port)
-    : core_(core), port_(mgr_port), mgr_(mgr), stats_(stats)
+    : core_(core), port_(mgr_port), mgr_(mgr)
 {
+    // Resolve the per-instruction counters once; the instruction wrappers
+    // below run on every simulated RoCC execution and must not pay a
+    // string build + map lookup each time.
+    static const char *const kOpNames[kNumOps] = {
+        "submissionRequest", "submitPacket",  "submitThreePackets",
+        "readyTaskRequest",  "fetchSwId",     "fetchPicosId",
+        "retireTask",
+    };
+    const std::string prefix = "delegate." + std::to_string(core_) + ".";
+    for (unsigned i = 0; i < kNumOps; ++i)
+        ops_[i] = &stats.scalar(prefix + kOpNames[i]);
 }
 
 PicosDelegate::PicosDelegate(CoreId core, manager::PicosManager &mgr,
@@ -19,30 +30,24 @@ PicosDelegate::PicosDelegate(CoreId core, manager::PicosManager &mgr,
 {
 }
 
-void
-PicosDelegate::count(const char *name)
-{
-    ++stats_.scalar("delegate." + std::to_string(core_) + "." + name);
-}
-
 bool
 PicosDelegate::submissionRequest(unsigned num_packets)
 {
-    count("submissionRequest");
+    count(kOpSubmissionRequest);
     return mgr_.submissionRequest(port_, num_packets);
 }
 
 bool
 PicosDelegate::submitPacket(std::uint32_t packet)
 {
-    count("submitPacket");
+    count(kOpSubmitPacket);
     return mgr_.submitPacket(port_, packet);
 }
 
 bool
 PicosDelegate::submitThreePackets(std::uint64_t rs1, std::uint64_t rs2)
 {
-    count("submitThreePackets");
+    count(kOpSubmitThreePackets);
     const auto p1 = static_cast<std::uint32_t>(rs1 >> 32);
     const auto p2 = static_cast<std::uint32_t>(rs1 & 0xffffffffu);
     const auto p3 = static_cast<std::uint32_t>(rs2 & 0xffffffffu);
@@ -52,14 +57,14 @@ PicosDelegate::submitThreePackets(std::uint64_t rs1, std::uint64_t rs2)
 bool
 PicosDelegate::readyTaskRequest()
 {
-    count("readyTaskRequest");
+    count(kOpReadyTaskRequest);
     return mgr_.readyTaskRequest(port_);
 }
 
 std::optional<std::uint64_t>
 PicosDelegate::fetchSwId()
 {
-    count("fetchSwId");
+    count(kOpFetchSwId);
     const auto front = mgr_.peekReady(port_);
     if (!front)
         return std::nullopt;
@@ -70,7 +75,7 @@ PicosDelegate::fetchSwId()
 std::optional<std::uint32_t>
 PicosDelegate::fetchPicosId()
 {
-    count("fetchPicosId");
+    count(kOpFetchPicosId);
     if (!swIdFetched_ || !mgr_.peekReady(port_))
         return std::nullopt;
     swIdFetched_ = false;
@@ -86,7 +91,7 @@ PicosDelegate::retireCanAccept() const
 void
 PicosDelegate::retireTask(std::uint32_t picos_id)
 {
-    count("retireTask");
+    count(kOpRetireTask);
     if (!mgr_.retirePush(port_, picos_id))
         sim::panic("retireTask pushed without retireCanAccept");
 }

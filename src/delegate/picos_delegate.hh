@@ -100,15 +100,29 @@ class PicosDelegate
     bool swIdFetched() const { return swIdFetched_; }
 
   private:
+    /** Per-instruction execution counters, cached at construction so the
+     *  per-instruction hot path never rebuilds a stat name. */
+    enum Op : unsigned
+    {
+        kOpSubmissionRequest,
+        kOpSubmitPacket,
+        kOpSubmitThreePackets,
+        kOpReadyTaskRequest,
+        kOpFetchSwId,
+        kOpFetchPicosId,
+        kOpRetireTask,
+        kNumOps,
+    };
+
     CoreId core_;
     CoreId port_; ///< this core's port index on mgr_
     manager::PicosManager &mgr_;
-    sim::StatGroup &stats_;
+    sim::Scalar *ops_[kNumOps] = {};
 
     /** Set by a successful Fetch SW ID, cleared by Fetch Picos ID. */
     bool swIdFetched_ = false;
 
-    void count(const char *name);
+    void count(Op op) { ++*ops_[op]; }
 };
 
 } // namespace picosim::delegate

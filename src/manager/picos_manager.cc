@@ -13,8 +13,16 @@ PicosManager::PicosManager(const sim::Clock &clock,
                            sim::StatGroup &stats, const std::string &prefix)
     : sim::Ticked(prefix == "manager" ? "picosManager"
                                       : "picosManager." + prefix),
-      clock_(clock), sched_(sched), params_(params), stats_(stats),
-      prefix_(prefix),
+      clock_(clock), sched_(sched), params_(params), prefix_(prefix),
+      submissionRequests_(&stats.scalar(prefix + ".submissionRequests")),
+      packetsSubmitted_(&stats.scalar(prefix + ".packetsSubmitted")),
+      tripleSubmits_(&stats.scalar(prefix + ".tripleSubmits")),
+      workFetchRequests_(&stats.scalar(prefix + ".workFetchRequests")),
+      retirePackets_(&stats.scalar(prefix + ".retirePackets")),
+      burstsGranted_(&stats.scalar(prefix + ".burstsGranted")),
+      zeroPadPackets_(&stats.scalar(prefix + ".zeroPadPackets")),
+      tuplesEncoded_(&stats.scalar(prefix + ".tuplesEncoded")),
+      readyDelivered_(&stats.scalar(prefix + ".readyDelivered")),
       finalBuffer_(clock, {params.finalBufferDepth, 0, 0}, &stats,
                    prefix_ + ".finalBuffer"),
       routingQueue_(clock, {params.routingQueueDepth, /*latency=*/1, 0},
@@ -31,6 +39,7 @@ PicosManager::PicosManager(const sim::Clock &clock,
     // The packet encoder consumes Picos's ready interface; have Picos wake
     // this manager when ready packets become visible to it.
     sched_.setReadyListener(this);
+    bindFastDispatch<PicosManager>();
 }
 
 void
@@ -51,6 +60,9 @@ PicosManager::reset()
     roccReadyQueue_.clear();
     encodeCount_ = 0;
     rrRetireNext_ = 0;
+    pendingRequests_ = 0;
+    pendingRetires_ = 0;
+    readyOccupied_ = 0;
     errorCode_ = 0;
 }
 
@@ -66,7 +78,8 @@ PicosManager::submissionRequest(CoreId core, unsigned num_packets)
     }
     if (!ports_.at(core).requestQueue.push(num_packets))
         return false;
-    ++stats_.scalar(prefix_ + ".submissionRequests");
+    ++pendingRequests_;
+    ++*submissionRequests_;
     return true;
 }
 
@@ -75,7 +88,7 @@ PicosManager::submitPacket(CoreId core, std::uint32_t packet)
 {
     if (!ports_.at(core).subBuffer.push(packet))
         return false;
-    ++stats_.scalar(prefix_ + ".packetsSubmitted");
+    ++*packetsSubmitted_;
     return true;
 }
 
@@ -89,8 +102,8 @@ PicosManager::submitThreePackets(CoreId core, std::uint32_t p1,
     port.subBuffer.push(p1);
     port.subBuffer.push(p2);
     port.subBuffer.push(p3);
-    stats_.scalar(prefix_ + ".packetsSubmitted") += 3;
-    ++stats_.scalar(prefix_ + ".tripleSubmits");
+    *packetsSubmitted_ += 3;
+    ++*tripleSubmits_;
     return true;
 }
 
@@ -99,7 +112,7 @@ PicosManager::readyTaskRequest(CoreId core)
 {
     if (!routingQueue_.push(core))
         return false;
-    ++stats_.scalar(prefix_ + ".workFetchRequests");
+    ++*workFetchRequests_;
     return true;
 }
 
@@ -115,8 +128,11 @@ PicosManager::peekReady(CoreId core) const
 rocc::ReadyTuple
 PicosManager::popReady(CoreId core)
 {
+    CorePort &port = ports_.at(core);
+    if (port.readyQueue.size() == 1)
+        --readyOccupied_;
     // Freed private-queue space may let the work-fetch arbiter deliver.
-    return ports_.at(core).readyQueue.popAndWakeOwner();
+    return port.readyQueue.popAndWakeOwner();
 }
 
 bool
@@ -130,7 +146,8 @@ PicosManager::retirePush(CoreId core, std::uint32_t picos_id)
 {
     if (!ports_.at(core).retireBuffer.push(picos_id))
         return false;
-    ++stats_.scalar(prefix_ + ".retirePackets");
+    ++pendingRetires_;
+    ++*retirePackets_;
     return true;
 }
 
@@ -145,16 +162,17 @@ PicosManager::tickSubmissionHandler()
 
     // Grant a new core when idle: in-order round-robin over cores with a
     // pending Submission Request (Guided Arbiter).
-    if (grantedCore_ < 0) {
+    if (grantedCore_ < 0 && pendingRequests_ > 0) {
         for (unsigned i = 0; i < ports_.size(); ++i) {
             const unsigned c = (rrSubNext_ + i) % ports_.size();
             if (ports_[c].requestQueue.frontReady()) {
                 grantedCore_ = static_cast<int>(c);
+                --pendingRequests_;
                 burstRemaining_ = ports_[c].requestQueue.pop();
                 padRemaining_ =
                     rocc::kDescriptorPackets - burstRemaining_;
                 rrSubNext_ = (c + 1) % ports_.size();
-                ++stats_.scalar(prefix_ + ".burstsGranted");
+                ++*burstsGranted_;
                 break;
             }
         }
@@ -175,7 +193,7 @@ PicosManager::tickSubmissionHandler()
     } else if (padRemaining_ > 0) {
         finalBuffer_.push(0);
         --padRemaining_;
-        ++stats_.scalar(prefix_ + ".zeroPadPackets");
+        ++*zeroPadPackets_;
     }
     if (burstRemaining_ == 0 && padRemaining_ == 0)
         grantedCore_ = -1; // release the port for the next burst
@@ -195,7 +213,7 @@ PicosManager::tickPacketEncoder()
                      encodeBuf_[2];
         roccReadyQueue_.push(tuple);
         encodeCount_ = 0;
-        ++stats_.scalar(prefix_ + ".tuplesEncoded");
+        ++*tuplesEncoded_;
         return;
     }
     if (sched_.readyValid())
@@ -213,18 +231,21 @@ PicosManager::tickWorkFetchArbiter()
     if (!port.readyQueue.canPush())
         return;
     routingQueue_.pop();
+    if (port.readyQueue.empty())
+        ++readyOccupied_;
     port.readyQueue.push(roccReadyQueue_.pop());
-    ++stats_.scalar(prefix_ + ".readyDelivered");
+    ++*readyDelivered_;
 }
 
 void
 PicosManager::tickRetireArbiter()
 {
-    if (!sched_.retireCanAccept())
+    if (pendingRetires_ == 0 || !sched_.retireCanAccept())
         return;
     for (unsigned i = 0; i < ports_.size(); ++i) {
         const unsigned c = (rrRetireNext_ + i) % ports_.size();
         if (ports_[c].retireBuffer.frontReady()) {
+            --pendingRetires_;
             sched_.retirePush(ports_[c].retireBuffer.pop());
             rrRetireNext_ = (c + 1) % ports_.size();
             return;
@@ -277,6 +298,43 @@ PicosManager::wakeAt() const
     for (const CorePort &port : ports_) {
         wake = std::min(wake, port.requestQueue.nextReadyCycle());
         wake = std::min(wake, port.retireBuffer.nextReadyCycle());
+        // Not work for the manager itself, but the kernel must advance
+        // the clock across the private-queue latency so a polling
+        // consumer (or a run predicate) can observe the delivery.
+        wake = std::min(wake, port.readyQueue.nextReadyCycle());
+    }
+    return wake;
+}
+
+Cycle
+PicosManager::nextSelfDue(Cycle next) const
+{
+    // Mirrors active() (any hit returns `next`) and wakeAt() (otherwise
+    // the min over the same port state) without walking the ports twice.
+    if (grantedCore_ >= 0)
+        return next;
+    if (encodeCount_ == 3 ? roccReadyQueue_.canPush() : sched_.readyValid())
+        return next;
+    const Cycle fb = finalBuffer_.nextReadyCycle();
+    if (fb <= next)
+        return next;
+    const Cycle rq = routingQueue_.nextReadyCycle();
+    const bool roccEmpty = roccReadyQueue_.empty();
+    if (rq <= next && !roccEmpty)
+        return next;
+
+    Cycle wake = fb;
+    if (!roccEmpty || encodeCount_ > 0 || sched_.readyValid())
+        wake = std::min(wake, rq);
+    if (pendingRequests_ == 0 && pendingRetires_ == 0 &&
+        readyOccupied_ == 0)
+        return wake; // every per-core port is empty — nothing to scan
+    for (const CorePort &port : ports_) {
+        const Cycle rr = port.requestQueue.nextReadyCycle();
+        const Cycle rb = port.retireBuffer.nextReadyCycle();
+        if (rr <= next || rb <= next)
+            return next;
+        wake = std::min(wake, std::min(rr, rb));
         // Not work for the manager itself, but the kernel must advance
         // the clock across the private-queue latency so a polling
         // consumer (or a run predicate) can observe the delivery.

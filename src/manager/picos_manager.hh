@@ -37,7 +37,7 @@
 namespace picosim::manager
 {
 
-class PicosManager : public sim::Ticked
+class PicosManager final : public sim::Ticked
 {
   public:
     /**
@@ -81,6 +81,11 @@ class PicosManager : public sim::Ticked
     void tick() override;
     bool active() const override;
     Cycle wakeAt() const override;
+
+    /** Fused kernel re-arm query, exactly `active() ? next : wakeAt()`
+     *  in ONE pass over the port state — the kernel asks after every
+     *  tick, and the manager ticks nearly every evaluated cycle. */
+    Cycle nextSelfDue(Cycle next) const;
 
     // -- Introspection --
     unsigned numCores() const
@@ -132,8 +137,20 @@ class PicosManager : public sim::Ticked
     const sim::Clock &clock_;
     picos::SchedulerIf &sched_;
     ManagerParams params_;
-    sim::StatGroup &stats_;
     std::string prefix_; ///< statistic-name prefix of this instance
+
+    // Cached per-instance counters (stat-registry nodes are stable);
+    // the pipelines bump these on every packet and must not pay a
+    // string concatenation + map lookup per event.
+    sim::Scalar *submissionRequests_;
+    sim::Scalar *packetsSubmitted_;
+    sim::Scalar *tripleSubmits_;
+    sim::Scalar *workFetchRequests_;
+    sim::Scalar *retirePackets_;
+    sim::Scalar *burstsGranted_;
+    sim::Scalar *zeroPadPackets_;
+    sim::Scalar *tuplesEncoded_;
+    sim::Scalar *readyDelivered_;
 
     std::vector<CorePort> ports_;
 
@@ -152,6 +169,13 @@ class PicosManager : public sim::Ticked
 
     // Retirement round-robin pointer.
     unsigned rrRetireNext_ = 0;
+
+    // Occupancy counters over the per-core ports, maintained at the
+    // push/pop sites so the per-tick pipelines and the kernel's re-arm
+    // query can skip whole port scans when nothing is pending.
+    unsigned pendingRequests_ = 0; ///< submission requests in any core port
+    unsigned pendingRetires_ = 0;  ///< retirement packets in any core port
+    unsigned readyOccupied_ = 0;   ///< non-empty private ready queues
 
     std::uint8_t errorCode_ = 0;
 };

@@ -8,10 +8,21 @@ namespace picosim::mem
 {
 
 CoherentMemory::CoherentMemory(unsigned num_cores, const MemParams &params)
-    : params_(params)
+    : params_(params),
+      statReads_(&stats_.scalar("mem.reads")),
+      statReadMisses_(&stats_.scalar("mem.readMisses")),
+      statWrites_(&stats_.scalar("mem.writes")),
+      statWriteMisses_(&stats_.scalar("mem.writeMisses")),
+      statUpgrades_(&stats_.scalar("mem.upgrades")),
+      statAtomics_(&stats_.scalar("mem.atomics")),
+      statInvalidations_(&stats_.scalar("mem.invalidations")),
+      statDirtyRemoteTransfers_(&stats_.scalar("mem.dirtyRemoteTransfers")),
+      statVictimWritebacks_(&stats_.scalar("mem.victimWritebacks"))
 {
     if (num_cores == 0)
         sim::fatal("CoherentMemory needs at least one core");
+    setsPow2_ = params_.l1Sets > 0 &&
+                (params_.l1Sets & (params_.l1Sets - 1)) == 0;
     l1s_.resize(num_cores);
     for (auto &l1 : l1s_)
         l1.ways.assign(std::size_t{params_.l1Sets} * params_.l1Ways, Way{});
@@ -28,14 +39,7 @@ CoherentMemory::reset()
 CoherentMemory::Way *
 CoherentMemory::findLine(CoreId core, Addr line)
 {
-    L1 &l1 = l1s_.at(core);
-    const unsigned set = setIndex(line);
-    Way *base = &l1.ways[std::size_t{set} * params_.l1Ways];
-    for (unsigned w = 0; w < params_.l1Ways; ++w) {
-        if (base[w].valid && base[w].tag == line)
-            return &base[w];
-    }
-    return nullptr;
+    return findInSet(core, setIndex(line), line);
 }
 
 const CoherentMemory::Way *
@@ -47,7 +51,7 @@ CoherentMemory::findLine(CoreId core, Addr line) const
 CoherentMemory::Way *
 CoherentMemory::allocLine(CoreId core, Addr line)
 {
-    L1 &l1 = l1s_.at(core);
+    L1 &l1 = l1s_[core];
     const unsigned set = setIndex(line);
     Way *base = &l1.ways[std::size_t{set} * params_.l1Ways];
     Way *victim = &base[0];
@@ -60,7 +64,7 @@ CoherentMemory::allocLine(CoreId core, Addr line)
     // Writebacks of dirty victims are folded into missLatency; an explicit
     // writeback port model is not needed for the paper's effects.
     if (victim->state == LineState::Modified)
-        ++stats_.scalar("mem.victimWritebacks");
+        ++*statVictimWritebacks_;
     victim->valid = false;
     victim->state = LineState::Invalid;
     return victim;
@@ -73,10 +77,11 @@ CoherentMemory::snoopRemotes(CoreId core, Addr line, bool exclusive_intent,
     Cycle extra = 0;
     had_sharers = false;
     had_dirty = false;
+    const unsigned set = setIndex(line); // shared by every core's L1
     for (CoreId c = 0; c < l1s_.size(); ++c) {
         if (c == core)
             continue;
-        Way *w = findLine(c, line);
+        Way *w = findInSet(c, set, line);
         if (!w || !w->valid)
             continue;
         had_sharers = true;
@@ -84,12 +89,12 @@ CoherentMemory::snoopRemotes(CoreId core, Addr line, bool exclusive_intent,
             // MESI: dirty data travels through main memory.
             had_dirty = true;
             extra += params_.dirtyRemoteExtra;
-            ++stats_.scalar("mem.dirtyRemoteTransfers");
+            ++*statDirtyRemoteTransfers_;
         }
         if (exclusive_intent) {
             w->valid = false;
             w->state = LineState::Invalid;
-            ++stats_.scalar("mem.invalidations");
+            ++*statInvalidations_;
         } else if (w->state == LineState::Modified ||
                    w->state == LineState::Exclusive) {
             w->state = LineState::Shared;
@@ -104,7 +109,7 @@ CoherentMemory::AccessDetail
 CoherentMemory::access(CoreId core, Addr addr, MemOp op)
 {
     if (op == MemOp::Atomic) {
-        ++stats_.scalar("mem.atomics");
+        ++*statAtomics_;
         AccessDetail d = access(core, addr, MemOp::Write);
         d.latency += params_.atomicExtra;
         return d;
@@ -115,14 +120,14 @@ CoherentMemory::access(CoreId core, Addr addr, MemOp op)
     AccessDetail d;
 
     if (op == MemOp::Read) {
-        ++stats_.scalar("mem.reads");
+        ++*statReads_;
         if (Way *w = findLine(core, line)) {
             w->lastUse = useClock_;
             d.hit = true;
             d.latency = params_.hitLatency;
             return d;
         }
-        ++stats_.scalar("mem.readMisses");
+        ++*statReadMisses_;
         bool had_sharers = false;
         const Cycle extra = snoopRemotes(
             core, line, /*exclusive_intent=*/false, had_sharers,
@@ -137,7 +142,7 @@ CoherentMemory::access(CoreId core, Addr addr, MemOp op)
         return d;
     }
 
-    ++stats_.scalar("mem.writes");
+    ++*statWrites_;
     Way *w = findLine(core, line);
     if (w && (w->state == LineState::Modified ||
               w->state == LineState::Exclusive)) {
@@ -154,9 +159,9 @@ CoherentMemory::access(CoreId core, Addr addr, MemOp op)
     Cycle lat = params_.hitLatency + extra;
     if (w) {
         // Shared -> Modified upgrade; no refill needed.
-        ++stats_.scalar("mem.upgrades");
+        ++*statUpgrades_;
     } else {
-        ++stats_.scalar("mem.writeMisses");
+        ++*statWriteMisses_;
         lat += params_.missLatency;
         d.refill = true;
         w = allocLine(core, line);

@@ -113,7 +113,27 @@ class CoherentMemory
     };
 
     Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
-    unsigned setIndex(Addr line) const { return line % params_.l1Sets; }
+    unsigned
+    setIndex(Addr line) const
+    {
+        // l1Sets is a power of two in every calibrated configuration;
+        // the masked path avoids an integer division on the per-access
+        // (and per-snooped-core) hot path.
+        return setsPow2_ ? static_cast<unsigned>(line) & (params_.l1Sets - 1)
+                         : static_cast<unsigned>(line % params_.l1Sets);
+    }
+
+    /** Scan one set of one core's L1 for @p line (set precomputed). */
+    Way *
+    findInSet(CoreId core, unsigned set, Addr line)
+    {
+        Way *base = &l1s_[core].ways[std::size_t{set} * params_.l1Ways];
+        for (unsigned w = 0; w < params_.l1Ways; ++w) {
+            if (base[w].valid && base[w].tag == line)
+                return &base[w];
+        }
+        return nullptr;
+    }
 
     Way *findLine(CoreId core, Addr line);
     const Way *findLine(CoreId core, Addr line) const;
@@ -129,9 +149,21 @@ class CoherentMemory
                        bool &had_sharers, bool &had_dirty);
 
     MemParams params_;
+    bool setsPow2_ = false;
     std::vector<L1> l1s_;
     std::uint64_t useClock_ = 0;
     sim::StatGroup stats_;
+
+    // Cached stat slots: the MESI model bumps these on every access.
+    sim::Scalar *statReads_;
+    sim::Scalar *statReadMisses_;
+    sim::Scalar *statWrites_;
+    sim::Scalar *statWriteMisses_;
+    sim::Scalar *statUpgrades_;
+    sim::Scalar *statAtomics_;
+    sim::Scalar *statInvalidations_;
+    sim::Scalar *statDirtyRemoteTransfers_;
+    sim::Scalar *statVictimWritebacks_;
 };
 
 } // namespace picosim::mem

@@ -15,6 +15,7 @@ TimedMemory::TimedMemory(const sim::Clock &clock, CoherentMemory &func,
       mshrStallCycles_(&stats.scalar("mem.timed.mshrStallCycles"))
 {
     fronts_.resize(func_.numCores());
+    bindFastDispatch<TimedMemory>();
 }
 
 void

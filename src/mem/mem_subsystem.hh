@@ -47,7 +47,7 @@
 namespace picosim::mem
 {
 
-class TimedMemory : public sim::Ticked
+class TimedMemory final : public sim::Ticked
 {
   public:
     TimedMemory(const sim::Clock &clock, CoherentMemory &func,

@@ -69,7 +69,7 @@ DepTable::find(Addr addr)
 
 DepEntry *
 DepTable::alloc(Addr addr,
-                const std::function<bool(const DepEntry &)> &evictable)
+                const EvictPred &evictable)
 {
     checkOwnership(addr);
     DepEntry *base = &entries_[std::size_t{setOf(addr)} * ways_];

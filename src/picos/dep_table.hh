@@ -12,9 +12,9 @@
 #define PICOSIM_PICOS_DEP_TABLE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace picosim::picos
@@ -72,8 +72,11 @@ class DepTable
      * @p evictable holds. @return nullptr when the set is full of
      * non-evictable entries (the gateway must stall).
      */
-    DepEntry *alloc(Addr addr,
-                    const std::function<bool(const DepEntry &)> &evictable);
+    /** Eviction predicate: stored inline, never heap-allocated (built
+     *  once per dependence walk on the gateway's hot path). */
+    using EvictPred = sim::SmallFn<bool(const DepEntry &), 16>;
+
+    DepEntry *alloc(Addr addr, const EvictPred &evictable);
 
     /** Number of valid entries (for stats/tests). */
     std::size_t validEntries() const;

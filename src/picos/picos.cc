@@ -9,7 +9,16 @@ namespace picosim::picos
 
 Picos::Picos(const sim::Clock &clock, const PicosParams &params,
              sim::StatGroup &stats)
-    : sim::Ticked("picos"), clock_(clock), params_(params), stats_(stats),
+    : sim::Ticked("picos"), clock_(clock), params_(params),
+      statSubPackets_(&stats.scalar("picos.subPackets")),
+      statRetirePackets_(&stats.scalar("picos.retirePackets")),
+      statDepEdges_(&stats.scalar("picos.depEdges")),
+      statDepTableStalls_(&stats.scalar("picos.depTableStalls")),
+      statTrsStalls_(&stats.scalar("picos.trsStalls")),
+      statReadyIssued_(&stats.scalar("picos.readyIssued")),
+      statBadRetires_(&stats.scalar("picos.badRetires")),
+      statRetires_(&stats.scalar("picos.retires")),
+      statInFlight_(&stats.dist("picos.inFlight")),
       subQueue_(clock, params.subQueueDepth, /*latency=*/1),
       readyQueue_(clock, params.readyQueueDepth, /*latency=*/1),
       retireQueue_(clock, params.retireQueueDepth, /*latency=*/1),
@@ -19,6 +28,7 @@ Picos::Picos(const sim::Clock &clock, const PicosParams &params,
     collectBuffer_.reserve(rocc::kDescriptorPackets);
     for (std::uint32_t i = 0; i < params.trsEntries; ++i)
         freeList_.push_back(i);
+    bindFastDispatch<Picos>();
 }
 
 void
@@ -54,7 +64,7 @@ Picos::subPush(std::uint32_t packet)
 {
     if (!subQueue_.push(packet))
         return false;
-    ++stats_.scalar("picos.subPackets");
+    ++*statSubPackets_;
     requestWake(subQueue_.nextReadyCycle());
     return true;
 }
@@ -64,7 +74,7 @@ Picos::retirePush(std::uint32_t picos_id)
 {
     if (!retireQueue_.push(picos_id))
         return false;
-    ++stats_.scalar("picos.retirePackets");
+    ++*statRetirePackets_;
     requestWake(retireQueue_.nextReadyCycle());
     return true;
 }
@@ -110,7 +120,7 @@ Picos::addEdge(const TaskRef &producer, std::uint32_t consumer_id)
         return;
     tasks_[producer.id].dependents.push_back(refOf(consumer_id));
     ++tasks_[consumer_id].pendingDeps;
-    ++stats_.scalar("picos.depEdges");
+    ++*statDepEdges_;
 }
 
 bool
@@ -136,7 +146,7 @@ Picos::applyDescriptor()
                 dep.addr,
                 [this](const DepEntry &de) { return entryEvictable(de); });
             if (!e) {
-                ++stats_.scalar("picos.depTableStalls");
+                ++*statDepTableStalls_;
                 return false;
             }
         }
@@ -164,7 +174,7 @@ Picos::applyDescriptor()
     task.swId = gwDesc_.swId;
     ++tasksProcessed_;
     ++inFlight_;
-    stats_.dist("picos.inFlight").sample(inFlight_);
+    statInFlight_->sample(inFlight_);
     // Only now may retirements ready this task: wakeups that arrived
     // during a mid-walk table stall were counted but deferred.
     task.applying = false;
@@ -194,7 +204,7 @@ Picos::tickGateway()
                 // No reservation entry: exert backpressure by not
                 // consuming; the submission queue fills and software sees
                 // failed Submit Packet instructions.
-                ++stats_.scalar("picos.trsStalls");
+                ++*statTrsStalls_;
                 return;
             }
             collectBuffer_.push_back(subQueue_.pop());
@@ -254,7 +264,7 @@ Picos::tickReadyIssue()
         readyQueue_.push(static_cast<std::uint32_t>(t.swId >> 32));
         readyQueue_.push(static_cast<std::uint32_t>(t.swId & 0xffffffffu));
         tasks_[readyIssuingId_].state = TaskState::Running;
-        ++stats_.scalar("picos.readyIssued");
+        ++*statReadyIssued_;
         readyIssuingId_ = -1;
         if (readyListener_)
             readyListener_->requestWake(readyQueue_.nextReadyCycle());
@@ -274,7 +284,7 @@ Picos::tickRetire()
         return;
     const std::uint32_t id = retireQueue_.pop();
     if (id >= tasks_.size() || tasks_[id].state != TaskState::Running) {
-        ++stats_.scalar("picos.badRetires");
+        ++*statBadRetires_;
         PSIM_WARN(clock_, "picos",
                   "retire of task " << id << " in invalid state");
         return;
@@ -302,7 +312,7 @@ Picos::tickRetire()
     --inFlight_;
     ++tasksRetired_;
     retireBusyUntil_ = now + cost;
-    ++stats_.scalar("picos.retires");
+    ++*statRetires_;
 }
 
 void
@@ -341,6 +351,31 @@ Picos::wakeAt() const
         wake = std::min(wake, gwBusyUntil_);
     if (readyIssuingId_ >= 0)
         wake = std::min(wake, readyBusyUntil_);
+    return wake;
+}
+
+Cycle
+Picos::nextSelfDue(Cycle next) const
+{
+    // Mirrors active() (any hit returns `next`) and wakeAt() without
+    // reading the queue state twice.
+    if (gwState_ != GwState::Collect || !collectBuffer_.empty())
+        return next;
+    if (readyIssuingId_ >= 0 || !readyPending_.empty())
+        return next;
+    const Cycle sub = subQueue_.nextReadyCycle();
+    if (sub <= next)
+        return next;
+    const Cycle retire = retireQueue_.nextReadyCycle();
+    if (retire <= next)
+        return next;
+
+    Cycle wake = std::min(sub, retire);
+    // Surface pending ready packets so the manager's encoder gets ticked
+    // even when everything else is quiescent.
+    wake = std::min(wake, readyQueue_.nextReadyCycle());
+    // gwState_ == Collect and readyIssuingId_ < 0 here, so the busy-until
+    // terms of wakeAt() cannot apply.
     return wake;
 }
 

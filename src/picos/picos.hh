@@ -43,7 +43,7 @@ enum class TaskState : std::uint8_t {
     Running, ///< handed to a core, awaiting retirement
 };
 
-class Picos : public sim::Ticked, public SchedulerIf
+class Picos final : public sim::Ticked, public SchedulerIf
 {
   public:
     Picos(const sim::Clock &clock, const PicosParams &params,
@@ -84,6 +84,10 @@ class Picos : public sim::Ticked, public SchedulerIf
     void tick() override;
     bool active() const override;
     Cycle wakeAt() const override;
+
+    /** Fused kernel re-arm query: `active() ? next : wakeAt()` in one
+     *  pass over the pipeline state. */
+    Cycle nextSelfDue(Cycle next) const;
 
     // -- Introspection (tests, stats) --
     unsigned inFlightTasks() const { return inFlight_; }
@@ -135,7 +139,18 @@ class Picos : public sim::Ticked, public SchedulerIf
 
     const sim::Clock &clock_;
     PicosParams params_;
-    sim::StatGroup &stats_;
+
+    // Cached stat-registry slots (node addresses are stable); bumped on
+    // every packet/edge, so the hot path never does a name lookup.
+    sim::Scalar *statSubPackets_;
+    sim::Scalar *statRetirePackets_;
+    sim::Scalar *statDepEdges_;
+    sim::Scalar *statDepTableStalls_;
+    sim::Scalar *statTrsStalls_;
+    sim::Scalar *statReadyIssued_;
+    sim::Scalar *statBadRetires_;
+    sim::Scalar *statRetires_;
+    sim::Distribution *statInFlight_;
 
     sim::TimedFifo<std::uint32_t> subQueue_;
     sim::TimedFifo<std::uint32_t> readyQueue_;

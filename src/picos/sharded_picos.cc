@@ -57,7 +57,21 @@ ShardedPicos::ShardedPicos(const sim::Clock &clock,
                            const TopologyParams &topo,
                            sim::StatGroup &stats)
     : sim::Ticked("shardedPicos"), clock_(clock), params_(params),
-      topo_(topo), stats_(stats)
+      topo_(topo), stats_(stats),
+      statSubPackets_(&stats.scalar("sharded.subPackets")),
+      statRetirePackets_(&stats.scalar("sharded.retirePackets")),
+      statDepEdges_(&stats.scalar("sharded.depEdges")),
+      statCrossShardEdges_(&stats.scalar("sharded.crossShardEdges")),
+      statDepTableStalls_(&stats.scalar("sharded.depTableStalls")),
+      statTasksProcessed_(&stats.scalar("sharded.tasksProcessed")),
+      statCrossShardNotifies_(&stats.scalar("sharded.crossShardNotifies")),
+      statRetires_(&stats.scalar("sharded.retires")),
+      statBadRetires_(&stats.scalar("sharded.badRetires")),
+      statTrsStalls_(&stats.scalar("sharded.trsStalls")),
+      statGatewayBackpressure_(&stats.scalar("sharded.gatewayBackpressure")),
+      statReadyIssued_(&stats.scalar("sharded.readyIssued")),
+      statSteals_(&stats.scalar("sharded.steals")),
+      statInFlight_(&stats.dist("sharded.inFlight"))
 {
     if (topo_.schedShards == 0 || topo_.clusters == 0)
         sim::fatal("ShardedPicos needs at least one shard and one cluster");
@@ -88,6 +102,7 @@ ShardedPicos::ShardedPicos(const sim::Clock &clock,
         clusters_.emplace_back(clock, params_, topo_, stats, c, this);
         ports_.emplace_back(*this, c);
     }
+    bindFastDispatch<ShardedPicos>();
 }
 
 SchedulerIf &
@@ -109,7 +124,7 @@ ShardedPicos::ClusterPort::subPush(std::uint32_t packet)
 {
     if (!sp_.clusters_[c_].subQueue.push(packet))
         return false;
-    ++sp_.stats_.scalar("sharded.subPackets");
+    ++*sp_.statSubPackets_;
     return true;
 }
 
@@ -144,7 +159,7 @@ ShardedPicos::ClusterPort::retirePush(std::uint32_t picos_id)
 {
     if (!sp_.clusters_[c_].retireQueue.push(picos_id))
         return false;
-    ++sp_.stats_.scalar("sharded.retirePackets");
+    ++*sp_.statRetirePackets_;
     return true;
 }
 
@@ -209,10 +224,10 @@ ShardedPicos::addEdge(const TaskRef &producer, std::uint32_t consumer_id)
         return;
     tasks_[producer.id].dependents.push_back(refOf(consumer_id));
     ++tasks_[consumer_id].pendingDeps;
-    ++stats_.scalar("sharded.depEdges");
+    ++*statDepEdges_;
     if (homeShardOf(producer.id) != homeShardOf(consumer_id)) {
         ++crossShardEdges_;
-        ++stats_.scalar("sharded.crossShardEdges");
+        ++*statCrossShardEdges_;
     }
 }
 
@@ -239,7 +254,7 @@ ShardedPicos::applyDescriptor(Shard &sh)
                 return entryEvictable(de);
             });
             if (!e) {
-                ++stats_.scalar("sharded.depTableStalls");
+                ++*statDepTableStalls_;
                 return false;
             }
         }
@@ -265,9 +280,9 @@ ShardedPicos::applyDescriptor(Shard &sh)
 
     task.swId = sh.gwDesc.swId;
     ++tasksProcessed_;
-    ++stats_.scalar("sharded.tasksProcessed");
+    ++*statTasksProcessed_;
     ++inFlight_;
-    stats_.dist("sharded.inFlight").sample(inFlight_);
+    statInFlight_->sample(inFlight_);
     // Only now may wakeups ready this task: producers that retired
     // during a mid-walk table stall were counted but deferred.
     task.applying = false;
@@ -348,7 +363,7 @@ ShardedPicos::finishRetire(Shard &sh, std::uint32_t id)
                 dep.id | (exec_cluster << kNotifyClusterShift);
             if (!shards_[homeShardOf(dep.id)].notifyQueue.push(packed))
                 sim::panic("cross-shard notify queue overflow");
-            ++stats_.scalar("sharded.crossShardNotifies");
+            ++*statCrossShardNotifies_;
         }
     }
     t.dependents.clear();
@@ -358,7 +373,7 @@ ShardedPicos::finishRetire(Shard &sh, std::uint32_t id)
     --inFlight_;
     ++tasksRetired_;
     sh.retireBusyUntil = now + cost;
-    ++stats_.scalar("sharded.retires");
+    ++*statRetires_;
 }
 
 void
@@ -381,7 +396,7 @@ ShardedPicos::tickRetire()
         if (id >= tasks_.size() ||
             tasks_[id].state != TaskState::Running) {
             cl.retireQueue.pop();
-            ++stats_.scalar("sharded.badRetires");
+            ++*statBadRetires_;
             PSIM_WARN(clock_, "sharded",
                       "retire of task " << id << " in invalid state");
             continue;
@@ -411,7 +426,7 @@ ShardedPicos::tickGateways()
             if (sh.freeList.empty()) {
                 // Backpressure: hold the descriptor at the gateway until
                 // a retirement frees a reservation entry.
-                ++stats_.scalar("sharded.trsStalls");
+                ++*statTrsStalls_;
                 continue;
             }
             PendingDesc &pending = sh.inQueue.front();
@@ -456,7 +471,7 @@ ShardedPicos::tickRouters()
                 if (dep_free)
                     cl.rrShard = (cl.rrShard + 1) % topo_.schedShards;
             } else {
-                ++stats_.scalar("sharded.gatewayBackpressure");
+                ++*statGatewayBackpressure_;
             }
         }
         // Collect one submission packet per cycle into the descriptor.
@@ -488,7 +503,7 @@ ShardedPicos::tickReadyIssue()
             cl.readyQueue.push(
                 static_cast<std::uint32_t>(t.swId & 0xffffffffu));
             tasks_[cl.readyIssuingId].state = TaskState::Running;
-            ++stats_.scalar("sharded.readyIssued");
+            ++*statReadyIssued_;
             cl.readyIssuingId = -1;
             if (cl.readyListener)
                 cl.readyListener->requestWake(
@@ -523,7 +538,7 @@ ShardedPicos::tickReadyIssue()
                 cl.readyBusyUntil = now + params_.readyIssueCycles +
                                     topo_.stealPenaltyCycles;
                 ++steals_;
-                ++stats_.scalar("sharded.steals");
+                ++*statSteals_;
             }
         }
     }

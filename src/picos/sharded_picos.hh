@@ -51,7 +51,7 @@
 namespace picosim::picos
 {
 
-class ShardedPicos : public sim::Ticked
+class ShardedPicos final : public sim::Ticked
 {
   public:
     ShardedPicos(const sim::Clock &clock, const PicosParams &params,
@@ -190,6 +190,22 @@ class ShardedPicos : public sim::Ticked
     PicosParams params_;
     TopologyParams topo_;
     sim::StatGroup &stats_;
+
+    // Cached stat-registry slots for the per-packet/per-edge counters.
+    sim::Scalar *statSubPackets_;
+    sim::Scalar *statRetirePackets_;
+    sim::Scalar *statDepEdges_;
+    sim::Scalar *statCrossShardEdges_;
+    sim::Scalar *statDepTableStalls_;
+    sim::Scalar *statTasksProcessed_;
+    sim::Scalar *statCrossShardNotifies_;
+    sim::Scalar *statRetires_;
+    sim::Scalar *statBadRetires_;
+    sim::Scalar *statTrsStalls_;
+    sim::Scalar *statGatewayBackpressure_;
+    sim::Scalar *statReadyIssued_;
+    sim::Scalar *statSteals_;
+    sim::Distribution *statInFlight_;
 
     std::vector<Shard> shards_;
     std::vector<Cluster> clusters_;

@@ -18,12 +18,13 @@
 
 #include <coroutine>
 #include <exception>
-#include <functional>
 #include <optional>
 #include <utility>
 
 #include "sim/clock.hh"
+#include "sim/frame_pool.hh"
 #include "sim/log.hh"
+#include "sim/small_fn.hh"
 #include "sim/types.hh"
 
 namespace picosim::sim
@@ -34,11 +35,22 @@ class HartContext;
 namespace detail
 {
 
-/** Promise base: continuation chaining + exception capture. */
+/** Promise base: continuation chaining + exception capture. Frames are
+ *  recycled through the thread-local FramePool — simulated software
+ *  spawns coroutines at task rates, and pooling keeps that churn off the
+ *  shared process heap (the batch pool's main scaling hazard). */
 struct PromiseBase
 {
     std::coroutine_handle<> continuation;
     std::exception_ptr error;
+
+    static void *operator new(std::size_t n) { return frameAlloc(n); }
+
+    static void
+    operator delete(void *p, std::size_t n)
+    {
+        frameFree(p, n);
+    }
 
     struct FinalAwaiter
     {
@@ -233,6 +245,9 @@ class [[nodiscard]] CoTask<void>
 class HartContext
 {
   public:
+    /** Wake-predicate storage: inline, never heap-allocated. */
+    using Predicate = SmallFn<bool(), 32>;
+
     explicit HartContext(const Clock &clock) : clock_(clock) {}
 
     /** Install and start a root coroutine (does not run it yet). */
@@ -242,11 +257,16 @@ class HartContext
         root_ = std::move(root);
         resumeNext_ = root_.handle();
         wakeAt_ = clock_.now();
-        pred_ = nullptr;
+        pred_.reset();
+        finished_ = !root_.valid();
     }
 
     bool started() const { return root_.valid(); }
-    bool done() const { return !root_.valid() || root_.done(); }
+
+    /** Completion is latched after every resume, so the per-evaluation
+     *  queries (runnable/wakeAt/threadDone) never touch the coroutine
+     *  frame. */
+    bool done() const { return finished_; }
 
     /** Cycle at which this hart next wants to run (kCycleNever if done). */
     Cycle
@@ -276,7 +296,7 @@ class HartContext
     {
         if (!runnable())
             return false;
-        pred_ = nullptr;
+        pred_.reset();
         resume();
         return true;
     }
@@ -311,11 +331,11 @@ class HartContext
     }
 
     void
-    suspendUntil(std::function<bool()> pred, std::coroutine_handle<> h)
+    suspendUntil(Predicate pred, std::coroutine_handle<> h)
     {
         resumeNext_ = h;
         wakeAt_ = clock_.now() + 1;
-        pred_ = std::move(pred);
+        pred_ = pred;
     }
 
     /**
@@ -348,7 +368,10 @@ class HartContext
         resumeNext_ = nullptr;
         h.resume();
         s_current = prev;
-        checkError();
+        if (root_.done()) {
+            finished_ = true;
+            checkError();
+        }
     }
 
     static inline thread_local HartContext *s_current = nullptr;
@@ -357,7 +380,8 @@ class HartContext
     CoTask<void> root_;
     std::coroutine_handle<> resumeNext_ = nullptr;
     Cycle wakeAt_ = 0;
-    std::function<bool()> pred_;
+    bool finished_ = true; ///< no root installed counts as done
+    Predicate pred_;
 };
 
 /** Awaitable: advance this hart's time by a fixed number of cycles. */
@@ -402,10 +426,12 @@ struct BlockHart
     void await_resume() const noexcept {}
 };
 
-/** Awaitable: poll a predicate once per cycle until it holds. */
+/** Awaitable: poll a predicate once per cycle until it holds. The
+ *  predicate is stored inline (small trivially-copyable captures only),
+ *  so suspending never allocates. */
 struct WaitUntil
 {
-    std::function<bool()> pred;
+    HartContext::Predicate pred;
 
     bool await_ready() const { return pred(); }
 
@@ -415,7 +441,7 @@ struct WaitUntil
         HartContext *ctx = HartContext::current();
         if (!ctx)
             panic("WaitUntil awaited outside a HartContext");
-        ctx->suspendUntil(std::move(pred), h);
+        ctx->suspendUntil(pred, h);
     }
 
     void await_resume() const noexcept {}

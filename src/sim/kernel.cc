@@ -1,6 +1,7 @@
 #include "sim/kernel.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/log.hh"
 
@@ -23,21 +24,96 @@ Simulator::addTicked(Ticked *component)
     component->sim_ = this;
     component->regIndex_ = static_cast<unsigned>(ticked_.size());
     ticked_.push_back(component);
+    wheel_.addComponent(component->regIndex_);
     // Initial evaluation at the current cycle, like the reference kernel's
     // first tick-the-world pass.
-    component->extEarliest_ = clock_.now();
-    events_.push(
-        Event{clock_.now(), component->regIndex_, component, true});
+    addExternal(component, clock_.now());
+    arm(component, clock_.now());
 }
 
 void
-Simulator::scheduleSelf(Ticked *component, Cycle cycle)
+Simulator::addExternal(Ticked *t, Cycle cycle)
 {
-    // The previous self entry (if any) becomes stale by construction:
-    // selfSched_ identifies the single valid one.
-    component->selfSched_ = cycle;
-    if (cycle != kCycleNever)
-        events_.push(Event{cycle, component->regIndex_, component, false});
+    if (t->extHead_ == kCycleNever) {
+        t->extHead_ = cycle;
+        return;
+    }
+    if (cycle == t->extHead_)
+        return; // duplicate of the earliest pending wake
+    if (cycle < t->extHead_) {
+        std::swap(cycle, t->extHead_); // old head becomes a later wake
+    }
+    auto &more = t->extMore_;
+    const auto it = std::lower_bound(more.begin(), more.end(), cycle);
+    if (it == more.end() || *it != cycle)
+        more.insert(it, cycle); // keep sorted, deduplicated
+}
+
+void
+Simulator::consumeExternalHead(Ticked *t)
+{
+    if (t->extMore_.empty()) {
+        t->extHead_ = kCycleNever;
+    } else {
+        t->extHead_ = t->extMore_.front();
+        t->extMore_.erase(t->extMore_.begin());
+    }
+}
+
+void
+Simulator::disarm(Ticked *t)
+{
+    if (t->armedAt_ == kCycleNever)
+        return;
+    if (t->far_) {
+        t->far_ = false;
+        if (--farCount_ == 0)
+            farMin_ = kCycleNever;
+    } else {
+        wheel_.clear(t->regIndex_, t->armedAt_);
+    }
+    t->armedAt_ = kCycleNever;
+}
+
+void
+Simulator::arm(Ticked *t, Cycle now)
+{
+    const Cycle due = std::min(t->selfSched_, t->extHead_);
+    if (due == t->armedAt_)
+        return; // already armed at its due cycle
+    disarm(t);
+    if (due == kCycleNever)
+        return;
+    t->armedAt_ = due;
+    if (due - now < EventWheel::kBuckets) {
+        wheel_.set(t->regIndex_, due);
+    } else {
+        t->far_ = true;
+        ++farCount_;
+        farMin_ = std::min(farMin_, due);
+    }
+}
+
+void
+Simulator::refileFar(Cycle now)
+{
+    if (farCount_ == 0 || farMin_ - now >= EventWheel::kBuckets)
+        return;
+    // At least one far component may have entered the horizon (farMin_ is
+    // a conservative lower bound); re-derive the far set exactly.
+    Cycle newMin = kCycleNever;
+    for (Ticked *t : ticked_) {
+        if (!t->far_)
+            continue;
+        if (t->armedAt_ - now < EventWheel::kBuckets) {
+            t->far_ = false;
+            --farCount_;
+            wheel_.set(t->regIndex_, t->armedAt_);
+        } else {
+            newMin = std::min(newMin, t->armedAt_);
+        }
+    }
+    farMin_ = newMin;
 }
 
 void
@@ -56,63 +132,54 @@ Simulator::requestWake(Ticked *component, Cycle cycle)
     }
     if (c == kCycleNever)
         return;
-    if (c == component->extEarliest_)
-        return; // duplicate of the tracked earliest pending wake
-    if (c < component->extEarliest_)
-        component->extEarliest_ = c;
-    events_.push(Event{c, component->regIndex_, component, true});
+    addExternal(component, c);
+    arm(component, now);
 }
 
 void
 Simulator::evaluateDue()
 {
     const Cycle now = clock_.now();
-
-    // Re-file leftovers scheduled in the past (possible across run/runFor
-    // boundaries) at the current cycle so same-cycle evaluation order is
-    // still registration order.
-    while (!events_.empty() && events_.top().cycle < now) {
-        const Event e = events_.top();
-        events_.pop();
-        if (e.external) {
-            if (e.cycle == e.component->extEarliest_)
-                e.component->extEarliest_ = now;
-        } else {
-            if (e.cycle != e.component->selfSched_)
-                continue; // stale self entry
-            e.component->selfSched_ = now;
-        }
-        events_.push(Event{now, e.regIndex, e.component, e.external});
-    }
+    refileFar(now);
 
     bool tickedAny = false;
     evaluating_ = true;
-    while (!events_.empty() && events_.top().cycle == now) {
-        const Event e = events_.top();
-        events_.pop();
-        Ticked *t = e.component;
-        if (e.external) {
-            if (t->extEarliest_ == e.cycle)
-                t->extEarliest_ = kCycleNever; // tracked wake consumed
-        } else {
-            if (e.cycle != t->selfSched_)
-                continue; // stale self entry
-            t->selfSched_ = kCycleNever;
+    const unsigned nwords = wheel_.numWords();
+    for (unsigned w = 0; w < nwords; ++w) {
+        // The word is re-read after every dispatch: a tick may wake a
+        // LATER-registered component for this same cycle (bits at or
+        // below the current slot slip to the next cycle in requestWake),
+        // so the live view preserves registration-order dispatch.
+        std::uint64_t bits;
+        while ((bits = wheel_.word(now, w)) != 0) {
+            const unsigned r =
+                w * 64 + static_cast<unsigned>(std::countr_zero(bits));
+            wheel_.clearBit(now, r);
+            Ticked *t = ticked_[r];
+            t->armedAt_ = kCycleNever;
+            if (t->extHead_ == now)
+                consumeExternalHead(t); // tracked wake consumed
+            if (t->selfSched_ == now)
+                t->selfSched_ = kCycleNever;
+            if (t->lastTick_ == now) {
+                arm(t, now);
+                continue; // already evaluated this cycle
+            }
+            t->lastTick_ = now;
+            currentRegIndex_ = r;
+
+            t->fastTick();
+            ++componentTicks_;
+            tickedAny = true;
+
+            // Re-arm at the component's own next due cycle; wakes
+            // requested during its own tick have updated extHead_.
+            const Cycle self = t->fastDue(now + 1);
+            t->selfSched_ = self == kCycleNever
+                                ? kCycleNever
+                                : std::max(self, now + 1);
+            arm(t, now);
         }
-        if (t->lastTick_ == now)
-            continue; // already evaluated this cycle (duplicate entry)
-        t->lastTick_ = now;
-        currentRegIndex_ = e.regIndex;
-
-        t->tick();
-        ++componentTicks_;
-        tickedAny = true;
-
-        // Re-arm at the component's own next due cycle; wakes requested
-        // during its own tick have entered the queue on their own.
-        const Cycle self = t->active() ? now + 1 : t->wakeAt();
-        scheduleSelf(t, self == kCycleNever ? kCycleNever
-                                            : std::max(self, now + 1));
     }
     evaluating_ = false;
     if (tickedAny)
@@ -123,32 +190,90 @@ Cycle
 Simulator::refreshNextEventCycle()
 {
     const Cycle now = clock_.now();
-    while (!events_.empty()) {
-        const Event e = events_.top();
-        Ticked *t = e.component;
-        if (e.external)
-            return e.cycle; // explicit request — always honored
-        if (e.cycle != t->selfSched_) {
-            events_.pop();
-            continue; // stale self entry
+    // Dense-phase fast path: something is armed for the immediately next
+    // cycle, which no revalidation could beat (armed cycles are >= now,
+    // and re-validated self-schedules clamp to now + 1 as well). A stale
+    // self-schedule costs at most one idle evaluation and re-arms itself
+    // from live state — results are unaffected.
+    if (wheel_.anyAt(now + 1))
+        return now + 1;
+    while (true) {
+        refileFar(now);
+        Cycle c = wheel_.firstOnOrAfter(now);
+        bool inWheel = true;
+        if (c == kCycleNever) {
+            if (farCount_ == 0)
+                return kCycleNever;
+            // Nothing within the horizon: the minimum lives in the far
+            // set (re-derive it exactly; farMin_ is a lower bound).
+            c = kCycleNever;
+            for (Ticked *t : ticked_)
+                if (t->far_)
+                    c = std::min(c, t->armedAt_);
+            farMin_ = c;
+            inWheel = false;
         }
-        // Re-validate self entries against the component's live state so
-        // the fast-forward target equals the reference kernel's freshly
-        // computed global minimum (a consumer may have emptied the queue
-        // the entry was scheduled for, pushing the real due cycle out).
-        Cycle fresh = t->active() ? now + 1 : t->wakeAt();
-        if (fresh != kCycleNever)
-            fresh = std::max(fresh, now + 1);
-        if (fresh == e.cycle)
-            return e.cycle;
-        events_.pop();
-        scheduleSelf(t, fresh);
+
+        // Re-validate components armed at c purely by self-schedule: a
+        // consumer may have emptied the queue the re-arm was computed
+        // for, pushing the real due cycle out (or a contract-violating
+        // mutation pulled it in). External wakes are always honored.
+        bool anyValid = false;
+        Cycle movedMin = kCycleNever;
+        const auto revalidate = [&](Ticked *t) {
+            if (t->extHead_ == c) {
+                anyValid = true;
+                return;
+            }
+            if (t->lastTick_ == now) {
+                // Ticked (and re-armed from live state) this very cycle:
+                // any later same-cycle mutation comes with a requestWake
+                // by the kernel contract, so the self-schedule is fresh —
+                // skip the duplicate active()/wakeAt() computation that
+                // dominated the fast-forward path.
+                anyValid = true;
+                return;
+            }
+            Cycle fresh = t->fastDue(now + 1);
+            if (fresh != kCycleNever)
+                fresh = std::max(fresh, now + 1);
+            if (fresh == c) {
+                anyValid = true;
+                return;
+            }
+            t->selfSched_ = fresh;
+            arm(t, now);
+            movedMin = std::min(movedMin, t->armedAt_);
+        };
+
+        if (inWheel) {
+            const unsigned nwords = wheel_.numWords();
+            for (unsigned w = 0; w < nwords; ++w) {
+                std::uint64_t bits = wheel_.word(c, w);
+                while (bits) {
+                    const unsigned r =
+                        w * 64 +
+                        static_cast<unsigned>(std::countr_zero(bits));
+                    bits &= bits - 1;
+                    revalidate(ticked_[r]);
+                }
+            }
+        } else {
+            for (Ticked *t : ticked_)
+                if (t->far_ && t->armedAt_ == c)
+                    revalidate(t);
+        }
+
+        if (anyValid && movedMin >= c)
+            return c;
+        // Either everything moved later (rescan finds the new minimum)
+        // or a re-validated component moved EARLIER than c (stale entry
+        // masked a nearer due cycle) — rescan from the current cycle.
     }
-    return kCycleNever;
 }
 
 bool
-Simulator::run(const std::function<bool()> &done, Cycle limit)
+Simulator::run(DonePredicate done, Cycle limit)
 {
     if (mode_ == EvalMode::TickWorld)
         return runTickWorld(done, limit);
@@ -194,7 +319,7 @@ void
 Simulator::evaluateAll()
 {
     for (Ticked *t : ticked_)
-        t->tick();
+        t->fastTick();
     componentTicks_ += ticked_.size();
     ++evaluatedCycles_;
 }
@@ -203,7 +328,7 @@ bool
 Simulator::anyActive() const
 {
     return std::any_of(ticked_.begin(), ticked_.end(),
-                       [](const Ticked *t) { return t->active(); });
+                       [](const Ticked *t) { return t->fastActive(); });
 }
 
 Cycle
@@ -211,12 +336,12 @@ Simulator::nextWakeAll() const
 {
     Cycle wake = kCycleNever;
     for (const Ticked *t : ticked_)
-        wake = std::min(wake, t->wakeAt());
+        wake = std::min(wake, t->fastWakeAt());
     return wake;
 }
 
 bool
-Simulator::runTickWorld(const std::function<bool()> &done, Cycle limit)
+Simulator::runTickWorld(const DonePredicate &done, Cycle limit)
 {
     const Cycle start = clock_.now();
     while (true) {

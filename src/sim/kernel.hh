@@ -1,18 +1,18 @@
 /**
  * @file
  * The simulation kernel: owns the clock, schedules component evaluations
- * through an event queue, fast-forwards across quiescent periods.
+ * through a bitmap timing wheel, fast-forwards across quiescent periods.
  */
 
 #ifndef PICOSIM_SIM_KERNEL_HH
 #define PICOSIM_SIM_KERNEL_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/clock.hh"
+#include "sim/event_wheel.hh"
+#include "sim/small_fn.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
 #include "sim/types.hh"
@@ -40,13 +40,24 @@ enum class EvalMode : std::uint8_t
     TickWorld,
 };
 
+/** Non-allocating done-predicate storage for the run loop. */
+using DonePredicate = SmallFn<bool(), 32>;
+
 /**
- * Cycle-exact simulator with a binary-heap event queue.
+ * Cycle-exact simulator over a bitmap timing-wheel scheduler.
  *
- * Event entries are ordered by (cycle, registration index), so components
- * due in the same cycle are always evaluated in registration order — the
- * invariant that makes the event-driven schedule produce bit-identical
- * results to ticking the world every active cycle.
+ * Scheduling contract (the deterministic same-cycle ordering rule):
+ * every component holds exactly ONE armed entry — the minimum of its
+ * kernel re-arm (self-schedule) and its earliest pending external wake —
+ * stored as one bit in the wheel bucket of that cycle. Components due in
+ * the same cycle are dispatched in REGISTRATION ORDER (bucket bits are
+ * iterated word by word, lowest index first), independent of the order
+ * wakes were requested in — the invariant that makes the event-driven
+ * schedule produce bit-identical results to ticking the world every
+ * active cycle. Schedule and cancel are O(1) bit operations; same-cycle
+ * events batch into one bucket dispatch; far-future wakes (beyond the
+ * wheel horizon) sit in a per-component far set until they come within
+ * range.
  */
 class Simulator
 {
@@ -83,11 +94,12 @@ class Simulator
 
     /**
      * Run until the predicate holds (checked once per evaluated cycle) or
-     * the cycle limit is exceeded.
+     * the cycle limit is exceeded. The predicate must be a small
+     * trivially-copyable callable (it is stored inline, never allocated).
      *
      * @return true if the predicate was satisfied, false on cycle-limit.
      */
-    bool run(const std::function<bool()> &done, Cycle limit = kCycleNever);
+    bool run(DonePredicate done, Cycle limit = kCycleNever);
 
     /** Run for exactly n cycles of simulated time. */
     void runFor(Cycle n);
@@ -111,44 +123,35 @@ class Simulator
     std::size_t numComponents() const { return ticked_.size(); }
 
   private:
-    /**
-     * One scheduled evaluation. Self entries (the kernel re-arming a
-     * component after its tick) can go stale when the component's state
-     * is consumed externally; they are re-validated against the live
-     * active()/wakeAt() before being used as a fast-forward target.
-     * External entries (requestWake) are explicit and always honored.
-     */
-    struct Event
-    {
-        Cycle cycle;
-        unsigned regIndex;
-        Ticked *component;
-        bool external;
+    /** Arm @p t in the wheel (or far set) at the min of its self/external
+     *  due cycles; @p now anchors the wheel horizon. */
+    void arm(Ticked *t, Cycle now);
 
-        bool
-        operator>(const Event &o) const
-        {
-            return cycle != o.cycle ? cycle > o.cycle
-                                    : regIndex > o.regIndex;
-        }
-    };
+    /** Remove @p t's armed entry (wheel bit or far-set membership). */
+    void disarm(Ticked *t);
 
-    /** Replace the component's self entry with one at @p cycle. */
-    void scheduleSelf(Ticked *component, Cycle cycle);
+    /** Consume t's earliest external wake, promoting any later one. */
+    void consumeExternalHead(Ticked *t);
+
+    /** Record an external wake at @p cycle (dedup, keep sorted). */
+    void addExternal(Ticked *t, Cycle cycle);
+
+    /** File far-armed components whose cycle entered the wheel horizon. */
+    void refileFar(Cycle now);
 
     /** Tick every component due at the current cycle, registration order. */
     void evaluateDue();
 
     /**
-     * Earliest future cycle holding a valid event, re-validating stale
-     * entries against the components' live active()/wakeAt() so the
-     * fast-forward target matches the reference kernel's fresh global
-     * minimum. kCycleNever when the queue is empty.
+     * Earliest future cycle holding a due component, re-validating pure
+     * self-schedules against the components' live active()/wakeAt() so
+     * the fast-forward target matches the reference kernel's fresh global
+     * minimum. kCycleNever when nothing is armed.
      */
     Cycle refreshNextEventCycle();
 
     // -- TickWorld reference implementation --
-    bool runTickWorld(const std::function<bool()> &done, Cycle limit);
+    bool runTickWorld(const DonePredicate &done, Cycle limit);
     void runForTickWorld(Cycle n);
     void evaluateAll();
     bool anyActive() const;
@@ -158,8 +161,9 @@ class Simulator
     StatGroup stats_;
     EvalMode mode_ = EvalMode::EventDriven;
     std::vector<Ticked *> ticked_;
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        events_;
+    EventWheel wheel_;
+    unsigned farCount_ = 0;  ///< components armed beyond the horizon
+    Cycle farMin_ = kCycleNever; ///< lower bound on far armed cycles
     bool evaluating_ = false;
     unsigned currentRegIndex_ = 0;
     std::uint64_t evaluatedCycles_ = 0;

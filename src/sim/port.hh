@@ -28,11 +28,11 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <deque>
 #include <string>
 #include <utility>
 
 #include "sim/clock.hh"
+#include "sim/ring.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
@@ -262,7 +262,7 @@ class TimedPort
     const Clock &clock_;
     PortParams params_;
     Ticked *owner_;
-    std::deque<Slot> items_;
+    Ring<Slot> items_;
     Cycle acceptAt_ = 0;     ///< cycle whose acceptance slots are in use
     unsigned acceptUsed_ = 0; ///< slots consumed in acceptAt_
     // Cached registry entries; null when stat-free.

@@ -29,9 +29,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 
 #include "sim/clock.hh"
+#include "sim/ring.hh"
 #include "sim/log.hh"
 #include "sim/types.hh"
 
@@ -141,7 +141,7 @@ class TimedFifo
     const Clock &clock_;
     std::size_t capacity_;
     Cycle latency_;
-    std::deque<Slot> items_;
+    Ring<Slot> items_;
 
     /** Cycle of the last refused push(). */
     Cycle fullQueryAt_ = kCycleNever;

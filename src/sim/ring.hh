@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bounded ring buffer backing the timed FIFO/port models.
+ *
+ * std::deque allocates and frees its chunk nodes continuously as elements
+ * stream through a queue — per-packet heap traffic on every port of every
+ * component, and (because the heap is shared) a cross-thread scaling tax
+ * on parallel batch sweeps. Port capacities are bounded by construction,
+ * so a ring over a plain vector gives allocation-free steady state: the
+ * buffer grows geometrically (capped by the port's capacity) the first
+ * few times a queue deepens and never allocates again.
+ */
+
+#ifndef PICOSIM_SIM_RING_HH
+#define PICOSIM_SIM_RING_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace picosim::sim
+{
+
+template <typename T>
+class Ring
+{
+  public:
+    Ring() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(value);
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        buf_[head_] = T{}; // release any owned resources promptly
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            buf_[(head_ + i) & (buf_.size() - 1)] = T{};
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+        std::vector<T> wider(cap);
+        for (std::size_t i = 0; i < size_; ++i)
+            wider[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+        buf_ = std::move(wider);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_; ///< power-of-two length once allocated
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace picosim::sim
+
+#endif // PICOSIM_SIM_RING_HH

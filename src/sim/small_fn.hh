@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Non-allocating small-callable storage.
+ *
+ * The simulator's hot path passes predicates around constantly: the run
+ * loop's done() check and every WaitUntil poll. std::function costs an
+ * indirect call through a type-erasure vtable plus a possible heap
+ * allocation for the captured state. SmallFn stores the callable inline
+ * (captures are a few pointers in practice), rejects anything that would
+ * not fit at compile time, and invokes through a single function pointer.
+ *
+ * Callables must be trivially copyable and trivially destructible — true
+ * for every capture the simulator uses (raw pointers, ids, cycle counts)
+ * and statically enforced, so SmallFn itself stays trivially copyable and
+ * needs no destructor bookkeeping.
+ */
+
+#ifndef PICOSIM_SIM_SMALL_FN_HH
+#define PICOSIM_SIM_SMALL_FN_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace picosim::sim
+{
+
+template <typename Signature, std::size_t Capacity = 48>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFn<R(Args...), Capacity>
+{
+  public:
+    SmallFn() = default;
+
+    /** Implicit from any small trivially-copyable callable. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    SmallFn(F &&fn) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Capacity,
+                      "callable captures too much state for SmallFn");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned callables are not supported");
+        static_assert(std::is_trivially_copyable_v<Fn> &&
+                          std::is_trivially_destructible_v<Fn>,
+                      "SmallFn requires trivially copyable callables");
+        ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(fn));
+        invoke_ = [](const void *s, Args... args) -> R {
+            // The callable was placement-new'ed into the storage; launder
+            // recovers a pointer to that object.
+            const Fn *fn_p = std::launder(
+                reinterpret_cast<const Fn *>(static_cast<const char *>(s)));
+            // Predicates are logically const but may capture mutable
+            // state by value; invoke through a non-const copy semantics
+            // free path: cast away constness of the storage view.
+            return (*const_cast<Fn *>(fn_p))(std::forward<Args>(args)...);
+        };
+    }
+
+    SmallFn(std::nullptr_t) {} // NOLINT(google-explicit-constructor)
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args) const
+    {
+        return invoke_(storage_, std::forward<Args>(args)...);
+    }
+
+    void reset() { invoke_ = nullptr; }
+
+  private:
+    using Invoke = R (*)(const void *, Args...);
+
+    alignas(std::max_align_t) char storage_[Capacity];
+    Invoke invoke_ = nullptr;
+};
+
+} // namespace picosim::sim
+
+#endif // PICOSIM_SIM_SMALL_FN_HH

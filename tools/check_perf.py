@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh BENCH_kernel.json against the
+checked-in baseline.
+
+Fails (exit 1) when:
+  * any row reports identical: false (the event kernel diverged from the
+    tick-the-world reference — a correctness bug, never acceptable);
+  * a mode_compare row's wallSpeedup regressed more than the tolerance
+    below its baseline value.
+
+Wall-clock seconds are machine-dependent, so the gate is on wallSpeedup —
+the event-driven/tick-world ratio measured within one process on one
+machine, which transfers across hosts far better than absolute times.
+The tolerance is generous (CI machines are noisy neighbours), but a real
+scheduler regression — an O(log n) structure creeping back, a per-event
+allocation — shifts the ratio well past it.
+
+Usage: check_perf.py <fresh BENCH_kernel.json> <baseline json> [tolerance]
+"""
+
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    fresh = load_rows(sys.argv[1])
+    baseline = load_rows(sys.argv[2])
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+
+    failures = []
+
+    for row in fresh:
+        if row.get("identical") is False:
+            failures.append(
+                f"row '{row.get('label', row.get('bench'))}' reports "
+                "identical: false — event kernel diverged from the "
+                "reference")
+
+    base_by_label = {
+        row["label"]: row
+        for row in baseline
+        if row.get("bench") == "mode_compare"
+    }
+    for row in fresh:
+        if row.get("bench") != "mode_compare":
+            continue
+        label = row["label"]
+        base = base_by_label.get(label)
+        if base is None:
+            print(f"note: no baseline for '{label}' (new row?) — skipped")
+            continue
+        got = float(row["wallSpeedup"])
+        want = float(base["wallSpeedup"])
+        floor = want * (1.0 - tolerance)
+        status = "ok" if got >= floor else "REGRESSION"
+        print(f"{label:32s} wallSpeedup {got:6.2f}x "
+              f"(baseline {want:.2f}x, floor {floor:.2f}x) {status}")
+        if got < floor:
+            failures.append(
+                f"'{label}' wallSpeedup {got:.2f}x fell more than "
+                f"{tolerance:.0%} below the baseline {want:.2f}x")
+
+    if failures:
+        print("\nperf-smoke FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperf-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
