@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/harness.hh"
@@ -116,6 +117,21 @@ class BenchJson
     std::string path_;
     std::vector<std::string> rows_;
 };
+
+/**
+ * Stamp the host-parallelism context into the current row of @p json:
+ * hostConcurrency (hardware threads of the machine that produced the
+ * row) and workerThreads (host threads this measurement actually used).
+ * Every BENCH_*.json row gets this, so a pool/PDES speedup measured on a
+ * 1-CPU box is recognizable as unmeasurable rather than as a regression.
+ */
+inline void
+stampHost(BenchJson &json, unsigned workerThreads = 1)
+{
+    json.field("hostConcurrency",
+               std::uint64_t{std::thread::hardware_concurrency()});
+    json.field("workerThreads", std::uint64_t{workerThreads});
+}
 
 /** Geometric mean of positive values. */
 inline double

@@ -13,6 +13,10 @@
  *     meaningful relative to hostConcurrency (also emitted): on a
  *     single-hardware-thread host the pool cannot beat 1x by
  *     construction.
+ *  3. Conservative-PDES: one sharded simulation run on the windowed
+ *     kernel at 1 vs 2 host threads — full stat dumps must be
+ *     bit-identical (the identical gate in check_perf.py), and the wall
+ *     ratio shows what intra-run threading buys on this host.
  *
  * `--quick` (or PICOSIM_QUICK=1) subsamples the sweeps for CI.
  */
@@ -22,11 +26,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <thread>
+#include <utility>
 
 #include "apps/workloads.hh"
 #include "bench/bench_util.hh"
 #include "bench/fig_common.hh"
+#include "cpu/system.hh"
 
 using namespace picosim;
 
@@ -88,6 +95,57 @@ compareModes(bench::BenchJson &json, const char *label,
     json.field("wallEventSec", te);
     json.field("wallWorldSec", tw);
     json.field("wallSpeedup", te > 0 ? tw / te : 0.0);
+    bench::stampHost(json);
+}
+
+/** One forced-partition PDES run; returns (final cycle, full dump). */
+std::pair<Cycle, std::string>
+runPdes(const rt::Program &prog, unsigned hostThreads)
+{
+    cpu::SystemParams sp;
+    sp.numCores = 16;
+    sp.topology.schedShards = 4;
+    sp.topology.clusters = 4;
+    sp.pdes.partition = cpu::PdesParams::Partition::Force;
+    sp.pdes.hostThreads = hostThreads;
+    cpu::System sys(sp);
+    auto runtime = rt::makeRuntime(rt::RuntimeKind::Phentos, rt::CostModel{});
+    runtime->install(sys, prog);
+    sys.run(50'000'000'000ull);
+    std::ostringstream dump;
+    sys.stats().dump(dump);
+    return {sys.clock().now(), dump.str()};
+}
+
+bool
+comparePdes(bench::BenchJson &json, const char *label,
+            const rt::Program &prog, unsigned repeats)
+{
+    const unsigned threads = 2;
+    std::pair<Cycle, std::string> r1, rn;
+    double t1 = 0.0, tn = 0.0;
+    for (unsigned r = 0; r < repeats; ++r) {
+        const double a = wallSeconds([&] { r1 = runPdes(prog, 1); });
+        const double b = wallSeconds([&] { rn = runPdes(prog, threads); });
+        t1 = r == 0 ? a : std::min(t1, a);
+        tn = r == 0 ? b : std::min(tn, b);
+    }
+    const bool same = r1.first == rn.first && r1.second == rn.second;
+    std::printf("%-28s %12llu cycles %s  wall 1t %.3fs -> %ut %.3fs "
+                "(%.2fx)\n",
+                label, static_cast<unsigned long long>(r1.first),
+                same ? "[=]" : "[MISMATCH]", t1, threads, tn,
+                tn > 0 ? t1 / tn : 0.0);
+    json.beginRow();
+    json.field("bench", "pdes_compare");
+    json.field("label", label);
+    json.field("cycles", r1.first);
+    json.field("identical", same);
+    json.field("wallOneThreadSec", t1);
+    json.field("wallMultiThreadSec", tn);
+    json.field("pdesSpeedup", tn > 0 ? t1 / tn : 0.0);
+    bench::stampHost(json, threads);
+    return same;
 }
 
 } // namespace
@@ -173,12 +231,23 @@ main(int argc, char **argv)
     json.field("poolSec", tPool);
     json.field("poolSpeedup", tPool > 0 ? tSerial / tPool : 0.0);
     json.field("poolThreads", std::uint64_t{poolThreads});
-    json.field("hostConcurrency", std::uint64_t{hostThreads});
     json.field("identical", same);
+    bench::stampHost(json, poolThreads);
+
+    std::printf("\n== Conservative-PDES windowed kernel (forced 2-domain "
+                "partition, 16 cores, 4x4 topology) ==\n");
+    const bool pdes_same = comparePdes(json, "task-chain g=1k Phentos 4x4",
+                                       apps::taskChain(256, 1, 1'000),
+                                       repeats);
+    if (hostThreads == 1) {
+        std::printf("(single hardware thread: PDES wall speedup is capped "
+                    "at ~1x on this host; identity still checked)\n");
+    }
+
     if (json.write())
         std::printf("json      : %s\n", json.path().c_str());
     else
         std::fprintf(stderr, "warning: could not write %s\n",
                      json.path().c_str());
-    return same ? 0 : 1;
+    return same && pdes_same ? 0 : 1;
 }

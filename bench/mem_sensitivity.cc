@@ -97,6 +97,7 @@ main()
                         static_cast<unsigned long long>(
                             p.timedRes.dramStallCycles));
             json.beginRow();
+            bench::stampHost(json);
             json.field("bench", "mem_sensitivity");
             json.field("workload", prog.name);
             json.field("runtime", k.name);

@@ -105,6 +105,7 @@ main()
                         static_cast<unsigned long long>(r.workSteals),
                         r.completed ? "" : "  INCOMPLETE");
                     json.beginRow();
+                    bench::stampHost(json);
                     json.field("bench", "nested_scaling");
                     json.field("workload", prog.name);
                     json.field("runtime", r.runtime);

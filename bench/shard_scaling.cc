@@ -12,9 +12,18 @@
  * superlinearly past 32 cores; the clustered fabrics shrink them by an
  * order of magnitude while staying cycle-comparable on makespan.
  *
- * Emits BENCH_shard_scaling.json alongside the table.
+ * A second, named scenario (xshard_latency_sensitivity) measures the
+ * suspect behind the sparselu 1.20M -> 1.34M cycle regression at 32
+ * cores going 1 -> 4 shards: it sweeps the cross-shard edge latency
+ * (link, dep round-trip and notify costs scaled together) on the 4x4
+ * topology and emits per-latency cycle counts, so how much of the
+ * sharded makespan is latency-induced (vs structural serialization) is
+ * measured instead of guessed.
+ *
+ * Emits BENCH_shard_scaling.json alongside the tables.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -104,6 +113,7 @@ main()
                             static_cast<unsigned long long>(r.workSteals),
                             r.completed ? "" : "  INCOMPLETE");
                 json.beginRow();
+                stampHost(json);
                 json.field("bench", "shard_scaling");
                 json.field("workload", prog.name);
                 json.field("cores", std::uint64_t{cores});
@@ -128,6 +138,69 @@ main()
         }
         std::printf("\n");
     }
+
+    // -- Cross-shard edge-latency sensitivity (named scenario) ----------
+    // Fixed workload/topology (the regression point: sparselu at 32
+    // cores on 4x4), sweeping the fabric's cross-shard costs together:
+    // clusterLinkCycles = L, xshardDepCycles = L, xshardNotifyCycles =
+    // 2L. L = 2 is the default configuration, reproducing the main
+    // table's row exactly.
+    {
+        const rt::Program prog = apps::sparseLu(12, 24);
+        const unsigned cores = 32;
+        const Topo t{4, 4};
+        const std::vector<unsigned> latencies =
+            quickMode() ? std::vector<unsigned>{0u, 2u, 8u}
+                        : std::vector<unsigned>{0u, 1u, 2u, 4u, 8u};
+        std::printf("# Cross-shard edge-latency sensitivity: %s, %u "
+                    "cores, %ux%u topology\n",
+                    prog.name.c_str(), cores, t.shards, t.clusters);
+        std::printf("%-8s %12s %12s %8s %8s\n", "latency", "cycles",
+                    "gateWaitCyc", "xEdges", "steals");
+        for (unsigned lat : latencies) {
+            rt::HarnessParams hp;
+            hp.numCores = cores;
+            hp.system.topology.schedShards = t.shards;
+            hp.system.topology.clusters = t.clusters;
+            hp.system.topology.clusterLinkCycles = lat;
+            hp.system.topology.xshardDepCycles = lat;
+            hp.system.topology.xshardNotifyCycles =
+                std::max(1u, 2 * lat); // TimedPort latency must be >= 1
+            const auto t0 = std::chrono::steady_clock::now();
+            const rt::RunResult r =
+                rt::runProgram(rt::RuntimeKind::Phentos, prog, hp);
+            const double wallSec = std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() -
+                                       t0)
+                                       .count();
+            allCompleted = allCompleted && r.completed;
+            std::printf("%-8u %12llu %12llu %8llu %8llu%s\n", lat,
+                        static_cast<unsigned long long>(r.cycles),
+                        static_cast<unsigned long long>(
+                            r.schedGatewayStallCycles),
+                        static_cast<unsigned long long>(r.crossShardEdges),
+                        static_cast<unsigned long long>(r.workSteals),
+                        r.completed ? "" : "  INCOMPLETE");
+            json.beginRow();
+            stampHost(json);
+            json.field("bench", "xshard_latency_sensitivity");
+            json.field("workload", prog.name);
+            json.field("cores", std::uint64_t{cores});
+            json.field("shards", std::uint64_t{t.shards});
+            json.field("clusters", std::uint64_t{t.clusters});
+            json.field("linkLatency", std::uint64_t{lat});
+            json.field("cycles", r.cycles);
+            json.field("gatewayStallCycles", r.schedGatewayStallCycles);
+            json.field("crossShardEdges", r.crossShardEdges);
+            json.field("steals", r.workSteals);
+            json.field("wallSec", wallSec);
+            json.field("completed", r.completed);
+        }
+        std::printf("# latency=2 is the default configuration; latency=0 "
+                    "bounds how much of the\n# 1->4 shard cycle "
+                    "regression the fabric latency accounts for.\n\n");
+    }
+
     if (json.write())
         std::printf("json: %s\n", json.path().c_str());
     else

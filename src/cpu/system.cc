@@ -11,11 +11,29 @@ namespace picosim::cpu
 System::System(const SystemParams &params)
     : params_(params), bandwidth_(params.bandwidthAlpha)
 {
-    const picos::TopologyParams &topo = params.topology;
+    picos::TopologyParams topo = params.topology;
     if (!topo.singlePicos() && topo.clusters > params.numCores)
         sim::fatal("topology needs at least one core per cluster");
 
     sim_.setEvalMode(params.evalMode);
+
+    // Conservative-PDES partitioning: the scheduler fabric is the only
+    // cut in this component graph where every crossing edge is a timed
+    // port (cores share functional memory/bandwidth state with the
+    // managers, so they stay together in domain 0). The single-Picos
+    // topology has no such cut — sequential fallback — and the TickWorld
+    // reference kernel is sequential by definition.
+    const PdesParams &pdes = params.pdes;
+    pdesActive_ =
+        (pdes.partition == PdesParams::Partition::Force ||
+         (pdes.partition == PdesParams::Partition::Auto &&
+          pdes.hostThreads > 1)) &&
+        !topo.singlePicos() && params.evalMode == sim::EvalMode::EventDriven;
+    if (pdesActive_) {
+        topo.pdesBoundaryPorts = true;
+        sim_.configureDomains(2);
+        sim_.setHostThreads(pdes.hostThreads);
+    }
     memory_ = std::make_unique<mem::CoherentMemory>(params.numCores,
                                                     params.mem);
     if (params.mem.mode == mem::MemMode::Timed)
@@ -32,8 +50,11 @@ System::System(const SystemParams &params)
             sim_.clock(), *picos_, params.numCores, params.manager,
             sim_.stats()));
     } else {
+        // The scheduler ticks on its own domain's clock when partitioned;
+        // the ready-return ports are always bound to the managers' clock.
         sharded_ = std::make_unique<picos::ShardedPicos>(
-            sim_.clock(), params.picos, topo, sim_.stats());
+            pdesActive_ ? sim_.domainClock(1) : sim_.clock(), sim_.clock(),
+            params.picos, topo, sim_.stats());
         // Per-cluster managers keep their central ready queue at one
         // tuple: work buffered there is pinned to the cluster, and the
         // whole point of the sharded fabric is that surplus ready tasks
@@ -79,12 +100,18 @@ System::System(const SystemParams &params)
     if (picos_)
         sim_.addTicked(picos_.get());
     if (sharded_)
-        sim_.addTicked(sharded_.get());
+        sim_.addTicked(sharded_.get(), pdesActive_ ? 1u : 0u);
     if (timedMem_) {
         sim_.addTicked(timedMem_.get());
         for (CoreId i = 0; i < params.numCores; ++i)
             timedMem_->bindHart(i, &cores_[i]->context(), cores_[i].get());
     }
+
+    // With every component registered (port owners final), flip the
+    // manager<->scheduler boundary ports into staging mode; this also
+    // derives the kernel's lookahead from their latencies.
+    if (pdesActive_)
+        sharded_->bindPdes(sim_);
 }
 
 picos::Picos &

@@ -32,6 +32,26 @@
 namespace picosim::cpu
 {
 
+/** Conservative-PDES (multi-threaded single-simulation) configuration. */
+struct PdesParams
+{
+    /** Host threads for the windowed run loop. Any value >= 1 produces
+     *  bit-identical results; > 1 only changes who executes windows. */
+    unsigned hostThreads = 1;
+
+    enum class Partition : std::uint8_t
+    {
+        /** Partition only when hostThreads > 1 asks for parallelism. */
+        Auto,
+        /** Never partition; plain sequential kernel regardless. */
+        Off,
+        /** Partition whenever the topology has a cut, even at 1 thread
+         *  (lets tests/CI compare thread counts on the same schedule). */
+        Force,
+    };
+    Partition partition = Partition::Auto;
+};
+
 struct SystemParams
 {
     unsigned numCores = 8;
@@ -43,6 +63,7 @@ struct SystemParams
     double bandwidthAlpha = 0.058;
     /** Kernel strategy; TickWorld is the bit-exact reference baseline. */
     sim::EvalMode evalMode = sim::EvalMode::EventDriven;
+    PdesParams pdes{};
 };
 
 class System
@@ -105,6 +126,9 @@ class System
 
     const SystemParams &params() const { return params_; }
 
+    /** True when this system runs partitioned (conservative PDES). */
+    bool pdesActive() const { return pdesActive_; }
+
   private:
     /** First core of @p cluster (balanced contiguous blocks). */
     unsigned clusterBegin(unsigned cluster) const;
@@ -124,6 +148,8 @@ class System
     /** Cores whose thread is finished (or absent), maintained by the
      *  cores themselves — makes the run loop's done() check O(1). */
     std::uint32_t coresDone_ = 0;
+
+    bool pdesActive_ = false;
 };
 
 } // namespace picosim::cpu

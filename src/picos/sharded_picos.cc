@@ -32,12 +32,20 @@ ShardedPicos::Shard::Shard(const sim::Clock &clock, const PicosParams &p,
 }
 
 ShardedPicos::Cluster::Cluster(const sim::Clock &clock,
+                               const sim::Clock &readyClock,
                                const PicosParams &p,
                                const TopologyParams &topo,
                                sim::StatGroup &stats, unsigned id,
                                sim::Ticked *owner)
-    : subQueue(clock, {p.subQueueDepth, /*latency=*/1, 0}, &stats,
-               "sharded.c" + std::to_string(id) + ".subQueue", owner),
+    // In PDES mode the cluster-link hop rides on the boundary ports'
+    // latency (where it doubles as conservative lookahead) instead of
+    // the gateway arbiter's grant offset — see tickRouters().
+    : subQueue(clock,
+               {p.subQueueDepth,
+                1 + (topo.pdesBoundaryPorts ? topo.clusterLinkCycles : 0),
+                0},
+               &stats, "sharded.c" + std::to_string(id) + ".subQueue",
+               owner),
       retireQueue(clock,
                   {p.retireQueueDepth, 1 + topo.clusterLinkCycles, 0},
                   &stats, "sharded.c" + std::to_string(id) + ".retireQueue",
@@ -45,19 +53,24 @@ ShardedPicos::Cluster::Cluster(const sim::Clock &clock,
       // One ready tuple (3 packets) buffered, deliberately shallower
       // than the single Picos's ready FIFO: a tuple sitting here is
       // pinned to this cluster, so deeper buffering would hoard work a
-      // dry neighbour could have stolen from readyPending.
-      readyQueue(clock, {3, /*latency=*/1, 0}, &stats,
-                 "sharded.c" + std::to_string(id) + ".readyQueue")
+      // dry neighbour could have stolen from readyPending. Bound to the
+      // manager-domain clock: the manager is its consumer.
+      readyQueue(readyClock,
+                 {3,
+                  1 + (topo.pdesBoundaryPorts ? topo.clusterLinkCycles : 0),
+                  0},
+                 &stats, "sharded.c" + std::to_string(id) + ".readyQueue")
 {
     collectBuffer.reserve(rocc::kDescriptorPackets);
 }
 
 ShardedPicos::ShardedPicos(const sim::Clock &clock,
+                           const sim::Clock &readyClock,
                            const PicosParams &params,
                            const TopologyParams &topo,
                            sim::StatGroup &stats)
-    : sim::Ticked("shardedPicos"), clock_(clock), params_(params),
-      topo_(topo), stats_(stats),
+    : sim::Ticked("shardedPicos"), clock_(clock), readyClock_(readyClock),
+      params_(params), topo_(topo), stats_(stats),
       statSubPackets_(&stats.scalar("sharded.subPackets")),
       statRetirePackets_(&stats.scalar("sharded.retirePackets")),
       statDepEdges_(&stats.scalar("sharded.depEdges")),
@@ -99,10 +112,23 @@ ShardedPicos::ShardedPicos(const sim::Clock &clock,
     clusters_.reserve(topo_.clusters);
     ports_.reserve(topo_.clusters);
     for (unsigned c = 0; c < topo_.clusters; ++c) {
-        clusters_.emplace_back(clock, params_, topo_, stats, c, this);
+        clusters_.emplace_back(clock, readyClock, params_, topo_, stats, c,
+                               this);
         ports_.emplace_back(*this, c);
     }
     bindFastDispatch<ShardedPicos>();
+}
+
+void
+ShardedPicos::bindPdes(sim::Simulator &sim)
+{
+    for (Cluster &cl : clusters_) {
+        // Manager-domain producers into this scheduler's domain...
+        cl.subQueue.enableCrossDomainStaging(sim, readyClock_);
+        cl.retireQueue.enableCrossDomainStaging(sim, readyClock_);
+        // ...and the ready return in the opposite direction.
+        cl.readyQueue.enableCrossDomainStaging(sim, clock_);
+    }
 }
 
 SchedulerIf &
@@ -137,15 +163,18 @@ ShardedPicos::ClusterPort::readyValid() const
 std::uint32_t
 ShardedPicos::ClusterPort::readyPop()
 {
-    // Freed ready-queue space may unblock a stalled packet issue.
-    sp_.requestWake(sp_.clock_.now());
+    // Freed ready-queue space may unblock a stalled packet issue. The
+    // wake cycle is clamped to the scheduler domain's own current cycle
+    // (or the next window boundary when the caller is cross-domain), so
+    // pass 0 rather than reading another domain's clock.
+    sp_.requestWake(0);
     return sp_.clusters_[c_].readyQueue.pop();
 }
 
 void
 ShardedPicos::ClusterPort::setReadyListener(sim::Ticked *listener)
 {
-    sp_.clusters_[c_].readyListener = listener;
+    sp_.clusters_[c_].readyQueue.setOwner(listener);
 }
 
 bool
@@ -463,8 +492,11 @@ ShardedPicos::tickRouters()
             Shard &sh = shards_[s];
             if (sh.inQueue.size() < topo_.gatewayQueueDepth) {
                 const Cycle occ = descOccupancy(cl.decoded, s);
-                const Cycle grant =
-                    sh.gate.grant(now + topo_.clusterLinkCycles, occ);
+                // In PDES mode the link hop was already charged by the
+                // submission port's latency; don't charge it twice.
+                const Cycle link_hop =
+                    topo_.pdesBoundaryPorts ? 0 : topo_.clusterLinkCycles;
+                const Cycle grant = sh.gate.grant(now + link_hop, occ);
                 sh.inQueue.push_back(
                     PendingDesc{grant + occ, std::move(cl.decoded), c});
                 cl.hasDecoded = false;
@@ -505,9 +537,8 @@ ShardedPicos::tickReadyIssue()
             tasks_[cl.readyIssuingId].state = TaskState::Running;
             ++*statReadyIssued_;
             cl.readyIssuingId = -1;
-            if (cl.readyListener)
-                cl.readyListener->requestWake(
-                    cl.readyQueue.nextReadyCycle());
+            // The pushes themselves woke the ready listener (the port's
+            // owner) at the tuple's ready cycle.
         }
         if (cl.readyIssuingId >= 0)
             continue;
@@ -573,15 +604,23 @@ ShardedPicos::nextDue() const
         if (!cl.collectBuffer.empty() || cl.hasDecoded)
             merge(poll);
         merge(cl.subQueue.nextReadyCycle());
-        if (!cl.retireQueue.empty())
-            merge(std::max(cl.retireQueue.nextReadyCycle(), poll));
+        // Consumer-side view only (nextReadyCycle reads resident items,
+        // never the producer's staging state): non-empty iff an item is
+        // resident, exactly what the old empty() test established.
+        const Cycle retire_ready = cl.retireQueue.nextReadyCycle();
+        if (retire_ready != kCycleNever)
+            merge(std::max(retire_ready, poll));
         if (cl.readyIssuingId >= 0)
             merge(std::max(cl.readyBusyUntil, poll));
         if (!cl.readyPending.empty())
             merge(poll);
         // Surface pending ready packets so the cluster's manager gets
-        // the clock advanced across the queue latency.
-        merge(cl.readyQueue.nextReadyCycle());
+        // the clock advanced across the queue latency. In PDES mode the
+        // manager owns those items (other domain) — its wake comes from
+        // the boundary drain instead, and this scheduler must not read
+        // consumer-owned state.
+        if (!topo_.pdesBoundaryPorts)
+            merge(cl.readyQueue.nextReadyCycle());
     }
     return due;
 }

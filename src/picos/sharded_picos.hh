@@ -55,10 +55,31 @@ class ShardedPicos final : public sim::Ticked
 {
   public:
     ShardedPicos(const sim::Clock &clock, const PicosParams &params,
-                 const TopologyParams &topo, sim::StatGroup &stats);
+                 const TopologyParams &topo, sim::StatGroup &stats)
+        : ShardedPicos(clock, clock, params, topo, stats)
+    {
+    }
+
+    /**
+     * PDES form: @p clock is the scheduler's own (consumer) domain
+     * clock, @p readyClock the clock of the domain the per-cluster
+     * managers live in — the ready-return ports are bound to it so the
+     * managers' frontReady() checks read their own domain's time. With
+     * both arguments equal this is exactly the classic constructor.
+     */
+    ShardedPicos(const sim::Clock &clock, const sim::Clock &readyClock,
+                 const PicosParams &params, const TopologyParams &topo,
+                 sim::StatGroup &stats);
 
     /** The SchedulerIf endpoint cluster @p c's manager connects to. */
     SchedulerIf &clusterPort(unsigned c);
+
+    /**
+     * Flip every manager<->scheduler port into cross-domain staging mode
+     * (topology.pdesBoundaryPorts must have shaped the port latencies).
+     * Call after all components are registered with @p sim.
+     */
+    void bindPdes(sim::Simulator &sim);
 
     // -- Ticked --
     void tick() override;
@@ -124,9 +145,9 @@ class ShardedPicos final : public sim::Ticked
 
     struct Cluster
     {
-        Cluster(const sim::Clock &clock, const PicosParams &p,
-                const TopologyParams &topo, sim::StatGroup &stats,
-                unsigned id, sim::Ticked *owner);
+        Cluster(const sim::Clock &clock, const sim::Clock &readyClock,
+                const PicosParams &p, const TopologyParams &topo,
+                sim::StatGroup &stats, unsigned id, sim::Ticked *owner);
 
         sim::TimedPort<std::uint32_t> subQueue;    ///< manager -> router
         sim::TimedPort<std::uint32_t> retireQueue; ///< manager -> shards
@@ -140,8 +161,6 @@ class ShardedPicos final : public sim::Ticked
         std::deque<std::uint32_t> readyPending;
         Cycle readyBusyUntil = 0;
         int readyIssuingId = -1;
-
-        sim::Ticked *readyListener = nullptr;
     };
 
     class ClusterPort : public SchedulerIf
@@ -187,6 +206,7 @@ class ShardedPicos final : public sim::Ticked
     Cycle nextDue() const;
 
     const sim::Clock &clock_;
+    const sim::Clock &readyClock_; ///< manager-domain clock (PDES)
     PicosParams params_;
     TopologyParams topo_;
     sim::StatGroup &stats_;

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The conservative-PDES windowed run loop (see sim/domain.hh for the
+ * model and the determinism argument). Key structural property: the SAME
+ * windowed schedule executes at every host thread count — one thread
+ * iterates the domains in id order, N threads split them — and every
+ * cross-domain merge happens in the single-threaded coordination step at
+ * the window barrier, in a fixed order.
+ */
+
+#include "sim/kernel.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "sim/log.hh"
+
+namespace picosim::sim
+{
+
+namespace
+{
+
+/** Domain currently executing a window on this host thread; null in the
+ *  coordinator step and in harness code outside any window. */
+thread_local Domain *t_currentDomain = nullptr;
+
+} // namespace
+
+void
+Simulator::requestWakeWindowed(Ticked *component, Cycle cycle)
+{
+    Domain &dst = domainAt(component->domain_);
+    Domain *cur = t_currentDomain;
+    if (cur != nullptr && cur != &dst) {
+        // Cross-domain wake mid-window: the destination is (potentially)
+        // executing on another thread. Capture it in this domain's
+        // outbox; the boundary drain applies it single-threaded.
+        cur->outbox[component->domain_].push_back(
+            WakeRequest{component, cycle});
+        return;
+    }
+    // Same-domain (the common case), or coordinator/harness context
+    // where no window is in flight: apply directly.
+    applyLocalWake(dst, component, cycle);
+}
+
+void
+Simulator::runDomainWindow(Domain &d, Cycle windowEnd)
+{
+    t_currentDomain = &d;
+    while (true) {
+        // firstOnOrAfter(now) includes the current cycle, so boundary-
+        // drained events landing exactly at the window start are found
+        // before the clock moves.
+        const Cycle next = refreshNextEventCycle(d);
+        if (next >= windowEnd) // kCycleNever included
+            break;
+        d.clock.advanceTo(next);
+        evaluateDue(d);
+    }
+    t_currentDomain = nullptr;
+}
+
+void
+Simulator::drainBoundary(Cycle boundary)
+{
+    // Registered links first (staged port traffic replays with its own
+    // recorded send cycles), then captured bare wakes — both in fixed
+    // registration/domain order, single-threaded.
+    for (CrossDomainLink &link : crossLinks_)
+        link.drain();
+    for (unsigned src = 0; src < numDomains(); ++src) {
+        Domain &s = domainAt(src);
+        for (unsigned dst = 0; dst < numDomains(); ++dst) {
+            if (s.outbox[dst].empty())
+                continue;
+            Domain &dd = domainAt(dst);
+            for (const WakeRequest &w : s.outbox[dst]) {
+                // Clamp into the next window: the destination already
+                // executed up to the boundary, and keeping every merged
+                // event at >= boundary keeps windows disjoint.
+                applyLocalWake(dd, w.component,
+                               std::max(w.cycle, boundary));
+            }
+            s.outbox[dst].clear();
+        }
+    }
+}
+
+void
+Simulator::mergeWindowCycles()
+{
+    // Count DISTINCT evaluated cycles across all domains: two domains
+    // evaluating the same cycle is one globally-evaluated cycle, exactly
+    // as the sequential kernel would count it.
+    mergeScratch_.clear();
+    bool any = false;
+    for (unsigned i = 0; i < numDomains(); ++i) {
+        Domain &d = domainAt(i);
+        if (!d.windowCycles.empty())
+            any = true;
+        mergeScratch_.insert(mergeScratch_.end(), d.windowCycles.begin(),
+                             d.windowCycles.end());
+        d.windowCycles.clear();
+    }
+    if (!any)
+        return;
+    std::sort(mergeScratch_.begin(), mergeScratch_.end());
+    evaluatedCycles_ += static_cast<std::uint64_t>(
+        std::unique(mergeScratch_.begin(), mergeScratch_.end()) -
+        mergeScratch_.begin());
+}
+
+Cycle
+Simulator::nextEventAcrossDomains()
+{
+    Cycle next = kCycleNever;
+    for (unsigned i = 0; i < numDomains(); ++i)
+        next = std::min(next, refreshNextEventCycle(domainAt(i)));
+    return next;
+}
+
+void
+Simulator::advanceAllClocksTo(Cycle c)
+{
+    for (unsigned i = 0; i < numDomains(); ++i)
+        domainAt(i).clock.advanceTo(c); // no-op when already past c
+}
+
+bool
+Simulator::runWindowed(const DonePredicate &done, Cycle limit)
+{
+    const Cycle start = main_.clock.now();
+    const Cycle lk = lookahead();
+    const unsigned ndom = numDomains();
+
+    bool stop = false;
+    bool result = false;
+    Cycle windowEnd = 0;
+
+    // The single-threaded coordination step between windows; runs with
+    // every worker parked at the barrier (or inline at 1 thread), so it
+    // may freely touch all domains. Stop conditions are only observable
+    // at boundaries — the final clocks are advanced to the global
+    // maximum across domains, a deterministic value.
+    const auto coordinate = [&]() noexcept {
+        drainBoundary(windowEnd);
+        mergeWindowCycles();
+        Cycle maxClock = 0;
+        for (unsigned i = 0; i < ndom; ++i)
+            maxClock = std::max(maxClock, domainAt(i).clock.now());
+        if (done()) {
+            advanceAllClocksTo(maxClock);
+            stop = true;
+            result = true;
+            return;
+        }
+        const Cycle next = nextEventAcrossDomains();
+        if (next == kCycleNever) {
+            // Fully idle system: either done() holds now or the
+            // simulation can never progress again.
+            advanceAllClocksTo(maxClock);
+            stop = true;
+            result = done();
+            return;
+        }
+        if (next - start >= limit) {
+            advanceAllClocksTo(std::max(maxClock, next));
+            stop = true;
+            result = false;
+            return;
+        }
+        windowEnd = next + lk;
+    };
+
+    const unsigned nThreads =
+        std::min(std::max(1u, hostThreads_), ndom);
+
+    if (nThreads <= 1) {
+        // One host thread runs the identical windowed schedule, domains
+        // in id order — the reference the multi-threaded run must match.
+        while (true) {
+            coordinate();
+            if (stop)
+                break;
+            for (unsigned i = 0; i < ndom; ++i)
+                runDomainWindow(domainAt(i), windowEnd);
+        }
+        return result;
+    }
+
+    std::barrier bar(nThreads, [&]() noexcept { coordinate(); });
+    const auto worker = [&](unsigned tid) {
+        while (true) {
+            bar.arrive_and_wait(); // completion step runs coordinate()
+            if (stop)
+                break;
+            for (unsigned i = tid; i < ndom; i += nThreads)
+                runDomainWindow(domainAt(i), windowEnd);
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(nThreads - 1);
+    for (unsigned t = 1; t < nThreads; ++t)
+        threads.emplace_back(worker, t);
+    worker(0);
+    for (std::thread &t : threads)
+        t.join();
+    return result;
+}
+
+void
+Simulator::runForWindowed(Cycle n)
+{
+    // Bounded-time runs execute the same windowed schedule on the
+    // calling thread regardless of hostThreads — they are harness
+    // warmup/probe helpers, not the measured hot loop.
+    const Cycle end = main_.clock.now() + n;
+    const Cycle lk = lookahead();
+    const unsigned ndom = numDomains();
+    Cycle windowEnd = 0;
+    while (true) {
+        drainBoundary(windowEnd);
+        mergeWindowCycles();
+        const Cycle next = nextEventAcrossDomains();
+        if (next == kCycleNever || next >= end)
+            break;
+        windowEnd = std::min(next + lk, end);
+        for (unsigned i = 0; i < ndom; ++i)
+            runDomainWindow(domainAt(i), windowEnd);
+    }
+    advanceAllClocksTo(end);
+}
+
+} // namespace picosim::sim

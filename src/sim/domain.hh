@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Conservative-PDES domain partitioning of the event kernel.
+ *
+ * A Simulator may be partitioned into host-thread DOMAINS: disjoint
+ * groups of components, each with its own clock, timing wheel and run
+ * loop. Domains execute lookahead windows [W, W + L) independently and
+ * synchronize at window boundaries, where L (the lookahead) is the
+ * minimum declared latency over the timed links that cross a domain
+ * boundary: a message sent at any cycle inside the window over a link of
+ * latency >= L cannot arrive before the window ends, so intra-window
+ * execution never observes a concurrent mutation.
+ *
+ * Two kinds of traffic cross a boundary, both applied single-threaded at
+ * the window barrier so the merge order is fixed:
+ *
+ *  - TimedPort traffic: a cross-domain port runs in staging mode
+ *    (TimedPort::enableCrossDomainStaging) — the producer appends to a
+ *    producer-owned staging ring, and the port registers a drain with
+ *    the Simulator that replays the staged pushes (same accept/latency
+ *    arithmetic, anchored at the recorded send cycle) at the boundary.
+ *  - Bare requestWake() calls: captured in the evaluating domain's
+ *    per-destination outbox as WakeRequests and applied at the boundary,
+ *    clamped to the boundary cycle (the destination's window has already
+ *    been executed up to it).
+ *
+ * Determinism: the same windowed schedule runs regardless of the host
+ * thread count — one thread iterates the domains in id order, N threads
+ * execute them concurrently — and all cross-domain state merges happen
+ * in the single-threaded barrier step in a fixed order (links in
+ * registration order, then outboxes in source-domain order). External
+ * wakes land in each component's sorted, deduplicated pending set, so
+ * the post-merge kernel state is independent of arrival order, and
+ * same-cycle dispatch stays in per-domain registration order exactly as
+ * in the sequential kernel. Results are therefore bit-identical for any
+ * hostThreads >= 1.
+ */
+
+#ifndef PICOSIM_SIM_DOMAIN_HH
+#define PICOSIM_SIM_DOMAIN_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/event_wheel.hh"
+#include "sim/types.hh"
+
+namespace picosim::sim
+{
+
+class Ticked;
+
+/** A cross-domain wake captured mid-window, applied at the boundary. */
+struct WakeRequest
+{
+    Ticked *component;
+    Cycle cycle;
+};
+
+/**
+ * A timed link crossing a domain boundary. The declared latency bounds
+ * the lookahead window; the drain callback replays the link's staged
+ * traffic into the consumer domain at each window boundary.
+ */
+struct CrossDomainLink
+{
+    Cycle latency = 0;
+    std::function<void()> drain;
+};
+
+/**
+ * Per-domain scheduling engine: the complete state the kernel's
+ * event-driven algorithm needs, so one Domain is "a sequential kernel".
+ * The unpartitioned Simulator owns exactly one (its members ARE the
+ * sequential kernel's members); partitioning adds more, and the windowed
+ * run loop executes each with the unchanged per-domain algorithm.
+ */
+struct Domain
+{
+    Clock clock;
+    EventWheel wheel;
+    std::vector<Ticked *> ticked; ///< members, registration order
+    unsigned id = 0;
+    unsigned farCount = 0;        ///< components armed beyond the horizon
+    Cycle farMin = kCycleNever;   ///< lower bound on far armed cycles
+    bool evaluating = false;
+    unsigned currentRegIndex = 0;
+    std::uint64_t componentTicks = 0;
+
+    /** Cycles evaluated in the current window, ascending; merged (and
+     *  global-deduplicated) into evaluatedCycles at the boundary. */
+    std::vector<Cycle> windowCycles;
+
+    /** Outgoing cross-domain wakes, one FIFO per destination domain;
+     *  only this domain's thread appends during a window. */
+    std::vector<std::vector<WakeRequest>> outbox;
+};
+
+} // namespace picosim::sim
+
+#endif // PICOSIM_SIM_DOMAIN_HH

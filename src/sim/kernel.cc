@@ -15,20 +15,91 @@ Ticked::requestWake(Cycle cycle)
         sim_->requestWake(this, cycle);
 }
 
+Domain &
+Simulator::domainAt(unsigned d)
+{
+    return d == 0 ? main_ : *extraDomains_[d - 1];
+}
+
+const Clock &
+Simulator::domainClock(unsigned d) const
+{
+    return d == 0 ? main_.clock : extraDomains_.at(d - 1)->clock;
+}
+
+std::uint64_t
+Simulator::componentTicks() const
+{
+    std::uint64_t ticks = main_.componentTicks;
+    for (const auto &d : extraDomains_)
+        ticks += d->componentTicks;
+    return ticks;
+}
+
+std::size_t
+Simulator::numComponents() const
+{
+    std::size_t n = main_.ticked.size();
+    for (const auto &d : extraDomains_)
+        n += d->ticked.size();
+    return n;
+}
+
 void
-Simulator::addTicked(Ticked *component)
+Simulator::configureDomains(unsigned count)
+{
+    if (numComponents() != 0)
+        fatal("configureDomains must precede component registration");
+    if (!extraDomains_.empty())
+        fatal("configureDomains called twice");
+    if (count <= 1)
+        return; // sequential fallback: stay on the unpartitioned path
+    if (mode_ == EvalMode::TickWorld)
+        fatal("PDES domains are incompatible with the TickWorld "
+              "reference kernel");
+    extraDomains_.reserve(count - 1);
+    for (unsigned d = 1; d < count; ++d) {
+        extraDomains_.push_back(std::make_unique<Domain>());
+        extraDomains_.back()->id = d;
+    }
+    main_.outbox.resize(count);
+    for (auto &d : extraDomains_)
+        d->outbox.resize(count);
+    windowed_ = true;
+}
+
+void
+Simulator::registerCrossDomainLink(Cycle latency,
+                                   std::function<void()> drain)
+{
+    if (!windowed_)
+        fatal("registerCrossDomainLink on an unpartitioned Simulator");
+    if (latency == 0)
+        fatal("cross-domain links need latency >= 1 (conservative "
+              "lookahead would be empty)");
+    lookaheadMin_ = std::min(lookaheadMin_, latency);
+    crossLinks_.push_back(CrossDomainLink{latency, std::move(drain)});
+}
+
+void
+Simulator::addTicked(Ticked *component, unsigned domain)
 {
     if (component->sim_ && component->sim_ != this)
         fatal("Ticked '" + component->name() +
               "' already registered with another Simulator");
+    if (domain >= numDomains())
+        fatal("Ticked '" + component->name() +
+              "' registered into nonexistent domain");
+    Domain &d = domainAt(domain);
     component->sim_ = this;
-    component->regIndex_ = static_cast<unsigned>(ticked_.size());
-    ticked_.push_back(component);
-    wheel_.addComponent(component->regIndex_);
+    component->domain_ = domain;
+    component->regIndex_ = static_cast<unsigned>(d.ticked.size());
+    d.ticked.push_back(component);
+    d.wheel.addComponent(component->regIndex_);
     // Initial evaluation at the current cycle, like the reference kernel's
     // first tick-the-world pass.
-    addExternal(component, clock_.now());
-    arm(component, clock_.now());
+    addExternal(component, d.clock.now());
+    arm(d, component, d.clock.now());
 }
 
 void
@@ -61,71 +132,69 @@ Simulator::consumeExternalHead(Ticked *t)
 }
 
 void
-Simulator::disarm(Ticked *t)
+Simulator::disarm(Domain &d, Ticked *t)
 {
     if (t->armedAt_ == kCycleNever)
         return;
     if (t->far_) {
         t->far_ = false;
-        if (--farCount_ == 0)
-            farMin_ = kCycleNever;
+        if (--d.farCount == 0)
+            d.farMin = kCycleNever;
     } else {
-        wheel_.clear(t->regIndex_, t->armedAt_);
+        d.wheel.clear(t->regIndex_, t->armedAt_);
     }
     t->armedAt_ = kCycleNever;
 }
 
 void
-Simulator::arm(Ticked *t, Cycle now)
+Simulator::arm(Domain &d, Ticked *t, Cycle now)
 {
     const Cycle due = std::min(t->selfSched_, t->extHead_);
     if (due == t->armedAt_)
         return; // already armed at its due cycle
-    disarm(t);
+    disarm(d, t);
     if (due == kCycleNever)
         return;
     t->armedAt_ = due;
     if (due - now < EventWheel::kBuckets) {
-        wheel_.set(t->regIndex_, due);
+        d.wheel.set(t->regIndex_, due);
     } else {
         t->far_ = true;
-        ++farCount_;
-        farMin_ = std::min(farMin_, due);
+        ++d.farCount;
+        d.farMin = std::min(d.farMin, due);
     }
 }
 
 void
-Simulator::refileFar(Cycle now)
+Simulator::refileFar(Domain &d, Cycle now)
 {
-    if (farCount_ == 0 || farMin_ - now >= EventWheel::kBuckets)
+    if (d.farCount == 0 || d.farMin - now >= EventWheel::kBuckets)
         return;
-    // At least one far component may have entered the horizon (farMin_ is
+    // At least one far component may have entered the horizon (farMin is
     // a conservative lower bound); re-derive the far set exactly.
     Cycle newMin = kCycleNever;
-    for (Ticked *t : ticked_) {
+    for (Ticked *t : d.ticked) {
         if (!t->far_)
             continue;
         if (t->armedAt_ - now < EventWheel::kBuckets) {
             t->far_ = false;
-            --farCount_;
-            wheel_.set(t->regIndex_, t->armedAt_);
+            --d.farCount;
+            d.wheel.set(t->regIndex_, t->armedAt_);
         } else {
             newMin = std::min(newMin, t->armedAt_);
         }
     }
-    farMin_ = newMin;
+    d.farMin = newMin;
 }
 
 void
-Simulator::requestWake(Ticked *component, Cycle cycle)
+Simulator::applyLocalWake(Domain &d, Ticked *component, Cycle cycle)
 {
-    if (mode_ == EvalMode::TickWorld)
-        return; // the polling kernel re-queries everything each cycle
-    const Cycle now = clock_.now();
+    const Cycle now = d.clock.now();
     Cycle c = std::max(cycle, now);
-    if (c == now && evaluating_ &&
+    if (c == now && d.evaluating &&
         (component->lastTick_ == now ||
-         component->regIndex_ <= currentRegIndex_)) {
+         component->regIndex_ <= d.currentRegIndex)) {
         // The component's evaluation slot for this cycle has passed; the
         // reference kernel would make this state visible to it next cycle.
         c = now + 1;
@@ -133,43 +202,55 @@ Simulator::requestWake(Ticked *component, Cycle cycle)
     if (c == kCycleNever)
         return;
     addExternal(component, c);
-    arm(component, now);
+    arm(d, component, now);
 }
 
 void
-Simulator::evaluateDue()
+Simulator::requestWake(Ticked *component, Cycle cycle)
 {
-    const Cycle now = clock_.now();
-    refileFar(now);
+    if (mode_ == EvalMode::TickWorld)
+        return; // the polling kernel re-queries everything each cycle
+    if (windowed_) {
+        requestWakeWindowed(component, cycle);
+        return;
+    }
+    applyLocalWake(main_, component, cycle);
+}
+
+void
+Simulator::evaluateDue(Domain &d)
+{
+    const Cycle now = d.clock.now();
+    refileFar(d, now);
 
     bool tickedAny = false;
-    evaluating_ = true;
-    const unsigned nwords = wheel_.numWords();
+    d.evaluating = true;
+    const unsigned nwords = d.wheel.numWords();
     for (unsigned w = 0; w < nwords; ++w) {
         // The word is re-read after every dispatch: a tick may wake a
         // LATER-registered component for this same cycle (bits at or
         // below the current slot slip to the next cycle in requestWake),
         // so the live view preserves registration-order dispatch.
         std::uint64_t bits;
-        while ((bits = wheel_.word(now, w)) != 0) {
+        while ((bits = d.wheel.word(now, w)) != 0) {
             const unsigned r =
                 w * 64 + static_cast<unsigned>(std::countr_zero(bits));
-            wheel_.clearBit(now, r);
-            Ticked *t = ticked_[r];
+            d.wheel.clearBit(now, r);
+            Ticked *t = d.ticked[r];
             t->armedAt_ = kCycleNever;
             if (t->extHead_ == now)
                 consumeExternalHead(t); // tracked wake consumed
             if (t->selfSched_ == now)
                 t->selfSched_ = kCycleNever;
             if (t->lastTick_ == now) {
-                arm(t, now);
+                arm(d, t, now);
                 continue; // already evaluated this cycle
             }
             t->lastTick_ = now;
-            currentRegIndex_ = r;
+            d.currentRegIndex = r;
 
             t->fastTick();
-            ++componentTicks_;
+            ++d.componentTicks;
             tickedAny = true;
 
             // Re-arm at the component's own next due cycle; wakes
@@ -178,39 +259,43 @@ Simulator::evaluateDue()
             t->selfSched_ = self == kCycleNever
                                 ? kCycleNever
                                 : std::max(self, now + 1);
-            arm(t, now);
+            arm(d, t, now);
         }
     }
-    evaluating_ = false;
-    if (tickedAny)
-        ++evaluatedCycles_;
+    d.evaluating = false;
+    if (tickedAny) {
+        if (windowed_)
+            d.windowCycles.push_back(now); // deduped across domains later
+        else
+            ++evaluatedCycles_;
+    }
 }
 
 Cycle
-Simulator::refreshNextEventCycle()
+Simulator::refreshNextEventCycle(Domain &d)
 {
-    const Cycle now = clock_.now();
+    const Cycle now = d.clock.now();
     // Dense-phase fast path: something is armed for the immediately next
     // cycle, which no revalidation could beat (armed cycles are >= now,
     // and re-validated self-schedules clamp to now + 1 as well). A stale
     // self-schedule costs at most one idle evaluation and re-arms itself
     // from live state — results are unaffected.
-    if (wheel_.anyAt(now + 1))
+    if (d.wheel.anyAt(now + 1))
         return now + 1;
     while (true) {
-        refileFar(now);
-        Cycle c = wheel_.firstOnOrAfter(now);
+        refileFar(d, now);
+        Cycle c = d.wheel.firstOnOrAfter(now);
         bool inWheel = true;
         if (c == kCycleNever) {
-            if (farCount_ == 0)
+            if (d.farCount == 0)
                 return kCycleNever;
             // Nothing within the horizon: the minimum lives in the far
-            // set (re-derive it exactly; farMin_ is a lower bound).
+            // set (re-derive it exactly; farMin is a lower bound).
             c = kCycleNever;
-            for (Ticked *t : ticked_)
+            for (Ticked *t : d.ticked)
                 if (t->far_)
                     c = std::min(c, t->armedAt_);
-            farMin_ = c;
+            d.farMin = c;
             inWheel = false;
         }
 
@@ -242,24 +327,24 @@ Simulator::refreshNextEventCycle()
                 return;
             }
             t->selfSched_ = fresh;
-            arm(t, now);
+            arm(d, t, now);
             movedMin = std::min(movedMin, t->armedAt_);
         };
 
         if (inWheel) {
-            const unsigned nwords = wheel_.numWords();
+            const unsigned nwords = d.wheel.numWords();
             for (unsigned w = 0; w < nwords; ++w) {
-                std::uint64_t bits = wheel_.word(c, w);
+                std::uint64_t bits = d.wheel.word(c, w);
                 while (bits) {
                     const unsigned r =
                         w * 64 +
                         static_cast<unsigned>(std::countr_zero(bits));
                     bits &= bits - 1;
-                    revalidate(ticked_[r]);
+                    revalidate(d.ticked[r]);
                 }
             }
         } else {
-            for (Ticked *t : ticked_)
+            for (Ticked *t : d.ticked)
                 if (t->far_ && t->armedAt_ == c)
                     revalidate(t);
         }
@@ -277,23 +362,26 @@ Simulator::run(DonePredicate done, Cycle limit)
 {
     if (mode_ == EvalMode::TickWorld)
         return runTickWorld(done, limit);
+    if (windowed_)
+        return runWindowed(done, limit);
 
-    const Cycle start = clock_.now();
+    Domain &d = main_;
+    const Cycle start = d.clock.now();
     while (true) {
         if (done())
             return true;
-        if (clock_.now() - start >= limit)
+        if (d.clock.now() - start >= limit)
             return false;
 
-        evaluateDue();
+        evaluateDue(d);
 
-        const Cycle next = refreshNextEventCycle();
+        const Cycle next = refreshNextEventCycle(d);
         if (next == kCycleNever) {
             // Fully idle system: either done() holds now or the
             // simulation can never progress again.
             return done();
         }
-        clock_.advanceTo(next);
+        d.clock.advanceTo(next);
     }
 }
 
@@ -304,12 +392,17 @@ Simulator::runFor(Cycle n)
         runForTickWorld(n);
         return;
     }
+    if (windowed_) {
+        runForWindowed(n);
+        return;
+    }
 
-    const Cycle end = clock_.now() + n;
-    while (clock_.now() < end) {
-        evaluateDue();
-        const Cycle next = refreshNextEventCycle();
-        clock_.advanceTo(std::min(next == kCycleNever ? end : next, end));
+    Domain &d = main_;
+    const Cycle end = d.clock.now() + n;
+    while (d.clock.now() < end) {
+        evaluateDue(d);
+        const Cycle next = refreshNextEventCycle(d);
+        d.clock.advanceTo(std::min(next == kCycleNever ? end : next, end));
     }
 }
 
@@ -318,16 +411,16 @@ Simulator::runFor(Cycle n)
 void
 Simulator::evaluateAll()
 {
-    for (Ticked *t : ticked_)
+    for (Ticked *t : main_.ticked)
         t->fastTick();
-    componentTicks_ += ticked_.size();
+    main_.componentTicks += main_.ticked.size();
     ++evaluatedCycles_;
 }
 
 bool
 Simulator::anyActive() const
 {
-    return std::any_of(ticked_.begin(), ticked_.end(),
+    return std::any_of(main_.ticked.begin(), main_.ticked.end(),
                        [](const Ticked *t) { return t->fastActive(); });
 }
 
@@ -335,7 +428,7 @@ Cycle
 Simulator::nextWakeAll() const
 {
     Cycle wake = kCycleNever;
-    for (const Ticked *t : ticked_)
+    for (const Ticked *t : main_.ticked)
         wake = std::min(wake, t->fastWakeAt());
     return wake;
 }
@@ -343,17 +436,17 @@ Simulator::nextWakeAll() const
 bool
 Simulator::runTickWorld(const DonePredicate &done, Cycle limit)
 {
-    const Cycle start = clock_.now();
+    const Cycle start = main_.clock.now();
     while (true) {
         if (done())
             return true;
-        if (clock_.now() - start >= limit)
+        if (main_.clock.now() - start >= limit)
             return false;
 
         evaluateAll();
 
         if (anyActive()) {
-            clock_.advanceTo(clock_.now() + 1);
+            main_.clock.advanceTo(main_.clock.now() + 1);
             continue;
         }
         const Cycle wake = nextWakeAll();
@@ -362,17 +455,17 @@ Simulator::runTickWorld(const DonePredicate &done, Cycle limit)
             // simulation can never progress again.
             return done();
         }
-        clock_.advanceTo(std::max(wake, clock_.now() + 1));
+        main_.clock.advanceTo(std::max(wake, main_.clock.now() + 1));
     }
 }
 
 void
 Simulator::runForTickWorld(Cycle n)
 {
-    const Cycle end = clock_.now() + n;
-    while (clock_.now() < end) {
+    const Cycle end = main_.clock.now() + n;
+    while (main_.clock.now() < end) {
         evaluateAll();
-        Cycle next = clock_.now() + 1;
+        Cycle next = main_.clock.now() + 1;
         if (!anyActive()) {
             const Cycle wake = nextWakeAll();
             if (wake != kCycleNever)
@@ -380,7 +473,7 @@ Simulator::runForTickWorld(Cycle n)
             else
                 next = end;
         }
-        clock_.advanceTo(std::min(next, end));
+        main_.clock.advanceTo(std::min(next, end));
     }
 }
 

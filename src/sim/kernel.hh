@@ -2,15 +2,19 @@
  * @file
  * The simulation kernel: owns the clock, schedules component evaluations
  * through a bitmap timing wheel, fast-forwards across quiescent periods.
+ * Optionally partitioned into conservative-PDES domains (sim/domain.hh)
+ * that execute lookahead windows on multiple host threads.
  */
 
 #ifndef PICOSIM_SIM_KERNEL_HH
 #define PICOSIM_SIM_KERNEL_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/clock.hh"
+#include "sim/domain.hh"
 #include "sim/event_wheel.hh"
 #include "sim/small_fn.hh"
 #include "sim/stats.hh"
@@ -58,6 +62,13 @@ using DonePredicate = SmallFn<bool(), 32>;
  * events batch into one bucket dispatch; far-future wakes (beyond the
  * wheel horizon) sit in a per-component far set until they come within
  * range.
+ *
+ * Conservative-PDES partitioning: configureDomains(N) splits the kernel
+ * into N domains, each with its own clock/wheel/registration order, run
+ * in lookahead windows that are bit-identical for any host thread count
+ * (see sim/domain.hh for the full argument). Unpartitioned simulators
+ * (the default) never touch any of the windowed machinery — the
+ * sequential hot path is byte-for-byte the pre-PDES one.
  */
 class Simulator
 {
@@ -66,8 +77,8 @@ class Simulator
 
     explicit Simulator(EvalMode mode) : mode_(mode) {}
 
-    Clock &clock() { return clock_; }
-    const Clock &clock() const { return clock_; }
+    Clock &clock() { return main_.clock; }
+    const Clock &clock() const { return main_.clock; }
     StatGroup &stats() { return stats_; }
 
     EvalMode evalMode() const { return mode_; }
@@ -75,13 +86,66 @@ class Simulator
     /** Select the evaluation strategy; call before the first run. */
     void setEvalMode(EvalMode mode) { mode_ = mode; }
 
+    // -- Conservative-PDES domain partitioning ---------------------------
+
+    /**
+     * Partition the kernel into @p count domains before any component is
+     * registered. count <= 1 is a no-op (the clean sequential fallback):
+     * the simulator stays on the unpartitioned fast path. Incompatible
+     * with TickWorld (the reference kernel is sequential by definition).
+     */
+    void configureDomains(unsigned count);
+
+    /** Number of domains (1 when unpartitioned). */
+    unsigned numDomains() const
+    {
+        return 1u + static_cast<unsigned>(extraDomains_.size());
+    }
+
+    /** True when configureDomains() armed the windowed run loop. */
+    bool partitioned() const { return windowed_; }
+
+    /** The clock of domain @p d — bind ports to their CONSUMER's domain
+     *  clock so frontReady()/nextReadyCycle() read consumer-local time. */
+    const Clock &domainClock(unsigned d) const;
+
+    /**
+     * Host threads used by the windowed run loop (clamped to the domain
+     * count at run time). The windowed schedule itself is identical for
+     * any value — this only selects how many OS threads execute it.
+     */
+    void setHostThreads(unsigned n) { hostThreads_ = n == 0 ? 1 : n; }
+    unsigned hostThreads() const { return hostThreads_; }
+
+    /**
+     * Declare a timed link whose producer and consumer live in different
+     * domains. @p latency (>= 1) bounds the lookahead window; @p drain is
+     * invoked single-threaded at every window boundary to replay the
+     * link's staged traffic into the consumer domain.
+     */
+    void registerCrossDomainLink(Cycle latency,
+                                 std::function<void()> drain);
+
+    /** Lookahead window length: min latency over cross-domain links
+     *  (1 when none are registered). */
+    Cycle
+    lookahead() const
+    {
+        return lookaheadMin_ == kCycleNever ? 1 : lookaheadMin_;
+    }
+
+    // -- Registration and scheduling -------------------------------------
+
     /**
      * Register a component; order defines same-cycle evaluation order.
      * The component is scheduled for an initial evaluation at the current
      * cycle (the reference kernel ticks everything on the first evaluated
      * cycle; the event queue reproduces that).
      */
-    void addTicked(Ticked *component);
+    void addTicked(Ticked *component) { addTicked(component, 0); }
+
+    /** Register @p component into domain @p domain (< numDomains()). */
+    void addTicked(Ticked *component, unsigned domain);
 
     /**
      * Schedule @p component for evaluation at (or after) @p cycle.
@@ -89,13 +153,16 @@ class Simulator
      * registration slot are honored this cycle; later ones slip to the
      * next cycle (its slot in the reference schedule has already passed).
      * No-op in TickWorld mode, where every active cycle ticks everything.
+     * Cross-domain requests made from another domain's window are
+     * captured in an outbox and applied at the next window boundary.
      */
     void requestWake(Ticked *component, Cycle cycle);
 
     /**
-     * Run until the predicate holds (checked once per evaluated cycle) or
-     * the cycle limit is exceeded. The predicate must be a small
-     * trivially-copyable callable (it is stored inline, never allocated).
+     * Run until the predicate holds (checked once per evaluated cycle, or
+     * once per window boundary when partitioned) or the cycle limit is
+     * exceeded. The predicate must be a small trivially-copyable callable
+     * (it is stored inline, never allocated).
      *
      * @return true if the predicate was satisfied, false on cycle-limit.
      */
@@ -104,11 +171,12 @@ class Simulator
     /** Run for exactly n cycles of simulated time. */
     void runFor(Cycle n);
 
-    /** Number of distinct cycles at which any component was evaluated. */
+    /** Number of distinct cycles at which any component was evaluated
+     *  (global across domains; deduplicated at window boundaries). */
     std::uint64_t evaluatedCycles() const { return evaluatedCycles_; }
 
     /** Total individual component tick() evaluations performed. */
-    std::uint64_t componentTicks() const { return componentTicks_; }
+    std::uint64_t componentTicks() const;
 
     /**
      * Component ticks a tick-the-world kernel would have performed over
@@ -117,18 +185,18 @@ class Simulator
     std::uint64_t
     tickWorldTicks() const
     {
-        return evaluatedCycles_ * ticked_.size();
+        return evaluatedCycles_ * numComponents();
     }
 
-    std::size_t numComponents() const { return ticked_.size(); }
+    std::size_t numComponents() const;
 
   private:
     /** Arm @p t in the wheel (or far set) at the min of its self/external
      *  due cycles; @p now anchors the wheel horizon. */
-    void arm(Ticked *t, Cycle now);
+    void arm(Domain &d, Ticked *t, Cycle now);
 
     /** Remove @p t's armed entry (wheel bit or far-set membership). */
-    void disarm(Ticked *t);
+    void disarm(Domain &d, Ticked *t);
 
     /** Consume t's earliest external wake, promoting any later one. */
     void consumeExternalHead(Ticked *t);
@@ -137,10 +205,10 @@ class Simulator
     void addExternal(Ticked *t, Cycle cycle);
 
     /** File far-armed components whose cycle entered the wheel horizon. */
-    void refileFar(Cycle now);
+    void refileFar(Domain &d, Cycle now);
 
     /** Tick every component due at the current cycle, registration order. */
-    void evaluateDue();
+    void evaluateDue(Domain &d);
 
     /**
      * Earliest future cycle holding a due component, re-validating pure
@@ -148,7 +216,21 @@ class Simulator
      * the fast-forward target matches the reference kernel's fresh global
      * minimum. kCycleNever when nothing is armed.
      */
-    Cycle refreshNextEventCycle();
+    Cycle refreshNextEventCycle(Domain &d);
+
+    /** The wake-application body of requestWake(), on one domain. */
+    void applyLocalWake(Domain &d, Ticked *component, Cycle cycle);
+
+    // -- Windowed (PDES) run loop; see sim/domain.cc ---------------------
+    Domain &domainAt(unsigned d);
+    void requestWakeWindowed(Ticked *component, Cycle cycle);
+    void runDomainWindow(Domain &d, Cycle windowEnd);
+    void drainBoundary(Cycle boundary);
+    void mergeWindowCycles();
+    Cycle nextEventAcrossDomains();
+    void advanceAllClocksTo(Cycle c);
+    bool runWindowed(const DonePredicate &done, Cycle limit);
+    void runForWindowed(Cycle n);
 
     // -- TickWorld reference implementation --
     bool runTickWorld(const DonePredicate &done, Cycle limit);
@@ -157,17 +239,23 @@ class Simulator
     bool anyActive() const;
     Cycle nextWakeAll() const;
 
-    Clock clock_;
     StatGroup stats_;
     EvalMode mode_ = EvalMode::EventDriven;
-    std::vector<Ticked *> ticked_;
-    EventWheel wheel_;
-    unsigned farCount_ = 0;  ///< components armed beyond the horizon
-    Cycle farMin_ = kCycleNever; ///< lower bound on far armed cycles
-    bool evaluating_ = false;
-    unsigned currentRegIndex_ = 0;
+
+    /** Domain 0: THE kernel state of an unpartitioned simulator — the
+     *  sequential hot path reads only this member. */
+    Domain main_;
+
+    /** Domains 1..N-1; empty (never allocated) when unpartitioned. */
+    std::vector<std::unique_ptr<Domain>> extraDomains_;
+
+    bool windowed_ = false;   ///< configureDomains() armed the PDES loop
+    unsigned hostThreads_ = 1;
+    Cycle lookaheadMin_ = kCycleNever; ///< min cross-domain link latency
+    std::vector<CrossDomainLink> crossLinks_;
+    std::vector<Cycle> mergeScratch_; ///< window-cycle merge workspace
+
     std::uint64_t evaluatedCycles_ = 0;
-    std::uint64_t componentTicks_ = 0;
 };
 
 } // namespace picosim::sim

@@ -32,6 +32,7 @@
 #include <utility>
 
 #include "sim/clock.hh"
+#include "sim/kernel.hh"
 #include "sim/ring.hh"
 #include "sim/log.hh"
 #include "sim/stats.hh"
@@ -143,9 +144,22 @@ class TimedPort
     }
 
     std::size_t capacity() const { return params_.capacity; }
-    std::size_t size() const { return items_.size(); }
-    bool empty() const { return items_.empty(); }
-    bool full() const { return items_.size() >= params_.capacity; }
+
+    /**
+     * Occupancy as the PRODUCER sees it. In cross-domain staging mode
+     * this is the window-start snapshot of resident items (creditSize_)
+     * plus everything staged since — consumer pops inside the current
+     * window don't free credit until the next boundary, a conservative
+     * view that is identical at every host thread count.
+     */
+    std::size_t
+    size() const
+    {
+        return staging_ ? creditSize_ + staged_.size() : items_.size();
+    }
+
+    bool empty() const { return size() == 0; }
+    bool full() const { return size() >= params_.capacity; }
 
     /** True when a producer may push this cycle. */
     bool canPush() const { return !full(); }
@@ -170,7 +184,20 @@ class TimedPort
                 ++*pushStalls_;
             return false;
         }
-        items_.push_back(Slot{acceptCycle() + params_.latency,
+        if (staging_) {
+            // Cross-domain: record (send cycle, value) in the producer-
+            // owned staging ring; the window-boundary drain replays the
+            // accept/latency arithmetic and wakes the owner. Nothing on
+            // this path touches consumer-owned state.
+            staged_.push_back(
+                StagedSlot{producerClock_->now(), std::move(value)});
+            if (pushes_) {
+                ++*pushes_;
+                queued_->sample(static_cast<double>(size()));
+            }
+            return true;
+        }
+        items_.push_back(Slot{acceptCycle(clock_.now()) + params_.latency,
                               std::move(value)});
         if (pushes_) {
             ++*pushes_;
@@ -217,6 +244,8 @@ class TimedPort
     clear()
     {
         items_.clear();
+        staged_.clear();
+        creditSize_ = 0;
         acceptAt_ = 0;
         acceptUsed_ = 0;
     }
@@ -233,6 +262,28 @@ class TimedPort
 
     const PortParams &params() const { return params_; }
 
+    /** Re-bind the owner (consumer) woken on pushes and drains. */
+    void setOwner(Ticked *owner) { owner_ = owner; }
+
+    /**
+     * Put the port in cross-domain staging mode: the producer lives in a
+     * different PDES domain than the consumer (this port's clock_ must be
+     * the CONSUMER domain's clock). Pushes stage producer-side; the
+     * registered drain replays them at each window boundary. The port's
+     * latency becomes a lookahead bound, so it must be >= 1.
+     */
+    void
+    enableCrossDomainStaging(Simulator &sim, const Clock &producerClock)
+    {
+        if (params_.latency == 0)
+            panic("cross-domain TimedPort requires latency >= 1");
+        staging_ = true;
+        producerClock_ = &producerClock;
+        creditSize_ = items_.size();
+        sim.registerCrossDomainLink(params_.latency,
+                                    [this] { drainStaged(); });
+    }
+
   private:
     struct Slot
     {
@@ -240,11 +291,39 @@ class TimedPort
         T value;
     };
 
-    /** Width arbitration: the cycle this push is accepted by the port. */
-    Cycle
-    acceptCycle()
+    struct StagedSlot
     {
-        const Cycle now = clock_.now();
+        Cycle sendCycle;
+        T value;
+    };
+
+    /**
+     * Window-boundary replay of staged pushes: identical accept/latency
+     * arithmetic to the plain push() path, anchored at each recorded
+     * send cycle, with the owner woken exactly as a live push would
+     * have. Replay cannot overflow: the producer-view admission bound
+     * (creditSize_ + staged) <= capacity, and items_ never exceeds
+     * creditSize_ inside a window.
+     */
+    void
+    drainStaged()
+    {
+        while (!staged_.empty()) {
+            StagedSlot s = std::move(staged_.front());
+            staged_.pop_front();
+            items_.push_back(Slot{acceptCycle(s.sendCycle) +
+                                      params_.latency,
+                                  std::move(s.value)});
+            if (owner_)
+                owner_->requestWake(items_.front().readyAt);
+        }
+        creditSize_ = items_.size(); // refresh the producer's credit
+    }
+
+    /** Width arbitration: the cycle a push at @p now is accepted. */
+    Cycle
+    acceptCycle(Cycle now)
+    {
         if (params_.width == 0)
             return now;
         if (now > acceptAt_) {
@@ -265,6 +344,12 @@ class TimedPort
     Ring<Slot> items_;
     Cycle acceptAt_ = 0;     ///< cycle whose acceptance slots are in use
     unsigned acceptUsed_ = 0; ///< slots consumed in acceptAt_
+
+    // -- Cross-domain staging (PDES mode only) --
+    bool staging_ = false;
+    const Clock *producerClock_ = nullptr;
+    std::size_t creditSize_ = 0;  ///< items_ snapshot at the last drain
+    Ring<StagedSlot> staged_;     ///< producer-owned pending pushes
     // Cached registry entries; null when stat-free.
     Scalar *pushes_ = nullptr;
     Scalar *pushStalls_ = nullptr;

@@ -95,6 +95,9 @@ class Ticked
     /** Position in the kernel's registration order (valid when attached). */
     unsigned regIndex() const { return regIndex_; }
 
+    /** PDES domain this component was registered into (0 by default). */
+    unsigned domain() const { return domain_; }
+
     const std::string &name() const { return name_; }
 
     // -- Flattened kernel-facing dispatch --------------------------------
@@ -159,7 +162,8 @@ class Ticked
 
     // -- Scheduling bookkeeping, owned by the registered Simulator --
     Simulator *sim_ = nullptr;
-    unsigned regIndex_ = 0;
+    unsigned regIndex_ = 0;   ///< registration slot within its domain
+    unsigned domain_ = 0;     ///< owning PDES domain (0 = main)
     Cycle armedAt_ = kCycleNever;  ///< cycle of the single wheel entry
     Cycle selfSched_ = kCycleNever; ///< kernel re-arm after last tick
     Cycle extHead_ = kCycleNever;  ///< earliest pending external wake

@@ -126,3 +126,75 @@ INSTANTIATE_TEST_SUITE_P(SeedGoldens, SchedulerDeterminism,
                          [](const auto &info) {
                              return testName(info.param);
                          });
+
+namespace
+{
+
+/** Run one golden config at a given host-thread count (and optionally a
+ *  forced PDES partition on a sharded topology). */
+std::pair<Cycle, std::string>
+runThreaded(const Golden &g, unsigned hostThreads,
+            cpu::PdesParams::Partition partition, unsigned shards,
+            unsigned clusters)
+{
+    const Program prog = namedWorkload(g.workload);
+    cpu::SystemParams sp;
+    sp.numCores = g.kind == RuntimeKind::Serial ? 2 : 8;
+    sp.topology.schedShards = shards;
+    sp.topology.clusters = clusters;
+    sp.pdes.partition = partition;
+    sp.pdes.hostThreads = hostThreads;
+    cpu::System sys(sp);
+    auto runtime = makeRuntime(g.kind, CostModel{});
+    runtime->install(sys, prog);
+    EXPECT_TRUE(sys.run(50'000'000'000ull));
+    EXPECT_TRUE(runtime->finished());
+    std::ostringstream dump;
+    sys.stats().dump(dump);
+    return {sys.clock().now(), dump.str()};
+}
+
+} // namespace
+
+// With the default single-Picos topology there is no partitionable cut,
+// so any --host-threads value must fall back to the sequential kernel
+// and reproduce the seed goldens bit-identically. This pins the
+// fallback rule: asking for threads never changes results when PDES
+// cannot engage.
+TEST_P(SchedulerDeterminism, HostThreadsSeedGoldens)
+{
+    const Golden &g = GetParam();
+    const Program prog = namedWorkload(g.workload);
+    for (unsigned threads : {1u, 2u, 4u}) {
+        cpu::SystemParams sp;
+        sp.numCores = g.kind == RuntimeKind::Serial ? 1 : 8;
+        sp.pdes.hostThreads = threads;
+        cpu::System sys(sp);
+        ASSERT_FALSE(sys.pdesActive());
+        auto runtime = makeRuntime(g.kind, CostModel{});
+        runtime->install(sys, prog);
+        EXPECT_TRUE(sys.run(50'000'000'000ull));
+        EXPECT_TRUE(runtime->finished());
+        EXPECT_EQ(sys.clock().now(), g.cycles)
+            << "hostThreads=" << threads;
+    }
+}
+
+// The core PDES determinism contract: a forced 2-domain partition on a
+// sharded topology must produce bit-identical results (final cycle AND
+// every modeled counter in the full stat dump) at 1, 2 and 4 host
+// threads. The 1-thread run executes the identical windowed schedule on
+// the main thread, so any divergence at N threads is a race, not a
+// modeling choice.
+TEST_P(SchedulerDeterminism, HostThreadsPartitionedBitIdentical)
+{
+    const Golden &g = GetParam();
+    const auto one =
+        runThreaded(g, 1, cpu::PdesParams::Partition::Force, 2, 2);
+    for (unsigned threads : {2u, 4u}) {
+        const auto many =
+            runThreaded(g, threads, cpu::PdesParams::Partition::Force, 2, 2);
+        EXPECT_EQ(one.first, many.first) << "hostThreads=" << threads;
+        EXPECT_EQ(one.second, many.second) << "hostThreads=" << threads;
+    }
+}

@@ -4,9 +4,16 @@ checked-in baseline.
 
 Fails (exit 1) when:
   * any row reports identical: false (the event kernel diverged from the
-    tick-the-world reference — a correctness bug, never acceptable);
+    tick-the-world reference, or a PDES run diverged across host thread
+    counts — a correctness bug, never acceptable);
   * a mode_compare row's wallSpeedup regressed more than the tolerance
-    below its baseline value.
+    below its baseline value;
+  * a batch_throughput poolSpeedup or pdes_compare pdesSpeedup regressed
+    more than the tolerance below baseline — but ONLY when both the
+    fresh row and the baseline row were measured with hostConcurrency
+    > 1. On a single-hardware-thread host a worker pool cannot beat 1x
+    by construction, so those comparisons are loudly SKIPPED rather
+    than reported as regressions.
 
 Wall-clock seconds are machine-dependent, so the gate is on wallSpeedup —
 the event-driven/tick-world ratio measured within one process on one
@@ -67,6 +74,47 @@ def main():
             failures.append(
                 f"'{label}' wallSpeedup {got:.2f}x fell more than "
                 f"{tolerance:.0%} below the baseline {want:.2f}x")
+
+    def host_concurrency(row):
+        # Rows written before hostConcurrency stamping count as
+        # unmeasurable rather than silently comparable.
+        try:
+            return int(row.get("hostConcurrency", 0))
+        except (TypeError, ValueError):
+            return 0
+
+    def check_pool_speedup(bench, field):
+        base_rows = [r for r in baseline if r.get("bench") == bench]
+        fresh_rows = [r for r in fresh if r.get("bench") == bench]
+        for row in fresh_rows:
+            label = row.get("label", bench)
+            base = next(
+                (b for b in base_rows if b.get("label") == row.get("label")),
+                None)
+            if base is None:
+                print(f"note: no baseline for '{label}' (new row?) — skipped")
+                continue
+            got_hc, want_hc = host_concurrency(row), host_concurrency(base)
+            if got_hc <= 1 or want_hc <= 1:
+                which = "fresh" if got_hc <= 1 else "baseline"
+                print(f"{label:32s} {field} SKIPPED "
+                      f"(hostConcurrency == 1 on the {which} host: a "
+                      "worker pool cannot speed up a 1-CPU box, so this "
+                      "comparison is unmeasurable here — NOT a pass)")
+                continue
+            got = float(row[field])
+            want = float(base[field])
+            floor = want * (1.0 - tolerance)
+            status = "ok" if got >= floor else "REGRESSION"
+            print(f"{label:32s} {field} {got:6.2f}x "
+                  f"(baseline {want:.2f}x, floor {floor:.2f}x) {status}")
+            if got < floor:
+                failures.append(
+                    f"'{label}' {field} {got:.2f}x fell more than "
+                    f"{tolerance:.0%} below the baseline {want:.2f}x")
+
+    check_pool_speedup("batch_throughput", "poolSpeedup")
+    check_pool_speedup("pdes_compare", "pdesSpeedup")
 
     if failures:
         print("\nperf-smoke FAILED:")

@@ -9,7 +9,9 @@
  *               [--cores=N] [--jobs=N] [--mode=event|tickworld]
  *               [--mem=inline|timed] [--mshrs=N] [--bus-bytes=N]
  *               [--mem-occupancy=N] [--sched-shards=N] [--clusters=N]
- *               [--steal=on|off] [--nested] [--stats] [--trace=FILE.json]
+ *               [--steal=on|off] [--host-threads=N]
+ *               [--pdes=auto|off|force] [--nested] [--stats]
+ *               [--trace=FILE.json]
  *
  *   NAME: a Figure-9 input label substring, e.g. "blackscholes 4K B8",
  *         one of: task-free, task-chain, or a nested workload:
@@ -28,6 +30,14 @@
  *           larger values instantiate the sharded scaling layer with
  *           per-cluster managers and optional cross-cluster work
  *           stealing (on by default).
+ *   --host-threads: host threads per simulated system (default 1). With
+ *           a sharded topology, values > 1 run the conservative-PDES
+ *           windowed kernel; results are bit-identical for any count.
+ *   --pdes: domain partitioning policy (default auto = partition when
+ *           --host-threads > 1). force partitions even at one thread
+ *           (same windowed schedule, for determinism diffs); off never
+ *           partitions. Single-Picos topologies always fall back to the
+ *           sequential kernel.
  *
  * --stats / --trace need the simulated System inspectable after the run,
  * so they force the single-workload in-process path.
@@ -382,6 +392,26 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "unknown steal policy '%s' (valid: on, off)\n",
                          steal->c_str());
+            return 1;
+        }
+    }
+
+    // Conservative-PDES controls (see cpu::PdesParams).
+    if (!parseCountFlag(argc, argv, "--host-threads", 1, 256,
+                        hp.system.pdes.hostThreads))
+        return 1;
+    if (auto pdes = argValue(argc, argv, "--pdes")) {
+        if (*pdes == "auto") {
+            hp.system.pdes.partition = cpu::PdesParams::Partition::Auto;
+        } else if (*pdes == "off") {
+            hp.system.pdes.partition = cpu::PdesParams::Partition::Off;
+        } else if (*pdes == "force") {
+            hp.system.pdes.partition = cpu::PdesParams::Partition::Force;
+        } else {
+            std::fprintf(stderr,
+                         "unknown pdes policy '%s' (valid: auto, off, "
+                         "force)\n",
+                         pdes->c_str());
             return 1;
         }
     }
