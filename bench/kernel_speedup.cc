@@ -14,9 +14,11 @@
  *     single-hardware-thread host the pool cannot beat 1x by
  *     construction.
  *  3. Conservative-PDES: one sharded simulation run on the windowed
- *     kernel at 1 vs 2 host threads — full stat dumps must be
- *     bit-identical (the identical gate in check_perf.py), and the wall
- *     ratio shows what intra-run threading buys on this host.
+ *     kernel, swept over --host-threads 1/2/4/8 — full stat dumps AND
+ *     the kernel's window/skip/barrier counters must be bit-identical
+ *     at every thread count (the identical gate in check_perf.py), and
+ *     the wall ratios show what intra-run threading buys on this host.
+ *     The 32-core sparselu point is the ROADMAP scaling target.
  *
  * `--quick` (or PICOSIM_QUICK=1) subsamples the sweeps for CI.
  */
@@ -26,9 +28,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <cstdint>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "apps/workloads.hh"
 #include "bench/bench_util.hh"
@@ -98,53 +103,127 @@ compareModes(bench::BenchJson &json, const char *label,
     bench::stampHost(json);
 }
 
-/** One forced-partition PDES run; returns (final cycle, full dump). */
-std::pair<Cycle, std::string>
-runPdes(const rt::Program &prog, unsigned hostThreads)
+/** What one PDES run produced; every field is part of the bit-identity
+ *  contract — the window accounting is as deterministic as the model. */
+struct PdesRun
+{
+    Cycle cycles = 0;
+    std::string dump;
+    std::uint64_t domains = 0;
+    std::uint64_t windowBarriers = 0;
+    std::uint64_t windowsRun = 0;     ///< summed over domains
+    std::uint64_t windowsSkipped = 0; ///< summed over domains
+
+    bool
+    operator==(const PdesRun &o) const
+    {
+        return cycles == o.cycles && dump == o.dump &&
+               domains == o.domains &&
+               windowBarriers == o.windowBarriers &&
+               windowsRun == o.windowsRun &&
+               windowsSkipped == o.windowsSkipped;
+    }
+};
+
+/** One forced-partition PDES run (auto domain count from the topology). */
+PdesRun
+runPdes(const rt::Program &prog, unsigned cores, unsigned shards,
+        unsigned clusters, unsigned hostThreads)
 {
     cpu::SystemParams sp;
-    sp.numCores = 16;
-    sp.topology.schedShards = 4;
-    sp.topology.clusters = 4;
+    sp.numCores = cores;
+    sp.topology.schedShards = shards;
+    sp.topology.clusters = clusters;
     sp.pdes.partition = cpu::PdesParams::Partition::Force;
     sp.pdes.hostThreads = hostThreads;
     cpu::System sys(sp);
     auto runtime = rt::makeRuntime(rt::RuntimeKind::Phentos, rt::CostModel{});
     runtime->install(sys, prog);
     sys.run(50'000'000'000ull);
+    PdesRun r;
+    r.cycles = sys.clock().now();
     std::ostringstream dump;
     sys.stats().dump(dump);
-    return {sys.clock().now(), dump.str()};
+    r.dump = dump.str();
+    const sim::Simulator &sim = sys.simulator();
+    r.domains = sys.pdesDomains();
+    r.windowBarriers = sim.windowBarriers();
+    for (unsigned d = 0; d < r.domains; ++d) {
+        r.windowsRun += sim.domainWindowsRun(d);
+        r.windowsSkipped += sim.domainWindowsSkipped(d);
+    }
+    return r;
 }
 
+/** One sweep point: @p threads host threads against the precomputed
+ *  1-thread floor (@p one, @p t1). Emits a pdes_compare row. */
 bool
-comparePdes(bench::BenchJson &json, const char *label,
-            const rt::Program &prog, unsigned repeats)
+comparePdes(bench::BenchJson &json, const std::string &label,
+            const rt::Program &prog, unsigned cores, unsigned shards,
+            unsigned clusters, unsigned repeats, unsigned threads,
+            const PdesRun &one, double t1)
 {
-    const unsigned threads = 2;
-    std::pair<Cycle, std::string> r1, rn;
-    double t1 = 0.0, tn = 0.0;
+    PdesRun rn;
+    double tn = 0.0;
     for (unsigned r = 0; r < repeats; ++r) {
-        const double a = wallSeconds([&] { r1 = runPdes(prog, 1); });
-        const double b = wallSeconds([&] { rn = runPdes(prog, threads); });
-        t1 = r == 0 ? a : std::min(t1, a);
+        const double b = wallSeconds(
+            [&] { rn = runPdes(prog, cores, shards, clusters, threads); });
         tn = r == 0 ? b : std::min(tn, b);
     }
-    const bool same = r1.first == rn.first && r1.second == rn.second;
-    std::printf("%-28s %12llu cycles %s  wall 1t %.3fs -> %ut %.3fs "
+    const bool same = one == rn;
+    std::printf("%-32s %12llu cycles %s  wall 1t %.3fs -> %ut %.3fs "
                 "(%.2fx)\n",
-                label, static_cast<unsigned long long>(r1.first),
+                label.c_str(), static_cast<unsigned long long>(one.cycles),
                 same ? "[=]" : "[MISMATCH]", t1, threads, tn,
                 tn > 0 ? t1 / tn : 0.0);
     json.beginRow();
     json.field("bench", "pdes_compare");
     json.field("label", label);
-    json.field("cycles", r1.first);
+    json.field("cycles", one.cycles);
     json.field("identical", same);
+    json.field("domains", one.domains);
+    json.field("windowBarriers", one.windowBarriers);
+    json.field("windowsRun", one.windowsRun);
+    json.field("windowsSkipped", one.windowsSkipped);
     json.field("wallOneThreadSec", t1);
     json.field("wallMultiThreadSec", tn);
     json.field("pdesSpeedup", tn > 0 ? t1 / tn : 0.0);
     bench::stampHost(json, threads);
+    return same;
+}
+
+/** Full pdes_compare sweep over host-thread counts for one topology.
+ *  @p baseLabel names the h2 row (baseline continuity); other thread
+ *  counts get an " hN" suffix. */
+bool
+sweepPdes(bench::BenchJson &json, const std::string &baseLabel,
+          const rt::Program &prog, unsigned cores, unsigned shards,
+          unsigned clusters, unsigned repeats,
+          const std::vector<unsigned> &threadCounts)
+{
+    PdesRun one;
+    double t1 = 0.0;
+    for (unsigned r = 0; r < repeats; ++r) {
+        const double a = wallSeconds(
+            [&] { one = runPdes(prog, cores, shards, clusters, 1); });
+        t1 = r == 0 ? a : std::min(t1, a);
+    }
+    std::printf("%-32s %llu domains, %llu windows run, %llu skipped, "
+                "%llu barriers\n",
+                (baseLabel + " (1 thread)").c_str(),
+                static_cast<unsigned long long>(one.domains),
+                static_cast<unsigned long long>(one.windowsRun),
+                static_cast<unsigned long long>(one.windowsSkipped),
+                static_cast<unsigned long long>(one.windowBarriers));
+    bool same = true;
+    for (unsigned threads : threadCounts) {
+        const std::string label =
+            threads == 2 ? baseLabel
+                         : baseLabel + " h" + std::to_string(threads);
+        same = comparePdes(json, label, prog, cores, shards, clusters,
+                           repeats, threads, one, t1) &&
+               same;
+    }
     return same;
 }
 
@@ -234,11 +313,22 @@ main(int argc, char **argv)
     json.field("identical", same);
     bench::stampHost(json, poolThreads);
 
-    std::printf("\n== Conservative-PDES windowed kernel (forced 2-domain "
-                "partition, 16 cores, 4x4 topology) ==\n");
-    const bool pdes_same = comparePdes(json, "task-chain g=1k Phentos 4x4",
-                                       apps::taskChain(256, 1, 1'000),
-                                       repeats);
+    std::printf("\n== Conservative-PDES windowed kernel (forced "
+                "partition, auto domain count, host-thread sweep) ==\n");
+    bool pdes_same =
+        sweepPdes(json, "task-chain g=1k Phentos 4x4",
+                  apps::taskChain(256, 1, 1'000), 16, 4, 4, repeats,
+                  {2u, 4u, 8u});
+    // The ROADMAP scaling target: sparselu at 32 cores on the 4x4
+    // fabric (the shard_scaling regression point). Heavier, so the
+    // quick/CI run keeps only the h4 point.
+    pdes_same = sweepPdes(json, "sparselu 12b 32c Phentos 4x4",
+                          apps::sparseLu(12, 24), 32, 4, 4,
+                          bench::quickMode() ? 1u : repeats,
+                          bench::quickMode()
+                              ? std::vector<unsigned>{4u}
+                              : std::vector<unsigned>{2u, 4u, 8u}) &&
+                pdes_same;
     if (hostThreads == 1) {
         std::printf("(single hardware thread: PDES wall speedup is capped "
                     "at ~1x on this host; identity still checked)\n");

@@ -2,11 +2,45 @@
 
 #include <algorithm>
 #include <string>
+#include <vector>
 
 #include "sim/log.hh"
 
 namespace picosim::cpu
 {
+
+namespace
+{
+
+/**
+ * Resolve the PDES domain count from the (already pdes-shaped) topology
+ * and the user's request. A pure function of the simulated configuration
+ * — hostThreads must never leak in here, or two runs of the same system
+ * at different thread counts would simulate different machines.
+ */
+unsigned
+resolvePdesDomains(const picos::TopologyParams &topo,
+                   const PdesParams &pdes)
+{
+    // d0 = cores+runtime+memory, d1..dC = cluster managers, dC+1 = the
+    // sharded scheduler: the only cuts in the component graph where
+    // every crossing edge is a timed port.
+    const unsigned full = 2 + topo.clusters;
+    unsigned n = pdes.domains;
+    if (n == 1)
+        sim::fatal("pdes.domains == 1 is not a partition; use "
+                   "PdesParams::Partition::Off for a sequential run");
+    if (n == 0) {
+        // Auto: split the managers out only when the cluster link is a
+        // real (>= 1 cycle) hop — with a zero-cycle link the extra
+        // windows would be too small to pay for their barriers, so fall
+        // back to the classic 2-way {cores+managers | scheduler} cut.
+        n = topo.clusterLinkCycles >= 1 ? full : 2;
+    }
+    return std::min(n, full);
+}
+
+} // namespace
 
 System::System(const SystemParams &params)
     : params_(params), bandwidth_(params.bandwidthAlpha)
@@ -17,11 +51,13 @@ System::System(const SystemParams &params)
 
     sim_.setEvalMode(params.evalMode);
 
-    // Conservative-PDES partitioning: the scheduler fabric is the only
-    // cut in this component graph where every crossing edge is a timed
-    // port (cores share functional memory/bandwidth state with the
-    // managers, so they stay together in domain 0). The single-Picos
-    // topology has no such cut — sequential fallback — and the TickWorld
+    // Conservative-PDES partitioning: the scheduler fabric and the
+    // per-cluster manager seams are the only cuts in this component
+    // graph where every crossing edge is a timed port (cores share
+    // functional memory/bandwidth state with the runtime, so they stay
+    // together in domain 0; each cluster's manager may split into its
+    // own domain across the cluster link). The single-Picos topology
+    // has no such cut — sequential fallback — and the TickWorld
     // reference kernel is sequential by definition.
     const PdesParams &pdes = params.pdes;
     pdesActive_ =
@@ -29,9 +65,11 @@ System::System(const SystemParams &params)
          (pdes.partition == PdesParams::Partition::Auto &&
           pdes.hostThreads > 1)) &&
         !topo.singlePicos() && params.evalMode == sim::EvalMode::EventDriven;
+    unsigned ndom = 1;
     if (pdesActive_) {
         topo.pdesBoundaryPorts = true;
-        sim_.configureDomains(2);
+        ndom = resolvePdesDomains(topo, pdes);
+        sim_.configureDomains(ndom);
         sim_.setHostThreads(pdes.hostThreads);
     }
     memory_ = std::make_unique<mem::CoherentMemory>(params.numCores,
@@ -50,11 +88,17 @@ System::System(const SystemParams &params)
             sim_.clock(), *picos_, params.numCores, params.manager,
             sim_.stats()));
     } else {
-        // The scheduler ticks on its own domain's clock when partitioned;
-        // the ready-return ports are always bound to the managers' clock.
+        // The scheduler ticks on its own (last) domain's clock when
+        // partitioned; each cluster's ready-return port is bound to the
+        // clock of the domain its manager lives in.
+        std::vector<const sim::Clock *> readyClocks;
+        readyClocks.reserve(topo.clusters);
+        for (unsigned c = 0; c < topo.clusters; ++c)
+            readyClocks.push_back(&sim_.domainClock(
+                pdesActive_ ? managerDomainOf(c, ndom) : 0u));
         sharded_ = std::make_unique<picos::ShardedPicos>(
-            pdesActive_ ? sim_.domainClock(1) : sim_.clock(), sim_.clock(),
-            params.picos, topo, sim_.stats());
+            pdesActive_ ? sim_.domainClock(ndom - 1) : sim_.clock(),
+            std::move(readyClocks), params.picos, topo, sim_.stats());
         // Per-cluster managers keep their central ready queue at one
         // tuple: work buffered there is pinned to the cluster, and the
         // whole point of the sharded fabric is that surplus ready tasks
@@ -62,12 +106,23 @@ System::System(const SystemParams &params)
         // the ready-fetch latency for demand-driven flow.
         manager::ManagerParams cluster_mp = params.manager;
         cluster_mp.roccReadyQueueDepth = 1;
+        // Manager split (>= 3 domains): the manager sits across the
+        // cluster-local interconnect from its cores; that hop moves onto
+        // the delegate-facing ports, where it doubles as the lookahead
+        // of the core<->manager domain pair (so it must be >= 1).
+        const bool managerSplit = pdesActive_ && ndom > 2;
+        if (managerSplit)
+            cluster_mp.pdesCoreLinkCycles =
+                std::max<Cycle>(1, topo.clusterLinkCycles);
         for (unsigned c = 0; c < topo.clusters; ++c) {
             const unsigned begin = clusterBegin(c);
             const unsigned end = clusterBegin(c + 1);
+            const sim::Clock &mgrClock =
+                managerSplit ? sim_.domainClock(managerDomainOf(c, ndom))
+                             : sim_.clock();
             managers_.push_back(std::make_unique<manager::PicosManager>(
-                sim_.clock(), sharded_->clusterPort(c), end - begin,
-                cluster_mp, sim_.stats(),
+                mgrClock, sim_.clock(), sharded_->clusterPort(c),
+                end - begin, cluster_mp, sim_.stats(),
                 "manager.c" + std::to_string(c)));
         }
     }
@@ -95,12 +150,13 @@ System::System(const SystemParams &params)
     // cycle).
     for (auto &core : cores_)
         sim_.addTicked(core.get());
-    for (auto &mgr : managers_)
-        sim_.addTicked(mgr.get());
+    for (unsigned c = 0; c < managers_.size(); ++c)
+        sim_.addTicked(managers_[c].get(),
+                       pdesActive_ ? managerDomainOf(c, ndom) : 0u);
     if (picos_)
         sim_.addTicked(picos_.get());
     if (sharded_)
-        sim_.addTicked(sharded_.get(), pdesActive_ ? 1u : 0u);
+        sim_.addTicked(sharded_.get(), pdesActive_ ? ndom - 1 : 0u);
     if (timedMem_) {
         sim_.addTicked(timedMem_.get());
         for (CoreId i = 0; i < params.numCores; ++i)
@@ -108,10 +164,24 @@ System::System(const SystemParams &params)
     }
 
     // With every component registered (port owners final), flip the
-    // manager<->scheduler boundary ports into staging mode; this also
-    // derives the kernel's lookahead from their latencies.
-    if (pdesActive_)
+    // manager<->scheduler boundary ports — and, past the 2-way cut, the
+    // core<->manager ports — into staging mode; this also derives the
+    // kernel's pairwise lookahead matrix from their latencies.
+    if (pdesActive_) {
         sharded_->bindPdes(sim_);
+        if (ndom > 2)
+            for (auto &mgr : managers_)
+                mgr->bindPdesCoreBoundary(sim_);
+    }
+}
+
+unsigned
+System::managerDomainOf(unsigned c, unsigned ndom)
+{
+    // 2-way cut: managers share domain 0 with their cores (the classic
+    // partition). Beyond that, clusters fold round-robin onto the
+    // ndom - 2 manager domains (one each in the full cut).
+    return ndom <= 2 ? 0u : 1u + c % (ndom - 2);
 }
 
 picos::Picos &

@@ -39,6 +39,21 @@ struct PdesParams
      *  bit-identical results; > 1 only changes who executes windows. */
     unsigned hostThreads = 1;
 
+    /**
+     * PDES domain count. 0 (auto) derives the partition from the
+     * topology: the full {cores+runtime+memory | one domain per cluster
+     * manager | scheduler} cut when the cluster link is at least one
+     * cycle, the classic 2-way {cores+managers | scheduler} cut
+     * otherwise. Values >= 2 request exactly that many domains (clamped
+     * to the 2 + clusters the component graph supports; in between, the
+     * per-cluster managers are folded round-robin onto the manager
+     * domains). 1 is rejected — use partition = Off for a sequential
+     * run. Deliberately NEVER derived from hostThreads: the partition,
+     * and therefore every simulated result, is a pure function of the
+     * simulated topology, so any thread count replays the same schedule.
+     */
+    unsigned domains = 0;
+
     enum class Partition : std::uint8_t
     {
         /** Partition only when hostThreads > 1 asks for parallelism. */
@@ -129,9 +144,15 @@ class System
     /** True when this system runs partitioned (conservative PDES). */
     bool pdesActive() const { return pdesActive_; }
 
+    /** Resolved PDES domain count (1 when not partitioned). */
+    unsigned pdesDomains() const { return sim_.numDomains(); }
+
   private:
     /** First core of @p cluster (balanced contiguous blocks). */
     unsigned clusterBegin(unsigned cluster) const;
+
+    /** Domain hosting cluster @p c's manager in an @p ndom-way cut. */
+    static unsigned managerDomainOf(unsigned c, unsigned ndom);
 
     SystemParams params_;
     sim::Simulator sim_;

@@ -65,11 +65,12 @@ ShardedPicos::Cluster::Cluster(const sim::Clock &clock,
 }
 
 ShardedPicos::ShardedPicos(const sim::Clock &clock,
-                           const sim::Clock &readyClock,
+                           std::vector<const sim::Clock *> readyClocks,
                            const PicosParams &params,
                            const TopologyParams &topo,
                            sim::StatGroup &stats)
-    : sim::Ticked("shardedPicos"), clock_(clock), readyClock_(readyClock),
+    : sim::Ticked("shardedPicos"), clock_(clock),
+      readyClocks_(std::move(readyClocks)),
       params_(params), topo_(topo), stats_(stats),
       statSubPackets_(&stats.scalar("sharded.subPackets")),
       statRetirePackets_(&stats.scalar("sharded.retirePackets")),
@@ -88,6 +89,9 @@ ShardedPicos::ShardedPicos(const sim::Clock &clock,
 {
     if (topo_.schedShards == 0 || topo_.clusters == 0)
         sim::fatal("ShardedPicos needs at least one shard and one cluster");
+    if (readyClocks_.size() != topo_.clusters)
+        sim::fatal("ShardedPicos needs one manager-domain clock per "
+                   "cluster");
 
     tasks_.assign(std::size_t{topo_.schedShards} * params_.trsEntries,
                   TaskEntry{});
@@ -112,8 +116,8 @@ ShardedPicos::ShardedPicos(const sim::Clock &clock,
     clusters_.reserve(topo_.clusters);
     ports_.reserve(topo_.clusters);
     for (unsigned c = 0; c < topo_.clusters; ++c) {
-        clusters_.emplace_back(clock, readyClock, params_, topo_, stats, c,
-                               this);
+        clusters_.emplace_back(clock, *readyClocks_[c], params_, topo_,
+                               stats, c, this);
         ports_.emplace_back(*this, c);
     }
     bindFastDispatch<ShardedPicos>();
@@ -122,12 +126,22 @@ ShardedPicos::ShardedPicos(const sim::Clock &clock,
 void
 ShardedPicos::bindPdes(sim::Simulator &sim)
 {
-    for (Cluster &cl : clusters_) {
+    for (unsigned c = 0; c < clusters_.size(); ++c) {
+        Cluster &cl = clusters_[c];
+        const sim::Clock &mgrClock = *readyClocks_[c];
         // Manager-domain producers into this scheduler's domain...
-        cl.subQueue.enableCrossDomainStaging(sim, readyClock_);
-        cl.retireQueue.enableCrossDomainStaging(sim, readyClock_);
+        cl.subQueue.enableCrossDomainStaging(sim, mgrClock);
+        cl.retireQueue.enableCrossDomainStaging(sim, mgrClock);
         // ...and the ready return in the opposite direction.
         cl.readyQueue.enableCrossDomainStaging(sim, clock_);
+        // The per-packet scalars the producing managers used to bump
+        // inline move to the boundary drain: with the managers spread
+        // over several domains, these shared counters must only ever be
+        // written from the single-threaded coordinator step.
+        cl.subQueue.onStagedDrain(
+            [this](const std::uint32_t &) { ++*statSubPackets_; });
+        cl.retireQueue.onStagedDrain(
+            [this](const std::uint32_t &) { ++*statRetirePackets_; });
     }
 }
 
@@ -148,9 +162,11 @@ ShardedPicos::ClusterPort::subCanAccept() const
 bool
 ShardedPicos::ClusterPort::subPush(std::uint32_t packet)
 {
-    if (!sp_.clusters_[c_].subQueue.push(packet))
+    Cluster &cl = sp_.clusters_[c_];
+    if (!cl.subQueue.push(packet))
         return false;
-    ++*sp_.statSubPackets_;
+    if (!cl.subQueue.crossDomainStaging())
+        ++*sp_.statSubPackets_; // staged: counted at the boundary drain
     return true;
 }
 
@@ -186,9 +202,11 @@ ShardedPicos::ClusterPort::retireCanAccept() const
 bool
 ShardedPicos::ClusterPort::retirePush(std::uint32_t picos_id)
 {
-    if (!sp_.clusters_[c_].retireQueue.push(picos_id))
+    Cluster &cl = sp_.clusters_[c_];
+    if (!cl.retireQueue.push(picos_id))
         return false;
-    ++*sp_.statRetirePackets_;
+    if (!cl.retireQueue.crossDomainStaging())
+        ++*sp_.statRetirePackets_; // staged: counted at boundary drain
     return true;
 }
 

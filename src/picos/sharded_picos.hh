@@ -33,6 +33,7 @@
 #ifndef PICOSIM_PICOS_SHARDED_PICOS_HH
 #define PICOSIM_PICOS_SHARDED_PICOS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -68,6 +69,23 @@ class ShardedPicos final : public sim::Ticked
      * both arguments equal this is exactly the classic constructor.
      */
     ShardedPicos(const sim::Clock &clock, const sim::Clock &readyClock,
+                 const PicosParams &params, const TopologyParams &topo,
+                 sim::StatGroup &stats)
+        : ShardedPicos(clock,
+                       std::vector<const sim::Clock *>(
+                           std::max(1u, topo.clusters), &readyClock),
+                       params, topo, stats)
+    {
+    }
+
+    /**
+     * Many-domain PDES form: one manager-domain clock per cluster (the
+     * partitioner may spread the per-cluster managers over several
+     * domains). @p readyClocks must hold topo.clusters entries; cluster
+     * c's ready-return port is bound to readyClocks[c].
+     */
+    ShardedPicos(const sim::Clock &clock,
+                 std::vector<const sim::Clock *> readyClocks,
                  const PicosParams &params, const TopologyParams &topo,
                  sim::StatGroup &stats);
 
@@ -206,7 +224,8 @@ class ShardedPicos final : public sim::Ticked
     Cycle nextDue() const;
 
     const sim::Clock &clock_;
-    const sim::Clock &readyClock_; ///< manager-domain clock (PDES)
+    /** Per-cluster manager-domain clocks (PDES); all &clock_ classic. */
+    std::vector<const sim::Clock *> readyClocks_;
     PicosParams params_;
     TopologyParams topo_;
     sim::StatGroup &stats_;

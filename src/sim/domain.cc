@@ -6,6 +6,14 @@
  * iterates the domains in id order, N threads split them — and every
  * cross-domain merge happens in the single-threaded coordination step at
  * the window barrier, in a fixed order.
+ *
+ * Window bounds come from the pairwise lookahead matrix: windowEnd is
+ * the min over LIVE source domains of cachedNext + minOutLookahead, so
+ * idle domains neither constrain the window nor pay per-window work
+ * (their cachedNext is at or past every boundary until a drain wakes
+ * them). The bound is additionally capped at the wheel horizon past the
+ * global next event, which bounds done()-predicate latency on sparse
+ * link graphs without affecting results.
  */
 
 #include "sim/kernel.hh"
@@ -26,6 +34,13 @@ namespace
  *  coordinator step and in harness code outside any window. */
 thread_local Domain *t_currentDomain = nullptr;
 
+/** Saturating cycle addition (kCycleNever absorbs). */
+Cycle
+satAdd(Cycle a, Cycle b)
+{
+    return a >= kCycleNever - b ? kCycleNever : a + b;
+}
+
 } // namespace
 
 void
@@ -39,11 +54,22 @@ Simulator::requestWakeWindowed(Ticked *component, Cycle cycle)
         // outbox; the boundary drain applies it single-threaded.
         cur->outbox[component->domain_].push_back(
             WakeRequest{component, cycle});
+        cur->outboxDirty = true;
         return;
     }
     // Same-domain (the common case), or coordinator/harness context
     // where no window is in flight: apply directly.
     applyLocalWake(dst, component, cycle);
+}
+
+void
+Simulator::markLinkDirty(unsigned linkId)
+{
+    Domain *cur = t_currentDomain;
+    if (cur != nullptr)
+        cur->dirtyLinks.push_back(linkId);
+    else
+        harnessDirtyLinks_.push_back(linkId);
 }
 
 void
@@ -55,8 +81,13 @@ Simulator::runDomainWindow(Domain &d, Cycle windowEnd)
         // drained events landing exactly at the window start are found
         // before the clock moves.
         const Cycle next = refreshNextEventCycle(d);
-        if (next >= windowEnd) // kCycleNever included
+        if (next >= windowEnd) { // kCycleNever included
+            // The refresh value is this domain's EXACT next event: store
+            // it so the coordinator (and the idle-skip check) can bound
+            // future windows without touching the wheel.
+            d.cachedNext = next;
             break;
+        }
         d.clock.advanceTo(next);
         evaluateDue(d);
     }
@@ -68,11 +99,34 @@ Simulator::drainBoundary(Cycle boundary)
 {
     // Registered links first (staged port traffic replays with its own
     // recorded send cycles), then captured bare wakes — both in fixed
-    // registration/domain order, single-threaded.
-    for (CrossDomainLink &link : crossLinks_)
-        link.drain();
+    // link-id/domain order, single-threaded. Only links actually staged
+    // into this window (dirty) are touched, plus endpoint-less links
+    // whose producers cannot mark them, so barrier cost tracks live
+    // traffic rather than the total link count.
+    linkScratch_.clear();
+    linkScratch_.insert(linkScratch_.end(), allPairsLinks_.begin(),
+                        allPairsLinks_.end());
+    linkScratch_.insert(linkScratch_.end(), harnessDirtyLinks_.begin(),
+                        harnessDirtyLinks_.end());
+    harnessDirtyLinks_.clear();
+    for (unsigned i = 0; i < numDomains(); ++i) {
+        Domain &d = domainAt(i);
+        linkScratch_.insert(linkScratch_.end(), d.dirtyLinks.begin(),
+                            d.dirtyLinks.end());
+        d.dirtyLinks.clear();
+    }
+    std::sort(linkScratch_.begin(), linkScratch_.end());
+    linkScratch_.erase(
+        std::unique(linkScratch_.begin(), linkScratch_.end()),
+        linkScratch_.end());
+    for (unsigned id : linkScratch_)
+        crossLinks_[id].drain();
+
     for (unsigned src = 0; src < numDomains(); ++src) {
         Domain &s = domainAt(src);
+        if (!s.outboxDirty)
+            continue;
+        s.outboxDirty = false;
         for (unsigned dst = 0; dst < numDomains(); ++dst) {
             if (s.outbox[dst].empty())
                 continue;
@@ -95,18 +149,33 @@ Simulator::mergeWindowCycles()
     // Count DISTINCT evaluated cycles across all domains: two domains
     // evaluating the same cycle is one globally-evaluated cycle, exactly
     // as the sequential kernel would count it.
-    mergeScratch_.clear();
-    bool any = false;
+    unsigned nonEmpty = 0;
+    Domain *only = nullptr;
     for (unsigned i = 0; i < numDomains(); ++i) {
         Domain &d = domainAt(i);
-        if (!d.windowCycles.empty())
-            any = true;
+        if (!d.windowCycles.empty()) {
+            ++nonEmpty;
+            only = &d;
+        }
+    }
+    if (nonEmpty == 0)
+        return;
+    if (nonEmpty == 1) {
+        // Per-domain window cycles are strictly increasing, so a single
+        // active domain needs no sort/dedup — the common case once idle
+        // domains fast-forward.
+        evaluatedCycles_ +=
+            static_cast<std::uint64_t>(only->windowCycles.size());
+        only->windowCycles.clear();
+        return;
+    }
+    mergeScratch_.clear();
+    for (unsigned i = 0; i < numDomains(); ++i) {
+        Domain &d = domainAt(i);
         mergeScratch_.insert(mergeScratch_.end(), d.windowCycles.begin(),
                              d.windowCycles.end());
         d.windowCycles.clear();
     }
-    if (!any)
-        return;
     std::sort(mergeScratch_.begin(), mergeScratch_.end());
     evaluatedCycles_ += static_cast<std::uint64_t>(
         std::unique(mergeScratch_.begin(), mergeScratch_.end()) -
@@ -114,12 +183,31 @@ Simulator::mergeWindowCycles()
 }
 
 Cycle
-Simulator::nextEventAcrossDomains()
+Simulator::cachedGlobalNext() const
 {
     Cycle next = kCycleNever;
     for (unsigned i = 0; i < numDomains(); ++i)
-        next = std::min(next, refreshNextEventCycle(domainAt(i)));
+        next = std::min(next, domainAt(i).cachedNext);
     return next;
+}
+
+Cycle
+Simulator::computeWindowEnd(Cycle globalNext) const
+{
+    // min over LIVE sources s of nextEvent(s) + minOut(s): traffic from
+    // s cannot be sent before s's next event, so nothing can arrive
+    // anywhere before this bound. Idle sources drop their row — that is
+    // the whole win on sparse topologies. The wheel-horizon cap bounds
+    // done()-check latency when the link graph leaves the window
+    // unconstrained; it never shrinks a window below globalNext + 1.
+    Cycle end = kCycleNever;
+    for (unsigned s = 0; s < numDomains(); ++s) {
+        const Cycle next = domainAt(s).cachedNext;
+        if (next == kCycleNever)
+            continue;
+        end = std::min(end, satAdd(next, minOutLookahead(s)));
+    }
+    return std::min(end, satAdd(globalNext, EventWheel::kBuckets));
 }
 
 void
@@ -133,7 +221,6 @@ bool
 Simulator::runWindowed(const DonePredicate &done, Cycle limit)
 {
     const Cycle start = main_.clock.now();
-    const Cycle lk = lookahead();
     const unsigned ndom = numDomains();
 
     bool stop = false;
@@ -146,6 +233,7 @@ Simulator::runWindowed(const DonePredicate &done, Cycle limit)
     // at boundaries — the final clocks are advanced to the global
     // maximum across domains, a deterministic value.
     const auto coordinate = [&]() noexcept {
+        ++windowBarriers_;
         drainBoundary(windowEnd);
         mergeWindowCycles();
         Cycle maxClock = 0;
@@ -157,7 +245,7 @@ Simulator::runWindowed(const DonePredicate &done, Cycle limit)
             result = true;
             return;
         }
-        const Cycle next = nextEventAcrossDomains();
+        const Cycle next = cachedGlobalNext();
         if (next == kCycleNever) {
             // Fully idle system: either done() holds now or the
             // simulation can never progress again.
@@ -172,7 +260,22 @@ Simulator::runWindowed(const DonePredicate &done, Cycle limit)
             result = false;
             return;
         }
-        windowEnd = next + lk;
+        windowEnd = computeWindowEnd(next);
+    };
+
+    // Idle-window fast-forward: a domain whose cached next event is at
+    // or past the boundary would evaluate nothing — skip the wheel scan
+    // and revalidation entirely. The cache is a lower bound on the true
+    // next event, so a skip can never lose work, and the decision is a
+    // pure function of deterministic window state (identical at every
+    // thread count and labeling).
+    const auto runOrSkip = [&](Domain &d) {
+        if (d.cachedNext >= windowEnd) {
+            ++d.windowsSkipped;
+            return;
+        }
+        ++d.windowsRun;
+        runDomainWindow(d, windowEnd);
     };
 
     const unsigned nThreads =
@@ -186,7 +289,7 @@ Simulator::runWindowed(const DonePredicate &done, Cycle limit)
             if (stop)
                 break;
             for (unsigned i = 0; i < ndom; ++i)
-                runDomainWindow(domainAt(i), windowEnd);
+                runOrSkip(domainAt(i));
         }
         return result;
     }
@@ -198,7 +301,7 @@ Simulator::runWindowed(const DonePredicate &done, Cycle limit)
             if (stop)
                 break;
             for (unsigned i = tid; i < ndom; i += nThreads)
-                runDomainWindow(domainAt(i), windowEnd);
+                runOrSkip(domainAt(i));
         }
     };
     std::vector<std::thread> threads;
@@ -218,18 +321,25 @@ Simulator::runForWindowed(Cycle n)
     // calling thread regardless of hostThreads — they are harness
     // warmup/probe helpers, not the measured hot loop.
     const Cycle end = main_.clock.now() + n;
-    const Cycle lk = lookahead();
     const unsigned ndom = numDomains();
     Cycle windowEnd = 0;
     while (true) {
+        ++windowBarriers_;
         drainBoundary(windowEnd);
         mergeWindowCycles();
-        const Cycle next = nextEventAcrossDomains();
+        const Cycle next = cachedGlobalNext();
         if (next == kCycleNever || next >= end)
             break;
-        windowEnd = std::min(next + lk, end);
-        for (unsigned i = 0; i < ndom; ++i)
-            runDomainWindow(domainAt(i), windowEnd);
+        windowEnd = std::min(computeWindowEnd(next), end);
+        for (unsigned i = 0; i < ndom; ++i) {
+            Domain &d = domainAt(i);
+            if (d.cachedNext >= windowEnd) {
+                ++d.windowsSkipped;
+                continue;
+            }
+            ++d.windowsRun;
+            runDomainWindow(d, windowEnd);
+        }
     }
     advanceAllClocksTo(end);
 }

@@ -4,12 +4,34 @@
  *
  * A Simulator may be partitioned into host-thread DOMAINS: disjoint
  * groups of components, each with its own clock, timing wheel and run
- * loop. Domains execute lookahead windows [W, W + L) independently and
- * synchronize at window boundaries, where L (the lookahead) is the
- * minimum declared latency over the timed links that cross a domain
- * boundary: a message sent at any cycle inside the window over a link of
- * latency >= L cannot arrive before the window ends, so intra-window
- * execution never observes a concurrent mutation.
+ * loop. Domains execute lookahead windows independently and synchronize
+ * at window boundaries.
+ *
+ * Window length (pairwise lookahead): each cross-domain link declares an
+ * ordered (source, destination) domain pair and a latency; the kernel
+ * keeps the min declared latency per ordered pair (the lookahead matrix)
+ * and, per source domain s, minOut(s) = min over destinations of that
+ * row. A message leaving s cannot be sent before s's next event
+ * nextEvent(s), so no staged traffic can arrive anywhere before
+ *
+ *     windowEnd = min over sources s of  nextEvent(s) + minOut(s)
+ *
+ * — the window bound used by the coordinator. Only pairs whose source is
+ * LIVE constrain the window: an idle domain (no armed events) drops its
+ * row entirely, so sparse topologies get long windows. Links registered
+ * without endpoints (the legacy two-argument form) constrain every pair.
+ * Intra-window execution therefore never observes a concurrent mutation:
+ * anything sent at cycle t >= nextEvent(s) over a link of latency
+ * L >= minOut(s) arrives at t + L >= windowEnd.
+ *
+ * Idle-window fast-forward: every domain caches a lower bound on its
+ * next armed event (Domain::cachedNext — exact at window exit, lowered
+ * only by boundary drains and wakes). A domain whose cachedNext is at or
+ * past the window boundary skips the window entirely — no wheel scan, no
+ * revalidation — which is behaviorally identical to running an empty
+ * window. The boundary merge is batched the same way: only links staged
+ * into this window (dirty links) and outboxes written this window are
+ * touched, so barrier cost tracks live traffic, not domain count.
  *
  * Two kinds of traffic cross a boundary, both applied single-threaded at
  * the window barrier so the merge order is fixed:
@@ -41,6 +63,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/clock.hh"
@@ -61,13 +84,21 @@ struct WakeRequest
 
 /**
  * A timed link crossing a domain boundary. The declared latency bounds
- * the lookahead window; the drain callback replays the link's staged
- * traffic into the consumer domain at each window boundary.
+ * the lookahead window for its (src, dst) domain pair; the drain
+ * callback replays the link's staged traffic into the consumer domain
+ * at each window boundary. Links with src == dst == kAllPairs (the
+ * legacy endpoint-less registration) constrain every ordered pair.
  */
 struct CrossDomainLink
 {
+    /** Sentinel endpoint: the link constrains every domain pair. */
+    static constexpr unsigned kAllPairs = ~0u;
+
+    unsigned src = kAllPairs;
+    unsigned dst = kAllPairs;
     Cycle latency = 0;
     std::function<void()> drain;
+    std::string name; ///< for diagnostics (misconfigured latency, etc.)
 };
 
 /**
@@ -96,6 +127,29 @@ struct Domain
     /** Outgoing cross-domain wakes, one FIFO per destination domain;
      *  only this domain's thread appends during a window. */
     std::vector<std::vector<WakeRequest>> outbox;
+
+    /** True when any outbox FIFO was written since the last boundary. */
+    bool outboxDirty = false;
+
+    /**
+     * Lower bound on this domain's next armed event cycle. Exact at
+     * window exit (the refresh loop's final value); lowered between
+     * windows only by applyLocalWake (boundary drains, outbox merges,
+     * harness-context wakes). The coordinator derives window bounds
+     * from it without touching the wheel, and a domain with
+     * cachedNext >= windowEnd skips its window entirely.
+     */
+    Cycle cachedNext = 0;
+
+    /** Cross-domain link ids first staged into during this window by
+     *  code running on this domain's thread; drained (sorted, deduped)
+     *  and cleared at the boundary. */
+    std::vector<unsigned> dirtyLinks;
+
+    /** Windows this domain executed / skipped via idle fast-forward
+     *  (own-thread writes; read at boundaries and post-run). */
+    std::uint64_t windowsRun = 0;
+    std::uint64_t windowsSkipped = 0;
 };
 
 } // namespace picosim::sim

@@ -21,6 +21,33 @@ Simulator::domainAt(unsigned d)
     return d == 0 ? main_ : *extraDomains_[d - 1];
 }
 
+const Domain &
+Simulator::domainAt(unsigned d) const
+{
+    return d == 0 ? main_ : *extraDomains_[d - 1];
+}
+
+unsigned
+Simulator::domainOfClock(const Clock &clk) const
+{
+    for (unsigned d = 0; d < numDomains(); ++d)
+        if (&domainAt(d).clock == &clk)
+            return d;
+    fatal("domainOfClock: clock does not belong to any domain");
+}
+
+std::uint64_t
+Simulator::domainWindowsRun(unsigned d) const
+{
+    return domainAt(d).windowsRun;
+}
+
+std::uint64_t
+Simulator::domainWindowsSkipped(unsigned d) const
+{
+    return domainAt(d).windowsSkipped;
+}
+
 const Clock &
 Simulator::domainClock(unsigned d) const
 {
@@ -65,20 +92,67 @@ Simulator::configureDomains(unsigned count)
     main_.outbox.resize(count);
     for (auto &d : extraDomains_)
         d->outbox.resize(count);
+    pairMin_.assign(static_cast<std::size_t>(count) * count, kCycleNever);
+    minOut_.assign(count, kCycleNever);
     windowed_ = true;
 }
 
-void
-Simulator::registerCrossDomainLink(Cycle latency,
-                                   std::function<void()> drain)
+unsigned
+Simulator::registerCrossDomainLink(unsigned src, unsigned dst,
+                                   Cycle latency,
+                                   std::function<void()> drain,
+                                   std::string name)
 {
     if (!windowed_)
         fatal("registerCrossDomainLink on an unpartitioned Simulator");
     if (latency == 0)
-        fatal("cross-domain links need latency >= 1 (conservative "
-              "lookahead would be empty)");
+        fatal("cross-domain link '" +
+              (name.empty() ? std::string("<unnamed>") : name) +
+              "' has latency 0: conservative lookahead would be empty "
+              "(every cross-domain timed link needs latency >= 1)");
+    const bool allPairs = src == CrossDomainLink::kAllPairs;
+    if (allPairs != (dst == CrossDomainLink::kAllPairs))
+        fatal("cross-domain link '" + name +
+              "' mixes a concrete endpoint with kAllPairs");
+    if (!allPairs) {
+        if (src >= numDomains() || dst >= numDomains())
+            fatal("cross-domain link '" + name +
+                  "' references a nonexistent domain");
+        if (src == dst)
+            fatal("cross-domain link '" + name +
+                  "' has both endpoints in domain " + std::to_string(src));
+        pairMin_[static_cast<std::size_t>(src) * numDomains() + dst] =
+            std::min(pairMin_[static_cast<std::size_t>(src) * numDomains() +
+                              dst],
+                     latency);
+        minOut_[src] = std::min(minOut_[src], latency);
+    } else {
+        allPairsMin_ = std::min(allPairsMin_, latency);
+    }
     lookaheadMin_ = std::min(lookaheadMin_, latency);
-    crossLinks_.push_back(CrossDomainLink{latency, std::move(drain)});
+    const unsigned id = static_cast<unsigned>(crossLinks_.size());
+    crossLinks_.push_back(
+        CrossDomainLink{src, dst, latency, std::move(drain),
+                        std::move(name)});
+    // Endpoint-less links have no producer-side dirty marking, so they
+    // drain at every boundary (see drainBoundary).
+    if (allPairs)
+        allPairsLinks_.push_back(id);
+    return id;
+}
+
+Cycle
+Simulator::pairLookahead(unsigned src, unsigned dst) const
+{
+    const Cycle pair =
+        pairMin_[static_cast<std::size_t>(src) * numDomains() + dst];
+    return std::min(pair, allPairsMin_);
+}
+
+Cycle
+Simulator::minOutLookahead(unsigned src) const
+{
+    return std::min(minOut_[src], allPairsMin_);
 }
 
 void
@@ -100,6 +174,8 @@ Simulator::addTicked(Ticked *component, unsigned domain)
     // first tick-the-world pass.
     addExternal(component, d.clock.now());
     arm(d, component, d.clock.now());
+    if (windowed_)
+        d.cachedNext = std::min(d.cachedNext, d.clock.now());
 }
 
 void
@@ -203,6 +279,12 @@ Simulator::applyLocalWake(Domain &d, Ticked *component, Cycle cycle)
         return;
     addExternal(component, c);
     arm(d, component, now);
+    // Keep the domain's cached next-event bound valid: the freshly armed
+    // cycle is a genuine due candidate. Window exits overwrite this with
+    // the exact refresh value, so the cache only ever under-approximates
+    // (which shortens windows but never skips real work).
+    if (windowed_ && component->armedAt_ != kCycleNever)
+        d.cachedNext = std::min(d.cachedNext, component->armedAt_);
 }
 
 void
@@ -279,8 +361,14 @@ Simulator::refreshNextEventCycle(Domain &d)
     // cycle, which no revalidation could beat (armed cycles are >= now,
     // and re-validated self-schedules clamp to now + 1 as well). A stale
     // self-schedule costs at most one idle evaluation and re-arms itself
-    // from live state — results are unaffected.
-    if (d.wheel.anyAt(now + 1))
+    // from live state — results are unaffected. The path must yield to a
+    // bit armed AT the current cycle first: a window-boundary wake can
+    // land on the consumer's parked clock (a redundant wake at a stale
+    // queue-front ready cycle), and jumping to now + 1 would advance the
+    // clock past that slot and strand the entry in the wheel forever.
+    // Re-evaluating `now` instead matches the sequential loop exactly —
+    // already-ticked components are shielded by the lastTick_ guard.
+    if (!d.wheel.anyAt(now) && d.wheel.anyAt(now + 1))
         return now + 1;
     while (true) {
         refileFar(d, now);

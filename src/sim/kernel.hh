@@ -118,21 +118,57 @@ class Simulator
     unsigned hostThreads() const { return hostThreads_; }
 
     /**
-     * Declare a timed link whose producer and consumer live in different
-     * domains. @p latency (>= 1) bounds the lookahead window; @p drain is
-     * invoked single-threaded at every window boundary to replay the
-     * link's staged traffic into the consumer domain.
+     * Declare a timed link from domain @p src to domain @p dst. @p latency
+     * (>= 1) bounds the lookahead window for that ordered pair; @p drain
+     * is invoked single-threaded at window boundaries (only when traffic
+     * was staged — see markLinkDirty) to replay the link's staged traffic
+     * into the consumer domain. @p name labels the link in diagnostics.
+     * @return the link id the producer passes to markLinkDirty().
      */
-    void registerCrossDomainLink(Cycle latency,
-                                 std::function<void()> drain);
+    unsigned registerCrossDomainLink(unsigned src, unsigned dst,
+                                     Cycle latency,
+                                     std::function<void()> drain,
+                                     std::string name = {});
 
-    /** Lookahead window length: min latency over cross-domain links
-     *  (1 when none are registered). */
+    /** Endpoint-less form: the link constrains EVERY ordered domain pair
+     *  (and its drain runs whenever any link is dirty). */
+    unsigned
+    registerCrossDomainLink(Cycle latency, std::function<void()> drain)
+    {
+        return registerCrossDomainLink(CrossDomainLink::kAllPairs,
+                                       CrossDomainLink::kAllPairs, latency,
+                                       std::move(drain));
+    }
+
+    /** Lookahead window floor: min latency over ALL cross-domain links
+     *  (1 when none are registered). Windows derived from the pairwise
+     *  matrix are never shorter than nextEvent + this. */
     Cycle
     lookahead() const
     {
         return lookaheadMin_ == kCycleNever ? 1 : lookaheadMin_;
     }
+
+    /** Min declared latency over links from @p src to @p dst, including
+     *  endpoint-less links; kCycleNever when unconstrained. */
+    Cycle pairLookahead(unsigned src, unsigned dst) const;
+
+    /** Min over destinations of pairLookahead(src, d): the lookahead a
+     *  live domain @p src contributes to the window bound. */
+    Cycle minOutLookahead(unsigned src) const;
+
+    /** The domain whose clock is @p clk (addresses identify domains). */
+    unsigned domainOfClock(const Clock &clk) const;
+
+    /** Record that link @p linkId staged its first item since the last
+     *  boundary (producer-thread call; routed to the current domain's
+     *  dirty list, or the harness list outside any window). */
+    void markLinkDirty(unsigned linkId);
+
+    // -- Per-domain window accounting (benches, tests; not stats) --------
+    std::uint64_t windowBarriers() const { return windowBarriers_; }
+    std::uint64_t domainWindowsRun(unsigned d) const;
+    std::uint64_t domainWindowsSkipped(unsigned d) const;
 
     // -- Registration and scheduling -------------------------------------
 
@@ -223,11 +259,13 @@ class Simulator
 
     // -- Windowed (PDES) run loop; see sim/domain.cc ---------------------
     Domain &domainAt(unsigned d);
+    const Domain &domainAt(unsigned d) const;
     void requestWakeWindowed(Ticked *component, Cycle cycle);
     void runDomainWindow(Domain &d, Cycle windowEnd);
     void drainBoundary(Cycle boundary);
     void mergeWindowCycles();
-    Cycle nextEventAcrossDomains();
+    Cycle cachedGlobalNext() const;
+    Cycle computeWindowEnd(Cycle globalNext) const;
     void advanceAllClocksTo(Cycle c);
     bool runWindowed(const DonePredicate &done, Cycle limit);
     void runForWindowed(Cycle n);
@@ -254,6 +292,22 @@ class Simulator
     Cycle lookaheadMin_ = kCycleNever; ///< min cross-domain link latency
     std::vector<CrossDomainLink> crossLinks_;
     std::vector<Cycle> mergeScratch_; ///< window-cycle merge workspace
+
+    /** Pairwise lookahead matrix (ndom x ndom, row-major): min declared
+     *  latency over links with concrete (src, dst) endpoints. */
+    std::vector<Cycle> pairMin_;
+    /** Per-source row minimum of pairMin_ (maintained on registration). */
+    std::vector<Cycle> minOut_;
+    /** Min latency over endpoint-less (all-pairs) links. */
+    Cycle allPairsMin_ = kCycleNever;
+
+    /** Links dirtied from harness/coordinator context (no window live). */
+    std::vector<unsigned> harnessDirtyLinks_;
+    /** Endpoint-less links: drained at every boundary unconditionally. */
+    std::vector<unsigned> allPairsLinks_;
+    std::vector<unsigned> linkScratch_; ///< boundary dirty-link workspace
+
+    std::uint64_t windowBarriers_ = 0; ///< coordination steps executed
 
     std::uint64_t evaluatedCycles_ = 0;
 };

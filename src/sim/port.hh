@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <utility>
 
@@ -134,7 +135,7 @@ class TimedPort
     TimedPort(const Clock &clock, const PortParams &params,
               StatGroup *stats = nullptr, const std::string &name = {},
               Ticked *owner = nullptr)
-        : clock_(clock), params_(params), owner_(owner)
+        : clock_(clock), params_(params), owner_(owner), name_(name)
     {
         if (stats) {
             pushes_ = &stats->scalar(name + ".pushes");
@@ -188,7 +189,11 @@ class TimedPort
             // Cross-domain: record (send cycle, value) in the producer-
             // owned staging ring; the window-boundary drain replays the
             // accept/latency arithmetic and wakes the owner. Nothing on
-            // this path touches consumer-owned state.
+            // this path touches consumer-owned state. The first staged
+            // item since the last drain marks the link dirty so the
+            // boundary only visits links with live traffic.
+            if (staged_.empty())
+                sim_->markLinkDirty(linkId_);
             staged_.push_back(
                 StagedSlot{producerClock_->now(), std::move(value)});
             if (pushes_) {
@@ -225,6 +230,16 @@ class TimedPort
             panic("TimedPort::pop on not-ready port");
         T value = std::move(items_.front().value);
         items_.pop_front();
+        // Consumer pops free producer credit, but only the boundary
+        // drain republishes it (creditSize_). A clean link would never
+        // be drained again, leaving a blocked producer stalled on stale
+        // credit forever — so the first pop since the last drain marks
+        // the link dirty too. Pops happen at deterministic simulated
+        // cycles, so the dirty set stays thread-count-independent.
+        if (staging_ && !creditDirty_) {
+            creditDirty_ = true;
+            sim_->markLinkDirty(linkId_);
+        }
         return value;
     }
 
@@ -246,6 +261,7 @@ class TimedPort
         items_.clear();
         staged_.clear();
         creditSize_ = 0;
+        creditDirty_ = false;
         acceptAt_ = 0;
         acceptUsed_ = 0;
     }
@@ -265,23 +281,46 @@ class TimedPort
     /** Re-bind the owner (consumer) woken on pushes and drains. */
     void setOwner(Ticked *owner) { owner_ = owner; }
 
+    /** True when enableCrossDomainStaging() put the port in PDES mode. */
+    bool crossDomainStaging() const { return staging_; }
+
+    /**
+     * Install a callback invoked once per staged item as the boundary
+     * drain makes it visible to the consumer domain (single-threaded
+     * coordinator context, so it may touch consumer-domain state).
+     * Producer-side occupancy/stat counters that would otherwise race
+     * across domains move here.
+     */
+    void
+    onStagedDrain(std::function<void(const T &)> hook)
+    {
+        stagedDrainHook_ = std::move(hook);
+    }
+
     /**
      * Put the port in cross-domain staging mode: the producer lives in a
      * different PDES domain than the consumer (this port's clock_ must be
      * the CONSUMER domain's clock). Pushes stage producer-side; the
      * registered drain replays them at each window boundary. The port's
-     * latency becomes a lookahead bound, so it must be >= 1.
+     * latency becomes the (producer domain -> consumer domain) lookahead
+     * bound, so it must be >= 1; the domain pair is derived from the two
+     * clocks.
      */
     void
     enableCrossDomainStaging(Simulator &sim, const Clock &producerClock)
     {
         if (params_.latency == 0)
-            panic("cross-domain TimedPort requires latency >= 1");
+            panic("cross-domain TimedPort '" +
+                  (name_.empty() ? std::string("<unnamed>") : name_) +
+                  "' requires latency >= 1 (the port latency is the "
+                  "conservative lookahead of its domain pair)");
         staging_ = true;
         producerClock_ = &producerClock;
         creditSize_ = items_.size();
-        sim.registerCrossDomainLink(params_.latency,
-                                    [this] { drainStaged(); });
+        sim_ = &sim;
+        linkId_ = sim.registerCrossDomainLink(
+            sim.domainOfClock(producerClock), sim.domainOfClock(clock_),
+            params_.latency, [this] { drainStaged(); }, name_);
     }
 
   private:
@@ -311,6 +350,8 @@ class TimedPort
         while (!staged_.empty()) {
             StagedSlot s = std::move(staged_.front());
             staged_.pop_front();
+            if (stagedDrainHook_)
+                stagedDrainHook_(s.value);
             items_.push_back(Slot{acceptCycle(s.sendCycle) +
                                       params_.latency,
                                   std::move(s.value)});
@@ -318,6 +359,7 @@ class TimedPort
                 owner_->requestWake(items_.front().readyAt);
         }
         creditSize_ = items_.size(); // refresh the producer's credit
+        creditDirty_ = false;
     }
 
     /** Width arbitration: the cycle a push at @p now is accepted. */
@@ -341,6 +383,7 @@ class TimedPort
     const Clock &clock_;
     PortParams params_;
     Ticked *owner_;
+    std::string name_; ///< diagnostics (staging misconfiguration, etc.)
     Ring<Slot> items_;
     Cycle acceptAt_ = 0;     ///< cycle whose acceptance slots are in use
     unsigned acceptUsed_ = 0; ///< slots consumed in acceptAt_
@@ -348,8 +391,12 @@ class TimedPort
     // -- Cross-domain staging (PDES mode only) --
     bool staging_ = false;
     const Clock *producerClock_ = nullptr;
+    Simulator *sim_ = nullptr;    ///< for dirty-link marking
+    unsigned linkId_ = 0;         ///< this port's cross-domain link id
     std::size_t creditSize_ = 0;  ///< items_ snapshot at the last drain
+    bool creditDirty_ = false;    ///< consumer popped since last drain
     Ring<StagedSlot> staged_;     ///< producer-owned pending pushes
+    std::function<void(const T &)> stagedDrainHook_; ///< per-item drain
     // Cached registry entries; null when stat-free.
     Scalar *pushes_ = nullptr;
     Scalar *pushStalls_ = nullptr;

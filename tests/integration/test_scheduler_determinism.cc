@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "apps/workloads.hh"
 #include "cpu/system.hh"
@@ -135,7 +137,7 @@ namespace
 std::pair<Cycle, std::string>
 runThreaded(const Golden &g, unsigned hostThreads,
             cpu::PdesParams::Partition partition, unsigned shards,
-            unsigned clusters)
+            unsigned clusters, unsigned domains = 0)
 {
     const Program prog = namedWorkload(g.workload);
     cpu::SystemParams sp;
@@ -144,6 +146,7 @@ runThreaded(const Golden &g, unsigned hostThreads,
     sp.topology.clusters = clusters;
     sp.pdes.partition = partition;
     sp.pdes.hostThreads = hostThreads;
+    sp.pdes.domains = domains;
     cpu::System sys(sp);
     auto runtime = makeRuntime(g.kind, CostModel{});
     runtime->install(sys, prog);
@@ -189,12 +192,81 @@ TEST_P(SchedulerDeterminism, HostThreadsSeedGoldens)
 TEST_P(SchedulerDeterminism, HostThreadsPartitionedBitIdentical)
 {
     const Golden &g = GetParam();
-    const auto one =
-        runThreaded(g, 1, cpu::PdesParams::Partition::Force, 2, 2);
+    const auto one = runThreaded(g, 1, cpu::PdesParams::Partition::Force,
+                                 2, 2, /*domains=*/2);
     for (unsigned threads : {2u, 4u}) {
-        const auto many =
-            runThreaded(g, threads, cpu::PdesParams::Partition::Force, 2, 2);
+        const auto many = runThreaded(
+            g, threads, cpu::PdesParams::Partition::Force, 2, 2,
+            /*domains=*/2);
         EXPECT_EQ(one.first, many.first) << "hostThreads=" << threads;
         EXPECT_EQ(one.second, many.second) << "hostThreads=" << threads;
+    }
+}
+
+// The many-domain generalization of the same contract, on a 4-cluster
+// topology whose full cut is 6 domains: a folded 3-way cut (all four
+// managers round-robin onto one manager domain), a prime 5-way cut
+// (managers folded 2+2... onto three), and the full 6-way cut must each
+// be bit-identical across host-thread counts — and, since every cut
+// >= 3 simulates the *same* machine (identical port latencies, only the
+// domain labels differ), bit-identical to each other as well.
+TEST(SchedulerDeterminismManyDomain, OddAndFoldedDomainCutsBitIdentical)
+{
+    const Golden g{"task-chain", RuntimeKind::Phentos, 0};
+    std::pair<Cycle, std::string> reference;
+    for (unsigned domains : {3u, 5u, 6u}) {
+        const auto one = runThreaded(
+            g, 1, cpu::PdesParams::Partition::Force, 2, 4, domains);
+        for (unsigned threads : {2u, 4u}) {
+            const auto many = runThreaded(
+                g, threads, cpu::PdesParams::Partition::Force, 2, 4,
+                domains);
+            EXPECT_EQ(one.first, many.first)
+                << "domains=" << domains << " hostThreads=" << threads;
+            EXPECT_EQ(one.second, many.second)
+                << "domains=" << domains << " hostThreads=" << threads;
+        }
+        if (domains == 3u)
+            reference = one;
+        else
+            EXPECT_EQ(reference, one)
+                << "domain labeling leaked into results, domains="
+                << domains;
+    }
+}
+
+// Domain-count resolution rules (pure function of the topology — never
+// of hostThreads): auto picks the full cut when the cluster link is a
+// real hop and the classic 2-way cut otherwise; explicit requests clamp
+// to what the component graph supports; 1 is not a partition.
+TEST(SchedulerDeterminismManyDomain, DomainCountResolution)
+{
+    cpu::SystemParams sp;
+    sp.numCores = 8;
+    sp.topology.schedShards = 2;
+    sp.topology.clusters = 4;
+    sp.pdes.partition = cpu::PdesParams::Partition::Force;
+    {
+        cpu::System sys(sp); // auto, clusterLinkCycles >= 1
+        EXPECT_TRUE(sys.pdesActive());
+        EXPECT_EQ(sys.pdesDomains(), 6u);
+    }
+    sp.pdes.domains = 99;
+    {
+        cpu::System sys(sp); // clamped to 2 + clusters
+        EXPECT_EQ(sys.pdesDomains(), 6u);
+    }
+    sp.pdes.domains = 2;
+    {
+        cpu::System sys(sp); // the classic cut, on request
+        EXPECT_EQ(sys.pdesDomains(), 2u);
+    }
+    sp.pdes.domains = 1;
+    EXPECT_THROW(cpu::System sys(sp), std::runtime_error);
+    sp.pdes.domains = 0;
+    sp.topology.clusterLinkCycles = 0;
+    {
+        cpu::System sys(sp); // zero-cycle cluster link: auto stays 2-way
+        EXPECT_EQ(sys.pdesDomains(), 2u);
     }
 }

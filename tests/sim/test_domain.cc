@@ -12,7 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -154,6 +157,53 @@ TEST(PdesDomains, LookaheadIsMinCrossDomainLatency)
     EXPECT_EQ(sim.lookahead(), 3u);
 }
 
+TEST(PdesDomains, PairwiseLookaheadMatrixDerivation)
+{
+    Simulator sim;
+    sim.configureDomains(3);
+    // Unconstrained pairs contribute nothing to the window bound.
+    EXPECT_EQ(sim.pairLookahead(0, 1), kCycleNever);
+    EXPECT_EQ(sim.minOutLookahead(2), kCycleNever);
+
+    sim.registerCrossDomainLink(0, 1, 4, [] {}, "a");
+    sim.registerCrossDomainLink(0, 1, 9, [] {}, "b"); // looser duplicate
+    sim.registerCrossDomainLink(1, 2, 6, [] {}, "c");
+    EXPECT_EQ(sim.pairLookahead(0, 1), 4u); // min per ordered pair
+    EXPECT_EQ(sim.pairLookahead(1, 2), 6u);
+    EXPECT_EQ(sim.pairLookahead(1, 0), kCycleNever); // ordered: no reverse
+    EXPECT_EQ(sim.minOutLookahead(0), 4u);
+    EXPECT_EQ(sim.minOutLookahead(1), 6u);
+    EXPECT_EQ(sim.minOutLookahead(2), kCycleNever); // no out-links at all
+    EXPECT_EQ(sim.lookahead(), 4u);
+
+    // An endpoint-less (legacy) link constrains EVERY ordered pair, but
+    // never loosens a tighter concrete one.
+    sim.registerCrossDomainLink(5, [] {});
+    EXPECT_EQ(sim.pairLookahead(0, 1), 4u);
+    EXPECT_EQ(sim.pairLookahead(1, 0), 5u);
+    EXPECT_EQ(sim.pairLookahead(2, 0), 5u);
+    EXPECT_EQ(sim.minOutLookahead(0), 4u);
+    EXPECT_EQ(sim.minOutLookahead(2), 5u);
+    EXPECT_EQ(sim.lookahead(), 4u);
+}
+
+TEST(PdesDomains, ZeroLatencyCrossDomainLinkFailsNamingTheLink)
+{
+    // A latency-0 cross-domain edge means an empty conservative window —
+    // the partition must be refused up front, and the diagnostic must
+    // name the offending link so the user can find it in the topology.
+    Simulator sim;
+    sim.configureDomains(2);
+    try {
+        sim.registerCrossDomainLink(0, 1, 0, [] {}, "manager.c3.readyQueue");
+        FAIL() << "latency-0 cross-domain link must be fatal";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("manager.c3.readyQueue"),
+                  std::string::npos)
+            << "diagnostic must name the offending link, got: " << e.what();
+    }
+}
+
 TEST(PdesDomains, RingMatchesSequentialKernelExactly)
 {
     // All cross-domain traffic rides ports whose latency equals the
@@ -196,6 +246,169 @@ TEST(PdesDomains, ShuffledDomainAssignmentCannotChangeResults)
             EXPECT_EQ(reference, got) << "threads=" << threads;
         }
     }
+}
+
+TEST(PdesDomains, RingBitIdenticalAtOddAndPrimeDomainCounts)
+{
+    // Nothing in the windowed loop may assume an even or power-of-two
+    // partition: 5- and 7-way cuts, with thread counts that divide the
+    // domain count unevenly (including more threads than domains, which
+    // must clamp), all replay the sequential journal bit for bit.
+    const int hops = 60;
+    {
+        const unsigned numNodes = 10;
+        const RingResult plain = runRing({}, 1, 1, numNodes, hops);
+        ASSERT_FALSE(plain.journals[0].empty());
+        const std::vector<std::vector<unsigned>> labelings = {
+            {0, 1, 2, 3, 4, 0, 1, 2, 3, 4}, // striped
+            {3, 0, 4, 1, 2, 2, 4, 0, 3, 1}, // shuffled, one same-domain edge
+        };
+        for (const auto &domainOf : labelings)
+            for (unsigned threads : {1u, 2u, 3u, 5u})
+                EXPECT_EQ(plain.journals,
+                          runRing(domainOf, 5, threads, numNodes, hops)
+                              .journals)
+                    << "domains=5 threads=" << threads;
+    }
+    {
+        const unsigned numNodes = 7;
+        const RingResult plain = runRing({}, 1, 1, numNodes, hops);
+        const std::vector<std::vector<unsigned>> labelings = {
+            {0, 1, 2, 3, 4, 5, 6}, // one node per domain, in order
+            {5, 2, 6, 0, 3, 1, 4}, // shuffled labels
+        };
+        for (const auto &domainOf : labelings)
+            for (unsigned threads : {1u, 2u, 4u, 7u, 11u})
+                EXPECT_EQ(plain.journals,
+                          runRing(domainOf, 7, threads, numNodes, hops)
+                              .journals)
+                    << "domains=7 threads=" << threads;
+    }
+}
+
+namespace
+{
+
+/** Ticks every cycle for @p n cycles, then goes idle forever. */
+class BusyLoop : public Ticked
+{
+  public:
+    BusyLoop(const Clock &clk, unsigned n)
+        : Ticked("busy"), clk_(clk), remaining_(n)
+    {
+    }
+
+    void
+    tick() override
+    {
+        if (remaining_ > 0) {
+            --remaining_;
+            journal.push_back(clk_.now());
+        }
+    }
+
+    bool active() const override { return remaining_ > 0; }
+
+    std::vector<Cycle> journal;
+
+  private:
+    const Clock &clk_;
+    unsigned remaining_;
+};
+
+/** One far-future self-armed tick: idle until @p due, tick once, done. */
+class Sleeper : public Ticked
+{
+  public:
+    Sleeper(const Clock &clk, Cycle due)
+        : Ticked("sleeper"), clk_(clk), due_(due)
+    {
+    }
+
+    void tick() override { journal.push_back(clk_.now()); }
+    bool active() const override { return false; }
+
+    Cycle
+    wakeAt() const override
+    {
+        return clk_.now() < due_ ? due_ : kCycleNever;
+    }
+
+    std::vector<Cycle> journal;
+
+  private:
+    const Clock &clk_;
+    const Cycle due_;
+};
+
+struct IdleResult
+{
+    std::vector<Cycle> busy, sleeper;
+    std::uint64_t run1 = 0, skipped1 = 0, barriers = 0;
+};
+
+IdleResult
+runIdleTopology(bool windowed, unsigned hostThreads)
+{
+    constexpr unsigned kBusyCycles = 600;
+    constexpr Cycle kDue = 5000;
+    Simulator sim;
+    if (windowed) {
+        sim.configureDomains(2);
+        sim.setHostThreads(hostThreads);
+        // Sparse topology: links declared both ways, but no traffic ever
+        // staged — the window bound still derives from the matrix.
+        sim.registerCrossDomainLink(0, 1, 4, [] {}, "fwd");
+        sim.registerCrossDomainLink(1, 0, 4, [] {}, "rev");
+    }
+    BusyLoop busy(sim.domainClock(0), kBusyCycles);
+    sim.addTicked(&busy, 0);
+    Sleeper sleeper(sim.domainClock(windowed ? 1 : 0), kDue);
+    sim.addTicked(&sleeper, windowed ? 1 : 0);
+    sim.run([&] { return sleeper.journal.size() >= 2; }, 20'000);
+    IdleResult r;
+    r.busy = busy.journal;
+    r.sleeper = sleeper.journal;
+    if (windowed) {
+        r.run1 = sim.domainWindowsRun(1);
+        r.skipped1 = sim.domainWindowsSkipped(1);
+        r.barriers = sim.windowBarriers();
+    }
+    return r;
+}
+
+} // namespace
+
+TEST(PdesDomains, IdleDomainSkipsWindowsAndFastForwardsGaps)
+{
+    // Regression for the idle-window fast path: a domain whose next event
+    // is thousands of cycles out must (a) skip the windows it has nothing
+    // to do in, (b) not drag the coordinator through the dead gap one
+    // lookahead at a time once EVERY domain is idle, and (c) change no
+    // simulated result while doing either.
+    const IdleResult plain = runIdleTopology(false, 1);
+    EXPECT_EQ(plain.sleeper, (std::vector<Cycle>{0, 5000}));
+    ASSERT_EQ(plain.busy.size(), 600u);
+
+    const IdleResult one = runIdleTopology(true, 1);
+    EXPECT_EQ(one.busy, plain.busy);
+    EXPECT_EQ(one.sleeper, plain.sleeper);
+    // ~150 four-cycle windows while the busy domain grinds: the sleeping
+    // domain must skip nearly all of them and run only a handful.
+    EXPECT_GT(one.skipped1, 100u);
+    EXPECT_LE(one.run1, 4u);
+    // Crawling the 600..5000 gap window by window would cost ~1100 extra
+    // barriers; the global-next jump must take it in one.
+    EXPECT_LT(one.barriers, 400u);
+
+    // The accounting itself is part of the deterministic schedule: a
+    // second host thread replays the same windows, skips, and barriers.
+    const IdleResult two = runIdleTopology(true, 2);
+    EXPECT_EQ(two.busy, plain.busy);
+    EXPECT_EQ(two.sleeper, plain.sleeper);
+    EXPECT_EQ(two.run1, one.run1);
+    EXPECT_EQ(two.skipped1, one.skipped1);
+    EXPECT_EQ(two.barriers, one.barriers);
 }
 
 namespace

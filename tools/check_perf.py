@@ -83,7 +83,13 @@ def main():
         except (TypeError, ValueError):
             return 0
 
-    def check_pool_speedup(bench, field):
+    def worker_threads(row):
+        try:
+            return int(row.get("workerThreads", 0))
+        except (TypeError, ValueError):
+            return 0
+
+    def check_pool_speedup(bench, field, need_workers=False):
         base_rows = [r for r in baseline if r.get("bench") == bench]
         fresh_rows = [r for r in fresh if r.get("bench") == bench]
         for row in fresh_rows:
@@ -102,6 +108,19 @@ def main():
                       "worker pool cannot speed up a 1-CPU box, so this "
                       "comparison is unmeasurable here — NOT a pass)")
                 continue
+            if need_workers and (got_hc < worker_threads(row)
+                                 or want_hc < worker_threads(base)):
+                # A PDES run at N host threads is only a fair speedup
+                # measurement on a host with >= N hardware threads; an
+                # oversubscribed point says nothing about the kernel.
+                which = ("fresh"
+                         if got_hc < worker_threads(row) else "baseline")
+                print(f"{label:32s} {field} SKIPPED "
+                      f"(hostConcurrency < workerThreads on the {which} "
+                      "host: this point needs "
+                      f"{worker_threads(row)} hardware threads to be "
+                      "measurable — NOT a pass)")
+                continue
             got = float(row[field])
             want = float(base[field])
             floor = want * (1.0 - tolerance)
@@ -114,7 +133,7 @@ def main():
                     f"{tolerance:.0%} below the baseline {want:.2f}x")
 
     check_pool_speedup("batch_throughput", "poolSpeedup")
-    check_pool_speedup("pdes_compare", "pdesSpeedup")
+    check_pool_speedup("pdes_compare", "pdesSpeedup", need_workers=True)
 
     if failures:
         print("\nperf-smoke FAILED:")

@@ -10,8 +10,8 @@
  *               [--mem=inline|timed] [--mshrs=N] [--bus-bytes=N]
  *               [--mem-occupancy=N] [--sched-shards=N] [--clusters=N]
  *               [--steal=on|off] [--host-threads=N]
- *               [--pdes=auto|off|force] [--nested] [--stats]
- *               [--trace=FILE.json]
+ *               [--pdes=auto|off|force] [--pdes-domains=auto|N]
+ *               [--nested] [--stats] [--trace=FILE.json]
  *
  *   NAME: a Figure-9 input label substring, e.g. "blackscholes 4K B8",
  *         one of: task-free, task-chain, or a nested workload:
@@ -38,6 +38,12 @@
  *           (same windowed schedule, for determinism diffs); off never
  *           partitions. Single-Picos topologies always fall back to the
  *           sequential kernel.
+ *   --pdes-domains: PDES domain count (default auto = derive from the
+ *           topology: cores | one domain per cluster manager | the
+ *           scheduler). N >= 2 requests exactly N domains, clamped to
+ *           2 + clusters. Results are bit-identical for any value and
+ *           any --host-threads; the count never depends on the thread
+ *           count, only on the simulated topology.
  *
  * --stats / --trace need the simulated System inspectable after the run,
  * so they force the single-workload in-process path.
@@ -414,6 +420,22 @@ main(int argc, char **argv)
                          pdes->c_str());
             return 1;
         }
+    }
+    if (auto pd = argValue(argc, argv, "--pdes-domains")) {
+        if (*pd == "auto") {
+            hp.system.pdes.domains = 0;
+        } else if (!parseCountFlag(argc, argv, "--pdes-domains", 2, 258,
+                                   hp.system.pdes.domains)) {
+            return 1;
+        }
+    }
+    if (hp.system.pdes.partition == cpu::PdesParams::Partition::Off &&
+        hp.system.pdes.hostThreads > 1) {
+        std::fprintf(stderr,
+                     "warning: --host-threads=%u is ignored with "
+                     "--pdes=off (the unpartitioned kernel is "
+                     "sequential)\n",
+                     hp.system.pdes.hostThreads);
     }
 
     unsigned jobs = 0;
