@@ -13,13 +13,15 @@
  *     saturation of Figures 9/10 comes from.
  *
  * Each section prints the measured effect on Phentos lifetime overhead
- * or application speedup.
+ * or application speedup. Every knob is a spec::RunSpec field
+ * (rocc-latency, core-ready-depth, bandwidth-alpha), so each row is
+ * reproducible with `picosim_run` flags.
  */
 
 #include <cstdio>
 
-#include "apps/workloads.hh"
 #include "bench/bench_util.hh"
+#include "spec/engine.hh"
 
 using namespace picosim;
 using namespace picosim::bench;
@@ -27,22 +29,31 @@ using namespace picosim::bench;
 namespace
 {
 
+/** Lifetime overhead of @p base with the workload pinned to the
+ *  near-empty task-free stream on one core. */
 double
-overheadWith(const rt::HarnessParams &hp)
+overheadWith(spec::RunSpec base)
 {
-    const rt::Program prog =
-        apps::taskFree(quickMode() ? 64 : 256, 1, 10);
-    rt::HarnessParams p = hp;
-    p.numCores = 1;
-    const auto r = rt::runProgram(rt::RuntimeKind::Phentos, prog, p);
+    base.workload = "task-free";
+    base.wl = {{"tasks", quickMode() ? 64u : 256u},
+               {"deps", 1},
+               {"payload", 10}};
+    base.runtime = rt::RuntimeKind::Phentos;
+    base.cores = 1;
+    base.canonicalize();
+    const auto r = spec::Engine::run(base);
     return r.completed ? r.overheadPerTask() : -1.0;
 }
 
 double
-speedupWith(const rt::HarnessParams &hp, const rt::Program &prog)
+speedupWith(spec::RunSpec s)
 {
-    const auto serial = rt::runProgram(rt::RuntimeKind::Serial, prog, hp);
-    const auto par = rt::runProgram(rt::RuntimeKind::Phentos, prog, hp);
+    s.canonicalize();
+    spec::RunSpec serialSpec = s;
+    serialSpec.runtime = rt::RuntimeKind::Serial;
+    const auto serial = spec::Engine::run(serialSpec);
+    s.runtime = rt::RuntimeKind::Phentos;
+    const auto par = spec::Engine::run(s);
     if (!serial.completed || !par.completed)
         return -1.0;
     return static_cast<double>(serial.cycles) /
@@ -58,11 +69,11 @@ main()
                 "(RoCC=2 ... AXI-like)\n");
     std::printf("%-14s %14s %14s\n", "latency/instr", "Lo (cycles)",
                 "vs tight");
-    const double tight = overheadWith(rt::HarnessParams{});
+    const double tight = overheadWith(spec::RunSpec{});
     for (Cycle lat : {2u, 8u, 20u, 50u, 120u, 160u}) {
-        rt::HarnessParams hp;
-        hp.system.hartApi.roccLatency = lat;
-        const double lo = overheadWith(hp);
+        spec::RunSpec s;
+        s.roccLatency = lat;
+        const double lo = overheadWith(s);
         std::printf("%-14llu %14.0f %13.2fx\n",
                     static_cast<unsigned long long>(lat), lo, lo / tight);
     }
@@ -71,12 +82,13 @@ main()
 
     std::printf("# Ablation B: per-core ready queue depth "
                 "(fine-grain blackscholes speedup)\n");
-    const rt::Program fine = apps::blackscholes(4096, 8);
     std::printf("%-8s %10s\n", "depth", "speedup");
     for (unsigned depth : {1u, 2u, 4u, 8u}) {
-        rt::HarnessParams hp;
-        hp.system.manager.coreReadyQueueDepth = depth;
-        std::printf("%-8u %9.2fx\n", depth, speedupWith(hp, fine));
+        spec::RunSpec s;
+        s.workload = "blackscholes";
+        s.wl = {{"options", 4096}, {"block", 8}};
+        s.coreReadyDepth = depth;
+        std::printf("%-8u %9.2fx\n", depth, speedupWith(s));
     }
     std::printf("\n");
 
@@ -84,14 +96,14 @@ main()
     // Model the single-packet ISA by tripling the per-instruction cost of
     // the submission stream: 3 instructions instead of 1 per triple.
     {
-        const double triple = overheadWith(rt::HarnessParams{});
-        rt::HarnessParams hp;
+        const double triple = overheadWith(spec::RunSpec{});
+        spec::RunSpec s;
         // A 1-dep task streams 6 packets: 2 triple-instructions (4
         // cycles) vs 6 single-packet instructions (12 cycles), plus the
-        // loop overhead per instruction. Emulate by raising roccLatency
+        // loop overhead per instruction. Emulate by raising rocc-latency
         // for the whole submission stream proportionally.
-        hp.system.hartApi.roccLatency = 6; // 3x the stream cost
-        const double single = overheadWith(hp);
+        s.roccLatency = 6; // 3x the stream cost
+        const double single = overheadWith(s);
         std::printf("triple-submit Lo %.0f, single-packet-equivalent Lo "
                     "%.0f (+%.0f%%)\n",
                     triple, single, (single / triple - 1.0) * 100.0);
@@ -100,13 +112,14 @@ main()
 
     std::printf("# Ablation D: memory-bandwidth ceiling (coarse tasks, "
                 "8 cores)\n");
-    const rt::Program coarse = apps::taskFree(64, 1, 500'000);
     std::printf("%-8s %10s %16s\n", "alpha", "speedup", "ideal ceiling");
     for (double alpha : {0.0, 0.029, 0.058, 0.116}) {
-        rt::HarnessParams hp;
-        hp.system.bandwidthAlpha = alpha;
-        std::printf("%-8.3f %9.2fx %15.2fx\n", alpha,
-                    speedupWith(hp, coarse), 8.0 / (1.0 + 7.0 * alpha));
+        spec::RunSpec s;
+        s.workload = "task-free";
+        s.wl = {{"tasks", 64}, {"deps", 1}, {"payload", 500'000}};
+        s.bandwidthAlpha = alpha;
+        std::printf("%-8.3f %9.2fx %15.2fx\n", alpha, speedupWith(s),
+                    8.0 / (1.0 + 7.0 * alpha));
     }
     std::printf("# alpha = 0.058 reproduces the paper's ~5.7x "
                 "saturation.\n");

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "runtime/harness.hh"
+#include "spec/engine.hh"
+#include "spec/run_spec.hh"
 
 namespace picosim::bench
 {
@@ -133,6 +135,19 @@ stampHost(BenchJson &json, unsigned workerThreads = 1)
     json.field("workerThreads", std::uint64_t{workerThreads});
 }
 
+/**
+ * Stamp the serialized RunSpec that produced the current row into @p
+ * json. The single-line canonical form parses back bit-exactly, so any
+ * BENCH_*.json row can be replayed with `picosim_run --spec` (the
+ * serialize() output never contains newlines, which BenchJson's escaper
+ * does not handle).
+ */
+inline void
+stampSpec(BenchJson &json, const spec::RunSpec &spec)
+{
+    json.field("spec", spec.serialize());
+}
+
 /** Geometric mean of positive values. */
 inline double
 geomean(const std::vector<double> &values)
@@ -153,18 +168,30 @@ quickMode()
     return env && *env && *env != '0';
 }
 
+/** A canonical RunSpec for @p workload with @p args under @p kind on
+ *  the default machine — the shared shorthand of the bench drivers. */
+inline spec::RunSpec
+canonicalSpec(const std::string &workload, spec::WorkloadArgs args,
+              rt::RuntimeKind kind = rt::RuntimeKind::Phentos)
+{
+    spec::RunSpec s;
+    s.workload = workload;
+    s.wl = std::move(args);
+    s.runtime = kind;
+    s.canonicalize();
+    return s;
+}
+
 /**
  * Measure the Figure 7 lifetime-overhead metric: single-core run (the
  * measuring thread both generates and executes tasks, as in the paper's
  * deadlock discussion), near-empty payloads, overhead = wall / tasks.
  */
 inline double
-lifetimeOverhead(rt::RuntimeKind kind, const rt::Program &prog,
-                 const rt::HarnessParams &base = {})
+lifetimeOverhead(spec::RunSpec s)
 {
-    rt::HarnessParams hp = base;
-    hp.numCores = 1;
-    const rt::RunResult res = rt::runProgram(kind, prog, hp);
+    s.cores = 1;
+    const rt::RunResult res = spec::Engine::run(s);
     if (!res.completed) {
         std::fprintf(stderr, "warning: %s did not complete %s\n",
                      res.runtime.c_str(), res.program.c_str());

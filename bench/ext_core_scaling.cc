@@ -7,12 +7,13 @@
  * cores on a fine-grained workload and report speedups: Phentos should
  * keep scaling while Nanos-SW flatlines at its scheduling throughput
  * (Meenderinck & Juurlink's observation, here reproduced end to end).
+ * The sweep is expressed as spec::RunSpec mutations over one base spec.
  */
 
 #include <cstdio>
 
-#include "apps/workloads.hh"
 #include "bench/bench_util.hh"
+#include "spec/engine.hh"
 
 using namespace picosim;
 using namespace picosim::bench;
@@ -22,7 +23,11 @@ main()
 {
     // ~8700-cycle tasks: coarse enough for serial to matter, fine enough
     // that a software scheduler saturates before 16 cores.
-    const rt::Program prog = apps::blackscholes(8192, 16);
+    spec::RunSpec base;
+    base.workload = "blackscholes";
+    base.wl = {{"options", 8192}, {"block", 16}};
+    base.canonicalize();
+    const rt::Program prog = spec::Engine::buildProgram(base);
     std::printf("# Extension: core-count scaling, %s "
                 "(%llu tasks, %.0f cycles each)\n",
                 prog.name.c_str(),
@@ -31,15 +36,16 @@ main()
     std::printf("%-6s %10s %10s %10s\n", "cores", "Nanos-SW", "Nanos-RV",
                 "Phentos");
 
-    rt::HarnessParams base;
-    const auto serial =
-        rt::runProgram(rt::RuntimeKind::Serial, prog, base);
+    spec::RunSpec serialSpec = base;
+    serialSpec.runtime = rt::RuntimeKind::Serial;
+    const auto serial = spec::Engine::run(serialSpec);
 
     for (unsigned cores : {1u, 2u, 4u, 8u, 12u, 16u}) {
-        rt::HarnessParams hp;
-        hp.numCores = cores;
         const auto speedup = [&](rt::RuntimeKind kind) {
-            const auto r = rt::runProgram(kind, prog, hp);
+            spec::RunSpec s = base;
+            s.runtime = kind;
+            s.cores = cores;
+            const auto r = spec::Engine::run(s);
             return r.completed ? static_cast<double>(serial.cycles) /
                                      static_cast<double>(r.cycles)
                                : 0.0;
@@ -61,14 +67,13 @@ main()
     std::printf("%-6s %14s %14s %9s\n", "cores", "inline", "timed",
                 "diff%");
     for (unsigned cores : {2u, 8u, 16u}) {
-        rt::HarnessParams hp;
-        hp.numCores = cores;
-        hp.system.mem.mode = mem::MemMode::Inline;
-        const auto ri =
-            rt::runProgram(rt::RuntimeKind::NanosSW, prog, hp);
-        hp.system.mem.mode = mem::MemMode::Timed;
-        const auto rtm =
-            rt::runProgram(rt::RuntimeKind::NanosSW, prog, hp);
+        spec::RunSpec s = base;
+        s.runtime = rt::RuntimeKind::NanosSW;
+        s.cores = cores;
+        s.mem = mem::MemMode::Inline;
+        const auto ri = spec::Engine::run(s);
+        s.mem = mem::MemMode::Timed;
+        const auto rtm = spec::Engine::run(s);
         const double diff =
             ri.cycles == 0
                 ? 0.0

@@ -10,7 +10,6 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "apps/workloads.hh"
 #include "bench/bench_util.hh"
 #include "bench/fig_common.hh"
 
@@ -48,14 +47,17 @@ int
 main()
 {
     const unsigned n = quickMode() ? 64 : 256;
-    const rt::Program chain = apps::taskChain(n, 1, 10);
+    const spec::RunSpec chain = canonicalSpec(
+        "task-chain", {{"tasks", n}, {"deps", 1}, {"payload", 10}});
 
-    const double lo_ph =
-        lifetimeOverhead(rt::RuntimeKind::Phentos, chain);
-    const double lo_rv =
-        lifetimeOverhead(rt::RuntimeKind::NanosRV, chain);
-    const double lo_sw =
-        lifetimeOverhead(rt::RuntimeKind::NanosSW, chain);
+    const auto loOf = [&](rt::RuntimeKind kind) {
+        spec::RunSpec s = chain;
+        s.runtime = kind;
+        return lifetimeOverhead(s);
+    };
+    const double lo_ph = loOf(rt::RuntimeKind::Phentos);
+    const double lo_rv = loOf(rt::RuntimeKind::NanosRV);
+    const double lo_sw = loOf(rt::RuntimeKind::NanosSW);
 
     const auto rows = runFigure9Matrix();
 

@@ -12,7 +12,6 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "apps/workloads.hh"
 #include "bench/bench_util.hh"
 
 using namespace picosim;
@@ -22,7 +21,8 @@ int
 main()
 {
     const unsigned n = quickMode() ? 64 : 256;
-    const rt::Program chain = apps::taskChain(n, 1, 10);
+    const spec::RunSpec chain = canonicalSpec(
+        "task-chain", {{"tasks", n}, {"deps", 1}, {"payload", 10}});
 
     const rt::RuntimeKind kinds[] = {
         rt::RuntimeKind::Phentos,
@@ -32,8 +32,11 @@ main()
     };
 
     double lo[4];
-    for (unsigned k = 0; k < 4; ++k)
-        lo[k] = lifetimeOverhead(kinds[k], chain);
+    for (unsigned k = 0; k < 4; ++k) {
+        spec::RunSpec s = chain;
+        s.runtime = kinds[k];
+        lo[k] = lifetimeOverhead(s);
+    }
 
     std::printf("# Figure 6: MTT-derived maximum speedup, 8 cores\n");
     std::printf("# MS(t) = min(t / Lo, 8); Lo from Task-Chain (1 dep)\n");

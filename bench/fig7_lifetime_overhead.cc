@@ -14,7 +14,6 @@
 
 #include <cstdio>
 
-#include "apps/workloads.hh"
 #include "bench/bench_util.hh"
 
 using namespace picosim;
@@ -23,18 +22,30 @@ int
 main()
 {
     const unsigned n = bench::quickMode() ? 64 : 256;
-    const Cycle payload = 10; // near-empty task bodies
+    const std::uint64_t payload = 10; // near-empty task bodies
 
     struct Col
     {
         const char *label;
-        rt::Program prog;
+        spec::RunSpec spec;
     };
     Col cols[] = {
-        {"Task-Free 1dep", apps::taskFree(n, 1, payload)},
-        {"Task-Free 15deps", apps::taskFree(n, 15, payload)},
-        {"Task-Chain 1dep", apps::taskChain(n, 1, payload)},
-        {"Task-Chain 15deps", apps::taskChain(n, 15, payload)},
+        {"Task-Free 1dep",
+         bench::canonicalSpec("task-free", {{"tasks", n},
+                                            {"deps", 1},
+                                            {"payload", payload}})},
+        {"Task-Free 15deps",
+         bench::canonicalSpec("task-free", {{"tasks", n},
+                                            {"deps", 15},
+                                            {"payload", payload}})},
+        {"Task-Chain 1dep",
+         bench::canonicalSpec("task-chain", {{"tasks", n},
+                                             {"deps", 1},
+                                             {"payload", payload}})},
+        {"Task-Chain 15deps",
+         bench::canonicalSpec("task-chain", {{"tasks", n},
+                                             {"deps", 15},
+                                             {"payload", payload}})},
     };
     const rt::RuntimeKind kinds[] = {
         rt::RuntimeKind::Phentos,
@@ -55,8 +66,9 @@ main()
                 "measured", "paper", "ratio");
     for (unsigned k = 0; k < 4; ++k) {
         for (unsigned c = 0; c < 4; ++c) {
-            const double lo =
-                bench::lifetimeOverhead(kinds[k], cols[c].prog);
+            spec::RunSpec s = cols[c].spec;
+            s.runtime = kinds[k];
+            const double lo = bench::lifetimeOverhead(s);
             std::printf("%-10s %-18s %12.0f %12.0f %8.2f\n",
                         std::string(rt::kindName(kinds[k])).c_str(),
                         cols[c].label, lo, paper[k][c],

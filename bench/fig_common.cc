@@ -4,6 +4,7 @@
 
 #include "apps/workloads.hh"
 #include "bench/bench_util.hh"
+#include "spec/engine.hh"
 
 namespace picosim::bench
 {
@@ -20,57 +21,63 @@ runFigure9Matrix(bool progress, unsigned threads)
         rt::RuntimeKind::NanosRV, rt::RuntimeKind::Phentos};
 
     std::vector<MatrixRow> rows;
-    std::vector<rt::Program> progs;
+    std::vector<spec::RunSpec> specs;
     unsigned index = 0;
     for (const auto &input : inputs) {
         ++index;
         if (quick && index % 3 != 1)
             continue; // subsample in quick mode
 
-        rt::Program prog = input.build();
+        spec::RunSpec base;
+        base.workload = input.program;
+        base.wl = input.args;
+        base.canonicalize();
 
         MatrixRow row;
         row.program = input.program;
         row.label = input.label;
+        const rt::Program prog = spec::Engine::buildProgram(base);
         row.tasks = prog.numTasks();
         row.meanTaskSize = prog.meanTaskSize();
+        for (rt::RuntimeKind kind : kinds) {
+            spec::RunSpec s = base;
+            s.runtime = kind;
+            if (kind == rt::RuntimeKind::Phentos)
+                row.spec = s.serialize();
+            specs.push_back(std::move(s));
+        }
         rows.push_back(std::move(row));
-        progs.push_back(std::move(prog));
     }
 
-    const auto onResult = [&](std::size_t p, std::size_t k,
-                              const rt::RunResult &res) {
+    const auto onResult = [&](std::size_t j, const rt::RunResult &res) {
         if (progress) {
-            std::fprintf(stderr, "  [%3zu/%zu] %s %s %s done\n",
-                         p * kinds.size() + k + 1,
-                         progs.size() * kinds.size(),
-                         rows[p].program.c_str(), rows[p].label.c_str(),
-                         res.runtime.c_str());
+            const std::size_t p = j / kinds.size();
+            std::fprintf(stderr, "  [%3zu/%zu] %s %s %s done\n", j + 1,
+                         specs.size(), rows[p].program.c_str(),
+                         rows[p].label.c_str(), res.runtime.c_str());
         }
     };
-    const auto results =
-        rt::runMatrix(progs, kinds, rt::HarnessParams{}, threads, onResult);
+    const auto results = spec::Engine::runBatch(specs, threads, onResult);
 
-    for (std::size_t p = 0; p < rows.size(); ++p) {
-        for (std::size_t k = 0; k < kinds.size(); ++k) {
-            const rt::RunResult &res = results[p][k];
-            const Cycle cycles = res.completed ? res.cycles : 0;
-            switch (kinds[k]) {
-              case rt::RuntimeKind::Serial:
-                rows[p].serialCycles = cycles;
-                break;
-              case rt::RuntimeKind::NanosSW:
-                rows[p].nanosSw = cycles;
-                break;
-              case rt::RuntimeKind::NanosRV:
-                rows[p].nanosRv = cycles;
-                break;
-              case rt::RuntimeKind::Phentos:
-                rows[p].phentos = cycles;
-                break;
-              case rt::RuntimeKind::NanosAXI:
-                break; // not part of the Figure 9 matrix
-            }
+    for (std::size_t j = 0; j < results.size(); ++j) {
+        const rt::RunResult &res = results[j];
+        MatrixRow &row = rows[j / kinds.size()];
+        const Cycle cycles = res.completed ? res.cycles : 0;
+        switch (specs[j].runtime) {
+          case rt::RuntimeKind::Serial:
+            row.serialCycles = cycles;
+            break;
+          case rt::RuntimeKind::NanosSW:
+            row.nanosSw = cycles;
+            break;
+          case rt::RuntimeKind::NanosRV:
+            row.nanosRv = cycles;
+            break;
+          case rt::RuntimeKind::Phentos:
+            row.phentos = cycles;
+            break;
+          case rt::RuntimeKind::NanosAXI:
+            break; // not part of the Figure 9 matrix
         }
     }
     return rows;

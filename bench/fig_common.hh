@@ -19,6 +19,9 @@ struct MatrixRow
 {
     std::string program;
     std::string label;
+    /** Canonical serialized RunSpec of the Phentos variant of this row
+     *  (the headline runtime); replayable with `picosim_run --spec`. */
+    std::string spec;
     std::uint64_t tasks = 0;
     double meanTaskSize = 0.0;
     Cycle serialCycles = 0;

@@ -20,6 +20,10 @@
  *     the wall ratios show what intra-run threading buys on this host.
  *     The 32-core sparselu point is the ROADMAP scaling target.
  *
+ * Every experiment is described as a spec::RunSpec mutation and executed
+ * through spec::Engine, and each BENCH json row carries the serialized
+ * spec that produced it (replayable with `picosim_run --spec`).
+ *
  * `--quick` (or PICOSIM_QUICK=1) subsamples the sweeps for CI.
  */
 
@@ -35,10 +39,10 @@
 #include <utility>
 #include <vector>
 
-#include "apps/workloads.hh"
 #include "bench/bench_util.hh"
 #include "bench/fig_common.hh"
 #include "cpu/system.hh"
+#include "spec/engine.hh"
 
 using namespace picosim;
 
@@ -56,12 +60,12 @@ wallSeconds(const std::function<void()> &fn)
 
 void
 compareModes(bench::BenchJson &json, const char *label,
-             const rt::Program &prog, rt::RuntimeKind kind, unsigned repeats)
+             const spec::RunSpec &base, unsigned repeats)
 {
-    rt::HarnessParams event;
-    event.system.evalMode = sim::EvalMode::EventDriven;
-    rt::HarnessParams world;
-    world.system.evalMode = sim::EvalMode::TickWorld;
+    spec::RunSpec event = base;
+    event.mode = sim::EvalMode::EventDriven;
+    spec::RunSpec world = base;
+    world.mode = sim::EvalMode::TickWorld;
 
     // Min-of-N: both modes are CPU-bound and deterministic, so the floor
     // of several runs is the honest wall time on a shared machine.
@@ -69,9 +73,9 @@ compareModes(bench::BenchJson &json, const char *label,
     double te = 0.0, tw = 0.0;
     for (unsigned r = 0; r < repeats; ++r) {
         const double e =
-            wallSeconds([&] { re = rt::runProgram(kind, prog, event); });
+            wallSeconds([&] { re = spec::Engine::run(event); });
         const double w =
-            wallSeconds([&] { rw = rt::runProgram(kind, prog, world); });
+            wallSeconds([&] { rw = spec::Engine::run(world); });
         te = r == 0 ? e : std::min(te, e);
         tw = r == 0 ? w : std::min(tw, w);
     }
@@ -100,6 +104,7 @@ compareModes(bench::BenchJson &json, const char *label,
     json.field("wallEventSec", te);
     json.field("wallWorldSec", tw);
     json.field("wallSpeedup", te > 0 ? tw / te : 0.0);
+    bench::stampSpec(json, event);
     bench::stampHost(json);
 }
 
@@ -125,28 +130,19 @@ struct PdesRun
     }
 };
 
-/** One forced-partition PDES run (auto domain count from the topology). */
+/** One forced-partition PDES run of @p s (pdes=force is set by the
+ *  sweep), keeping the System inspectable for the window counters. */
 PdesRun
-runPdes(const rt::Program &prog, unsigned cores, unsigned shards,
-        unsigned clusters, unsigned hostThreads)
+runPdes(const spec::RunSpec &s)
 {
-    cpu::SystemParams sp;
-    sp.numCores = cores;
-    sp.topology.schedShards = shards;
-    sp.topology.clusters = clusters;
-    sp.pdes.partition = cpu::PdesParams::Partition::Force;
-    sp.pdes.hostThreads = hostThreads;
-    cpu::System sys(sp);
-    auto runtime = rt::makeRuntime(rt::RuntimeKind::Phentos, rt::CostModel{});
-    runtime->install(sys, prog);
-    sys.run(50'000'000'000ull);
+    const spec::InspectedRun run = spec::Engine::runInspected(s);
     PdesRun r;
-    r.cycles = sys.clock().now();
+    r.cycles = run.result.cycles;
     std::ostringstream dump;
-    sys.stats().dump(dump);
+    run.system->stats().dump(dump);
     r.dump = dump.str();
-    const sim::Simulator &sim = sys.simulator();
-    r.domains = sys.pdesDomains();
+    const sim::Simulator &sim = run.system->simulator();
+    r.domains = run.system->pdesDomains();
     r.windowBarriers = sim.windowBarriers();
     for (unsigned d = 0; d < r.domains; ++d) {
         r.windowsRun += sim.domainWindowsRun(d);
@@ -159,15 +155,15 @@ runPdes(const rt::Program &prog, unsigned cores, unsigned shards,
  *  1-thread floor (@p one, @p t1). Emits a pdes_compare row. */
 bool
 comparePdes(bench::BenchJson &json, const std::string &label,
-            const rt::Program &prog, unsigned cores, unsigned shards,
-            unsigned clusters, unsigned repeats, unsigned threads,
+            const spec::RunSpec &base, unsigned repeats, unsigned threads,
             const PdesRun &one, double t1)
 {
+    spec::RunSpec s = base;
+    s.hostThreads = threads;
     PdesRun rn;
     double tn = 0.0;
     for (unsigned r = 0; r < repeats; ++r) {
-        const double b = wallSeconds(
-            [&] { rn = runPdes(prog, cores, shards, clusters, threads); });
+        const double b = wallSeconds([&] { rn = runPdes(s); });
         tn = r == 0 ? b : std::min(tn, b);
     }
     const bool same = one == rn;
@@ -188,6 +184,7 @@ comparePdes(bench::BenchJson &json, const std::string &label,
     json.field("wallOneThreadSec", t1);
     json.field("wallMultiThreadSec", tn);
     json.field("pdesSpeedup", tn > 0 ? t1 / tn : 0.0);
+    bench::stampSpec(json, s);
     bench::stampHost(json, threads);
     return same;
 }
@@ -197,15 +194,21 @@ comparePdes(bench::BenchJson &json, const std::string &label,
  *  counts get an " hN" suffix. */
 bool
 sweepPdes(bench::BenchJson &json, const std::string &baseLabel,
-          const rt::Program &prog, unsigned cores, unsigned shards,
-          unsigned clusters, unsigned repeats,
+          const spec::RunSpec &workloadSpec, unsigned cores,
+          unsigned shards, unsigned clusters, unsigned repeats,
           const std::vector<unsigned> &threadCounts)
 {
+    spec::RunSpec base = workloadSpec;
+    base.cores = cores;
+    base.schedShards = shards;
+    base.clusters = clusters;
+    base.pdes = cpu::PdesParams::Partition::Force;
+    base.hostThreads = 1;
+
     PdesRun one;
     double t1 = 0.0;
     for (unsigned r = 0; r < repeats; ++r) {
-        const double a = wallSeconds(
-            [&] { one = runPdes(prog, cores, shards, clusters, 1); });
+        const double a = wallSeconds([&] { one = runPdes(base); });
         t1 = r == 0 ? a : std::min(t1, a);
     }
     std::printf("%-32s %llu domains, %llu windows run, %llu skipped, "
@@ -220,8 +223,7 @@ sweepPdes(bench::BenchJson &json, const std::string &baseLabel,
         const std::string label =
             threads == 2 ? baseLabel
                          : baseLabel + " h" + std::to_string(threads);
-        same = comparePdes(json, label, prog, cores, shards, clusters,
-                           repeats, threads, one, t1) &&
+        same = comparePdes(json, label, base, repeats, threads, one, t1) &&
                same;
     }
     return same;
@@ -252,28 +254,30 @@ main(int argc, char **argv)
 
     // Warm the process (allocator pools, lazy init, page faults) before
     // anything is timed, so the first measured row is not penalized.
-    {
-        rt::HarnessParams hp;
-        (void)rt::runProgram(rt::RuntimeKind::Phentos,
-                             apps::blackscholes(1024, 32), hp);
-    }
+    (void)spec::Engine::run(
+        bench::canonicalSpec("blackscholes", {{"options", 1024}, {"block", 32}}));
 
     // Figure 8 coarse-granularity points: most components quiescent most
     // cycles, the sweet spot for wake scheduling.
     compareModes(json, "blackscholes 4K B32 Phentos",
-                 apps::blackscholes(4096, 32), rt::RuntimeKind::Phentos,
+                 bench::canonicalSpec("blackscholes", {{"options", 4096}, {"block", 32}}),
                  repeats);
     compareModes(json, "blackscholes 4K B256 Phentos",
-                 apps::blackscholes(4096, 256), rt::RuntimeKind::Phentos,
+                 bench::canonicalSpec("blackscholes",
+                          {{"options", 4096}, {"block", 256}}),
                  repeats);
     compareModes(json, "task-free g=10k Phentos",
-                 apps::taskFree(256, 1, 10'000), rt::RuntimeKind::Phentos,
+                 bench::canonicalSpec("task-free",
+                          {{"tasks", 256}, {"deps", 1}, {"payload", 10'000}}),
                  repeats);
     compareModes(json, "task-free g=10k Nanos-RV",
-                 apps::taskFree(256, 1, 10'000), rt::RuntimeKind::NanosRV,
+                 bench::canonicalSpec("task-free",
+                          {{"tasks", 256}, {"deps", 1}, {"payload", 10'000}},
+                          rt::RuntimeKind::NanosRV),
                  repeats);
     compareModes(json, "task-chain g=1k Phentos",
-                 apps::taskChain(256, 1, 1'000), rt::RuntimeKind::Phentos,
+                 bench::canonicalSpec("task-chain",
+                          {{"tasks", 256}, {"deps", 1}, {"payload", 1'000}}),
                  repeats);
 
     const unsigned hostThreads =
@@ -315,16 +319,17 @@ main(int argc, char **argv)
 
     std::printf("\n== Conservative-PDES windowed kernel (forced "
                 "partition, auto domain count, host-thread sweep) ==\n");
-    bool pdes_same =
-        sweepPdes(json, "task-chain g=1k Phentos 4x4",
-                  apps::taskChain(256, 1, 1'000), 16, 4, 4, repeats,
-                  {2u, 4u, 8u});
+    bool pdes_same = sweepPdes(
+        json, "task-chain g=1k Phentos 4x4",
+        bench::canonicalSpec("task-chain",
+                 {{"tasks", 256}, {"deps", 1}, {"payload", 1'000}}),
+        16, 4, 4, repeats, {2u, 4u, 8u});
     // The ROADMAP scaling target: sparselu at 32 cores on the 4x4
     // fabric (the shard_scaling regression point). Heavier, so the
     // quick/CI run keeps only the h4 point.
     pdes_same = sweepPdes(json, "sparselu 12b 32c Phentos 4x4",
-                          apps::sparseLu(12, 24), 32, 4, 4,
-                          bench::quickMode() ? 1u : repeats,
+                          bench::canonicalSpec("sparselu", {{"nb", 12}, {"bs", 24}}),
+                          32, 4, 4, bench::quickMode() ? 1u : repeats,
                           bench::quickMode()
                               ? std::vector<unsigned>{4u}
                               : std::vector<unsigned>{2u, 4u, 8u}) &&

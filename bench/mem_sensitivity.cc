@@ -10,14 +10,16 @@
  * runtime's grows with the core count — the contention the paper's
  * argument rests on, now actually modeled.
  *
- * Emits BENCH_memsens.json alongside the table.
+ * Every configuration is a spec::RunSpec mutation run through
+ * spec::Engine; each BENCH json row carries the serialized spec of its
+ * timed-memory variant. Emits BENCH_memsens.json alongside the table.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "apps/workloads.hh"
 #include "bench/bench_util.hh"
+#include "spec/engine.hh"
 
 using namespace picosim;
 using namespace picosim::bench;
@@ -32,15 +34,18 @@ struct ModePair
 };
 
 ModePair
-runBoth(rt::RuntimeKind kind, const rt::Program &prog, unsigned cores)
+runBoth(const spec::RunSpec &base, rt::RuntimeKind kind, unsigned cores,
+        spec::RunSpec &timed_spec)
 {
     ModePair p;
-    rt::HarnessParams hp;
-    hp.numCores = cores;
-    hp.system.mem.mode = mem::MemMode::Inline;
-    p.inlineRes = rt::runProgram(kind, prog, hp);
-    hp.system.mem.mode = mem::MemMode::Timed;
-    p.timedRes = rt::runProgram(kind, prog, hp);
+    spec::RunSpec s = base;
+    s.runtime = kind;
+    s.cores = cores;
+    s.mem = mem::MemMode::Inline;
+    p.inlineRes = spec::Engine::run(s);
+    s.mem = mem::MemMode::Timed;
+    p.timedRes = spec::Engine::run(s);
+    timed_spec = s;
     return p;
 }
 
@@ -60,7 +65,11 @@ divergencePct(const ModePair &p)
 int
 main()
 {
-    const rt::Program prog = apps::taskFree(256, 1, 1000);
+    spec::RunSpec base;
+    base.workload = "task-free";
+    base.wl = {{"tasks", 256}, {"deps", 1}, {"payload", 1000}};
+    base.canonicalize();
+    const rt::Program prog = spec::Engine::buildProgram(base);
     const std::vector<unsigned> coreCounts =
         quickMode() ? std::vector<unsigned>{2u, 8u}
                     : std::vector<unsigned>{1u, 2u, 4u, 8u, 16u};
@@ -84,7 +93,8 @@ main()
     bool allCompleted = true;
     for (unsigned cores : coreCounts) {
         for (const auto &k : kinds) {
-            const ModePair p = runBoth(k.kind, prog, cores);
+            spec::RunSpec timedSpec;
+            const ModePair p = runBoth(base, k.kind, cores, timedSpec);
             allCompleted = allCompleted && p.inlineRes.completed &&
                            p.timedRes.completed;
             std::printf("%-6u %-10s %14llu %14llu %8.2f%% %12llu %12llu\n",
@@ -98,6 +108,7 @@ main()
                             p.timedRes.dramStallCycles));
             json.beginRow();
             bench::stampHost(json);
+            bench::stampSpec(json, timedSpec);
             json.field("bench", "mem_sensitivity");
             json.field("workload", prog.name);
             json.field("runtime", k.name);

@@ -9,12 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
-#include "apps/workloads.hh"
 #include "picos/picos.hh"
 #include "rocc/task_packets.hh"
 #include "runtime/harness.hh"
 #include "sim/clock.hh"
 #include "sim/stats.hh"
+#include "spec/engine.hh"
 
 using namespace picosim;
 
@@ -72,12 +72,14 @@ BENCHMARK(BM_PicosPipeline)->Arg(0)->Arg(1)->Arg(7)->Arg(15);
 void
 BM_RuntimeOverhead(benchmark::State &state)
 {
-    const auto kind = static_cast<rt::RuntimeKind>(state.range(0));
-    const rt::Program prog = apps::taskFree(64, 1, 10);
-    rt::HarnessParams hp;
-    hp.numCores = 1;
+    spec::RunSpec s;
+    s.workload = "task-free";
+    s.wl = {{"tasks", 64}, {"deps", 1}, {"payload", 10}};
+    s.runtime = static_cast<rt::RuntimeKind>(state.range(0));
+    s.cores = 1;
+    s.canonicalize();
     for (auto _ : state) {
-        const rt::RunResult res = rt::runProgram(kind, prog, hp);
+        const rt::RunResult res = spec::Engine::run(s);
         state.counters["overhead_cycles"] =
             benchmark::Counter(res.overheadPerTask());
     }
@@ -92,11 +94,12 @@ BENCHMARK(BM_RuntimeOverhead)
 void
 BM_SimulatorThroughput(benchmark::State &state)
 {
-    const rt::Program prog = apps::blackscholes(4096, 16);
-    rt::HarnessParams hp;
+    spec::RunSpec s;
+    s.workload = "blackscholes";
+    s.wl = {{"options", 4096}, {"block", 16}};
+    s.canonicalize();
     for (auto _ : state) {
-        const rt::RunResult res =
-            rt::runProgram(rt::RuntimeKind::Phentos, prog, hp);
+        const rt::RunResult res = spec::Engine::run(s);
         benchmark::DoNotOptimize(res.cycles);
     }
 }

@@ -10,6 +10,8 @@
  * worker-side submissions, and the sharded-fabric counters (gateway
  * waits, cross-shard edges, steals).
  *
+ * Every configuration is a spec::RunSpec mutation run through
+ * spec::Engine; each BENCH json row carries its serialized spec.
  * Emits BENCH_nested.json alongside the table.
  */
 
@@ -17,8 +19,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "apps/workloads.hh"
 #include "bench/bench_util.hh"
+#include "spec/engine.hh"
 
 using namespace picosim;
 using namespace picosim::bench;
@@ -35,15 +37,10 @@ struct Topo
 /** One configuration run, with its wall time (the BENCH json tracks the
  *  simulator's own perf trajectory across PRs, not just the makespans). */
 rt::RunResult
-runTopo(rt::RuntimeKind kind, const rt::Program &prog, unsigned cores,
-        const Topo &t, double &wall_sec)
+runTopo(const spec::RunSpec &s, double &wall_sec)
 {
-    rt::HarnessParams hp;
-    hp.numCores = cores;
-    hp.system.topology.schedShards = t.shards;
-    hp.system.topology.clusters = t.clusters;
     const auto t0 = std::chrono::steady_clock::now();
-    rt::RunResult r = rt::runWithSpeedup(kind, prog, hp);
+    rt::RunResult r = spec::Engine::runWithSpeedup(s);
     wall_sec = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - t0)
                    .count();
@@ -55,10 +52,14 @@ runTopo(rt::RuntimeKind kind, const rt::Program &prog, unsigned cores,
 int
 main()
 {
-    const std::vector<rt::Program> progs = {
-        apps::choleskyNested(12, 16),      // fork-join panels, real deps
-        apps::mergesortNested(16384, 256), // deep recursion, binary tree
-        apps::taskTree(4, 4, 1000),        // wide independent fan-out
+    const std::vector<spec::RunSpec> bases = {
+        // fork-join panels, real deps
+        canonicalSpec("cholesky-nested", {{"nb", 12}, {"bs", 16}}),
+        // deep recursion, binary tree
+        canonicalSpec("mergesort-nested", {{"n", 16384}, {"cutoff", 256}}),
+        // wide independent fan-out
+        canonicalSpec("task-tree",
+                     {{"fanout", 4}, {"depth", 4}, {"payload", 1000}}),
     };
     const std::vector<rt::RuntimeKind> kinds = {rt::RuntimeKind::Phentos,
                                                 rt::RuntimeKind::NanosRV};
@@ -69,7 +70,8 @@ main()
 
     BenchJson json("BENCH_nested.json");
     bool allCompleted = true;
-    for (const rt::Program &prog : progs) {
+    for (const spec::RunSpec &base : bases) {
+        const rt::Program prog = spec::Engine::buildProgram(base);
         std::printf("# Nested scaling: %s (%llu tasks, mean size %.0f "
                     "cycles)\n",
                     prog.name.c_str(),
@@ -84,9 +86,13 @@ main()
                 for (const Topo &t : topos) {
                     if (t.clusters > cores)
                         continue;
+                    spec::RunSpec s = base;
+                    s.runtime = kind;
+                    s.cores = cores;
+                    s.schedShards = t.shards;
+                    s.clusters = t.clusters;
                     double wallSec = 0.0;
-                    const rt::RunResult r =
-                        runTopo(kind, prog, cores, t, wallSec);
+                    const rt::RunResult r = runTopo(s, wallSec);
                     allCompleted = allCompleted && r.completed;
                     char topo[16];
                     std::snprintf(topo, sizeof topo, "%ux%u", t.shards,
@@ -106,6 +112,7 @@ main()
                         r.completed ? "" : "  INCOMPLETE");
                     json.beginRow();
                     bench::stampHost(json);
+                    bench::stampSpec(json, s);
                     json.field("bench", "nested_scaling");
                     json.field("workload", prog.name);
                     json.field("runtime", r.runtime);

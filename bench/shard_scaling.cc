@@ -20,6 +20,8 @@
  * sharded makespan is latency-induced (vs structural serialization) is
  * measured instead of guessed.
  *
+ * Every configuration is a spec::RunSpec mutation run through
+ * spec::Engine; each BENCH json row carries its serialized spec.
  * Emits BENCH_shard_scaling.json alongside the tables.
  */
 
@@ -28,8 +30,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "apps/workloads.hh"
 #include "bench/bench_util.hh"
+#include "spec/engine.hh"
 
 using namespace picosim;
 using namespace picosim::bench;
@@ -46,15 +48,10 @@ struct Topo
 /** One configuration run, with its wall time (the BENCH json tracks the
  *  simulator's own perf trajectory across PRs, not just the makespans). */
 rt::RunResult
-runTopo(const rt::Program &prog, unsigned cores, const Topo &t,
-        double &wall_sec)
+runSpecTimed(const spec::RunSpec &s, double &wall_sec)
 {
-    rt::HarnessParams hp;
-    hp.numCores = cores;
-    hp.system.topology.schedShards = t.shards;
-    hp.system.topology.clusters = t.clusters;
     const auto t0 = std::chrono::steady_clock::now();
-    rt::RunResult r = rt::runProgram(rt::RuntimeKind::Phentos, prog, hp);
+    rt::RunResult r = spec::Engine::run(s);
     wall_sec = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - t0)
                    .count();
@@ -66,9 +63,11 @@ runTopo(const rt::Program &prog, unsigned cores, const Topo &t,
 int
 main()
 {
-    const std::vector<rt::Program> progs = {
-        apps::blackscholes(16384, 16), // fine-grained, independent
-        apps::sparseLu(12, 24),        // real dependence graph
+    const std::vector<spec::RunSpec> bases = {
+        // fine-grained, independent
+        canonicalSpec("blackscholes", {{"options", 16384}, {"block", 16}}),
+        // real dependence graph
+        canonicalSpec("sparselu", {{"nb", 12}, {"bs", 24}}),
     };
     const std::vector<unsigned> coreCounts =
         quickMode() ? std::vector<unsigned>{8u, 32u}
@@ -77,7 +76,8 @@ main()
 
     BenchJson json("BENCH_shard_scaling.json");
     bool allCompleted = true;
-    for (const rt::Program &prog : progs) {
+    for (const spec::RunSpec &base : bases) {
+        const rt::Program prog = spec::Engine::buildProgram(base);
         std::printf("# Shard scaling: %s (%llu tasks, %.0f cycles each), "
                     "Phentos\n",
                     prog.name.c_str(),
@@ -90,8 +90,12 @@ main()
             for (const Topo &t : topos) {
                 if (t.clusters > cores)
                     continue;
+                spec::RunSpec s = base;
+                s.cores = cores;
+                s.schedShards = t.shards;
+                s.clusters = t.clusters;
                 double wallSec = 0.0;
-                const rt::RunResult r = runTopo(prog, cores, t, wallSec);
+                const rt::RunResult r = runSpecTimed(s, wallSec);
                 allCompleted = allCompleted && r.completed;
                 char topo[16];
                 std::snprintf(topo, sizeof topo, "%ux%u", t.shards,
@@ -114,6 +118,7 @@ main()
                             r.completed ? "" : "  INCOMPLETE");
                 json.beginRow();
                 stampHost(json);
+                stampSpec(json, s);
                 json.field("bench", "shard_scaling");
                 json.field("workload", prog.name);
                 json.field("cores", std::uint64_t{cores});
@@ -142,37 +147,33 @@ main()
     // -- Cross-shard edge-latency sensitivity (named scenario) ----------
     // Fixed workload/topology (the regression point: sparselu at 32
     // cores on 4x4), sweeping the fabric's cross-shard costs together:
-    // clusterLinkCycles = L, xshardDepCycles = L, xshardNotifyCycles =
-    // 2L. L = 2 is the default configuration, reproducing the main
-    // table's row exactly.
+    // cluster-link = L, xshard-dep = L, xshard-notify = 2L. L = 2 is
+    // the default configuration, reproducing the main table's row
+    // exactly.
     {
-        const rt::Program prog = apps::sparseLu(12, 24);
-        const unsigned cores = 32;
-        const Topo t{4, 4};
+        spec::RunSpec base =
+            canonicalSpec("sparselu", {{"nb", 12}, {"bs", 24}});
+        base.cores = 32;
+        base.schedShards = 4;
+        base.clusters = 4;
+        const rt::Program prog = spec::Engine::buildProgram(base);
         const std::vector<unsigned> latencies =
             quickMode() ? std::vector<unsigned>{0u, 2u, 8u}
                         : std::vector<unsigned>{0u, 1u, 2u, 4u, 8u};
         std::printf("# Cross-shard edge-latency sensitivity: %s, %u "
                     "cores, %ux%u topology\n",
-                    prog.name.c_str(), cores, t.shards, t.clusters);
+                    prog.name.c_str(), base.cores, base.schedShards,
+                    base.clusters);
         std::printf("%-8s %12s %12s %8s %8s\n", "latency", "cycles",
                     "gateWaitCyc", "xEdges", "steals");
         for (unsigned lat : latencies) {
-            rt::HarnessParams hp;
-            hp.numCores = cores;
-            hp.system.topology.schedShards = t.shards;
-            hp.system.topology.clusters = t.clusters;
-            hp.system.topology.clusterLinkCycles = lat;
-            hp.system.topology.xshardDepCycles = lat;
-            hp.system.topology.xshardNotifyCycles =
+            spec::RunSpec s = base;
+            s.clusterLink = lat;
+            s.xshardDep = lat;
+            s.xshardNotify =
                 std::max(1u, 2 * lat); // TimedPort latency must be >= 1
-            const auto t0 = std::chrono::steady_clock::now();
-            const rt::RunResult r =
-                rt::runProgram(rt::RuntimeKind::Phentos, prog, hp);
-            const double wallSec = std::chrono::duration<double>(
-                                       std::chrono::steady_clock::now() -
-                                       t0)
-                                       .count();
+            double wallSec = 0.0;
+            const rt::RunResult r = runSpecTimed(s, wallSec);
             allCompleted = allCompleted && r.completed;
             std::printf("%-8u %12llu %12llu %8llu %8llu%s\n", lat,
                         static_cast<unsigned long long>(r.cycles),
@@ -183,11 +184,12 @@ main()
                         r.completed ? "" : "  INCOMPLETE");
             json.beginRow();
             stampHost(json);
+            stampSpec(json, s);
             json.field("bench", "xshard_latency_sensitivity");
             json.field("workload", prog.name);
-            json.field("cores", std::uint64_t{cores});
-            json.field("shards", std::uint64_t{t.shards});
-            json.field("clusters", std::uint64_t{t.clusters});
+            json.field("cores", std::uint64_t{base.cores});
+            json.field("shards", std::uint64_t{base.schedShards});
+            json.field("clusters", std::uint64_t{base.clusters});
             json.field("linkLatency", std::uint64_t{lat});
             json.field("cycles", r.cycles);
             json.field("gatewayStallCycles", r.schedGatewayStallCycles);

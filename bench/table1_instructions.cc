@@ -11,6 +11,7 @@
 #include "cpu/system.hh"
 #include "rocc/rocc_inst.hh"
 #include "rocc/task_packets.hh"
+#include "spec/engine.hh"
 
 using namespace picosim;
 using namespace picosim::rocc;
@@ -33,9 +34,11 @@ main()
     }
 
     // Validate semantics with a live single-task round trip on core 0.
-    cpu::SystemParams sp;
-    sp.numCores = 1;
-    cpu::System sys(sp);
+    spec::RunSpec rs;
+    rs.cores = 1;
+    rs.canonicalize();
+    const auto sysPtr = spec::Engine::makeSystem(rs);
+    cpu::System &sys = *sysPtr;
     auto &del = sys.delegateOf(0);
     auto &sim = sys.simulator();
 

@@ -9,37 +9,41 @@
 
 #include <cstdio>
 
-#include "apps/workloads.hh"
-#include "runtime/harness.hh"
-#include "runtime/phentos.hh"
+#include "spec/engine.hh"
+#include "spec/run_spec.hh"
 
 using namespace picosim;
 
 int
 main()
 {
-    // An 8x8-block matrix with 24x24-element blocks.
-    const rt::Program prog = apps::sparseLu(8, 24);
+    // An 8x8-block matrix with 24x24-element blocks, described as a
+    // RunSpec and resolved through the workload registry.
+    spec::RunSpec s;
+    s.workload = "sparselu";
+    s.wl = {{"nb", 8}, {"bs", 24}};
+    s.canonicalize();
+    const rt::Program prog = spec::Engine::buildProgram(s);
     std::printf("sparseLU: %llu tasks, mean task size %.0f cycles\n",
                 static_cast<unsigned long long>(prog.numTasks()),
                 prog.meanTaskSize());
 
-    // Run under Phentos on the full 8-core system, keeping the system
-    // object so we can inspect the hardware statistics afterwards.
-    rt::HarnessParams hp;
-    cpu::System sys(hp.system);
-    rt::Phentos phentos(hp.costs);
-    phentos.install(sys, prog);
-    if (!sys.run(hp.cycleLimit) || !phentos.finished()) {
+    // Run under Phentos on the full 8-core system; runInspected keeps
+    // the System alive so the hardware statistics stay inspectable.
+    const spec::InspectedRun run = spec::Engine::runInspected(s);
+    if (!run.result.completed) {
         std::printf("run did not complete!\n");
         return 1;
     }
+    cpu::System &sys = *run.system;
 
-    const auto serial = rt::runProgram(rt::RuntimeKind::Serial, prog, hp);
+    spec::RunSpec serialSpec = s;
+    serialSpec.runtime = rt::RuntimeKind::Serial;
+    const rt::RunResult serial = spec::Engine::run(serialSpec);
     std::printf("parallel: %llu cycles, serial: %llu cycles -> %.2fx\n",
-                static_cast<unsigned long long>(sys.clock().now()),
+                static_cast<unsigned long long>(run.result.cycles),
                 static_cast<unsigned long long>(serial.cycles),
-                static_cast<double>(serial.cycles) / sys.clock().now());
+                static_cast<double>(serial.cycles) / run.result.cycles);
 
     auto &st = sys.stats();
     std::printf("\nHardware counters:\n");

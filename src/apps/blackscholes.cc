@@ -7,7 +7,9 @@
 
 #include "apps/workloads.hh"
 
+#include "apps/register.hh"
 #include "sim/log.hh"
+#include "spec/workload_registry.hh"
 
 namespace picosim::apps
 {
@@ -50,6 +52,27 @@ blackscholes(unsigned num_options, unsigned block_size)
     }
     prog.taskwait();
     return prog;
+}
+
+void
+registerBlackscholesWorkloads(spec::WorkloadRegistry &reg)
+{
+    reg.add({"blackscholes",
+             "embarrassingly parallel option pricing (parsec-ompss)",
+             {{"options", 4096, 1, 100'000'000, "number of options"},
+              {"block", 8, 1, 1'000'000, "options priced per task"}},
+             [](const spec::WorkloadArgs &a) {
+                 const auto options =
+                     static_cast<unsigned>(a.at("options"));
+                 const auto block = static_cast<unsigned>(a.at("block"));
+                 if (options % block != 0) {
+                     throw spec::SpecError(
+                         "wl.block=" + std::to_string(block) +
+                         " must divide wl.options=" +
+                         std::to_string(options));
+                 }
+                 return blackscholes(options, block);
+             }});
 }
 
 } // namespace picosim::apps

@@ -22,7 +22,9 @@
 
 #include <string>
 
+#include "apps/register.hh"
 #include "sim/log.hh"
+#include "spec/workload_registry.hh"
 
 namespace picosim::apps
 {
@@ -95,6 +97,19 @@ choleskyNested(unsigned nb, unsigned bs)
     }
     prog.taskwait();
     return prog;
+}
+
+void
+registerCholeskyWorkloads(spec::WorkloadRegistry &reg)
+{
+    reg.add({"cholesky-nested",
+             "tiled Cholesky with worker-spawned panel subtrees",
+             {{"nb", 10, 1, 10'000, "matrix dimension in blocks"},
+              {"bs", 16, 1, 10'000, "block dimension in doubles"}},
+             [](const spec::WorkloadArgs &a) {
+                 return choleskyNested(static_cast<unsigned>(a.at("nb")),
+                                       static_cast<unsigned>(a.at("bs")));
+             }});
 }
 
 } // namespace picosim::apps

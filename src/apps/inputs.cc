@@ -7,6 +7,9 @@
  * 8x8 / 12x12 blocks with block size 6*M elements so the granularity sweep
  * spans the same decades while full Nanos-SW sweeps stay tractable;
  * stream sizes "NxM" map to N blocks of M doubles.
+ *
+ * Every input is expressed as a workload-registry name plus `wl.*`
+ * parameters, so figure rows and spec files describe the exact same runs.
  */
 
 #include "apps/workloads.hh"
@@ -14,18 +17,11 @@
 namespace picosim::apps
 {
 
-namespace
+rt::Program
+BenchInput::build() const
 {
-
-BenchInput
-input(std::string program, std::string label,
-      std::function<rt::Program()> build)
-{
-    return BenchInput{std::move(program), std::move(label),
-                      std::move(build)};
+    return spec::WorkloadRegistry::instance().build(program, args);
 }
-
-} // namespace
 
 std::vector<BenchInput>
 figure9Inputs()
@@ -36,16 +32,16 @@ figure9Inputs()
     for (unsigned opts : {4096u, 16384u}) {
         for (unsigned b : {8u, 16u, 32u, 64u, 128u, 256u}) {
             const std::string sz = opts == 4096 ? "4K" : "16K";
-            inputs.push_back(input(
-                "blackscholes", sz + " B" + std::to_string(b),
-                [opts, b] { return blackscholes(opts, b); }));
+            inputs.push_back({"blackscholes", sz + " B" + std::to_string(b),
+                              {{"options", opts}, {"block", b}}});
         }
     }
 
     // jacobi: N in {128, 256, 512}, one-row blocks, 8 sweeps.
     for (unsigned n : {128u, 256u, 512u}) {
-        inputs.push_back(input("jacobi", "N" + std::to_string(n) + " B1",
-                               [n] { return jacobi(n, 1, 8); }));
+        inputs.push_back(
+            {"jacobi", "N" + std::to_string(n) + " B1",
+             {{"n", n}, {"block-rows", 1}, {"sweeps", 8}}});
     }
 
     // sparselu: two grid sizes x block-size multiplier M in {1..16}.
@@ -53,9 +49,9 @@ figure9Inputs()
         const unsigned nb = n == 32 ? 8 : 12;
         for (unsigned m : {1u, 2u, 4u, 8u, 16u}) {
             inputs.push_back(
-                input("sparselu",
-                      "N" + std::to_string(n) + " M" + std::to_string(m),
-                      [nb, m] { return sparseLu(nb, 6 * m); }));
+                {"sparselu",
+                 "N" + std::to_string(n) + " M" + std::to_string(m),
+                 {{"nb", nb}, {"bs", 6 * m}}});
         }
     }
 
@@ -67,14 +63,14 @@ figure9Inputs()
         {"128x1024", 128, 1024}, {"4096x4096", 1024, 4096},
     };
     for (const auto &s : sizes) {
-        inputs.push_back(input("stream-barr", s.label, [s] {
-            return streamBarr(s.blocks, s.elems, 2);
-        }));
+        inputs.push_back({"stream-barr", s.label,
+                          {{"blocks", s.blocks}, {"elems", s.elems},
+                           {"iters", 2}}});
     }
     for (const auto &s : sizes) {
-        inputs.push_back(input("stream-deps", s.label, [s] {
-            return streamDeps(s.blocks, s.elems, 2);
-        }));
+        inputs.push_back({"stream-deps", s.label,
+                          {{"blocks", s.blocks}, {"elems", s.elems},
+                           {"iters", 2}}});
     }
 
     return inputs;

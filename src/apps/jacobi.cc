@@ -8,7 +8,9 @@
 
 #include "apps/workloads.hh"
 
+#include "apps/register.hh"
 #include "sim/log.hh"
+#include "spec/workload_registry.hh"
 
 namespace picosim::apps
 {
@@ -61,6 +63,28 @@ jacobi(unsigned n, unsigned block_rows, unsigned sweeps)
     }
     prog.taskwait();
     return prog;
+}
+
+void
+registerJacobiWorkloads(spec::WorkloadRegistry &reg)
+{
+    reg.add({"jacobi",
+             "iterative stencil with halo dependences (kastors)",
+             {{"n", 128, 1, 1'000'000, "grid dimension (NxN)"},
+              {"block-rows", 1, 1, 1'000'000, "grid rows per task"},
+              {"sweeps", 8, 1, 100'000, "Jacobi iterations"}},
+             [](const spec::WorkloadArgs &a) {
+                 const auto n = static_cast<unsigned>(a.at("n"));
+                 const auto rows =
+                     static_cast<unsigned>(a.at("block-rows"));
+                 if (n % rows != 0) {
+                     throw spec::SpecError(
+                         "wl.block-rows=" + std::to_string(rows) +
+                         " must divide wl.n=" + std::to_string(n));
+                 }
+                 return jacobi(n, rows,
+                               static_cast<unsigned>(a.at("sweeps")));
+             }});
 }
 
 } // namespace picosim::apps

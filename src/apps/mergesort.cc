@@ -15,7 +15,9 @@
 #include <algorithm>
 #include <string>
 
+#include "apps/register.hh"
 #include "sim/log.hh"
+#include "spec/workload_registry.hh"
 
 namespace picosim::apps
 {
@@ -97,6 +99,21 @@ mergesortNested(unsigned n, unsigned cutoff)
     }
     prog.taskwait();
     return prog;
+}
+
+void
+registerMergesortWorkloads(spec::WorkloadRegistry &reg)
+{
+    reg.add({"mergesort-nested",
+             "divide-and-conquer mergesort, worker-spawned subtrees",
+             {{"n", 4096, 1, 1'000'000'000, "elements to sort"},
+              {"cutoff", 128, 1, 1'000'000'000,
+               "leaf size below which ranges sort serially"}},
+             [](const spec::WorkloadArgs &a) {
+                 return mergesortNested(static_cast<unsigned>(a.at("n")),
+                                        static_cast<unsigned>(
+                                            a.at("cutoff")));
+             }});
 }
 
 } // namespace picosim::apps

@@ -1,0 +1,21 @@
+#include "apps/register.hh"
+
+namespace picosim::apps
+{
+
+void
+registerBuiltinWorkloads(spec::WorkloadRegistry &reg)
+{
+    // Registration order is the --list-workloads order: the taskbench
+    // microbenchmarks first, then the Figure-9 applications, then the
+    // nested (recursive) workloads.
+    registerTaskbenchWorkloads(reg);
+    registerBlackscholesWorkloads(reg);
+    registerJacobiWorkloads(reg);
+    registerSparseLuWorkloads(reg);
+    registerStreamWorkloads(reg);
+    registerCholeskyWorkloads(reg);
+    registerMergesortWorkloads(reg);
+}
+
+} // namespace picosim::apps

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Registration hooks tying each workload generator's translation unit
+ * into the spec::WorkloadRegistry. Every generator .cc in this directory
+ * implements its own hook (owning its registry entries — name, parameter
+ * schema, description, factory); registerBuiltinWorkloads() is the one
+ * place that enumerates them, called lazily by the registry singleton.
+ *
+ * Plain functions instead of static registrar objects: the library is
+ * linked statically, where an unreferenced TU's initializers are legally
+ * dropped — a registry silently missing workloads would be the result.
+ */
+
+#ifndef PICOSIM_APPS_REGISTER_HH
+#define PICOSIM_APPS_REGISTER_HH
+
+namespace picosim::spec
+{
+class WorkloadRegistry;
+}
+
+namespace picosim::apps
+{
+
+void registerTaskbenchWorkloads(spec::WorkloadRegistry &reg);
+void registerBlackscholesWorkloads(spec::WorkloadRegistry &reg);
+void registerJacobiWorkloads(spec::WorkloadRegistry &reg);
+void registerSparseLuWorkloads(spec::WorkloadRegistry &reg);
+void registerStreamWorkloads(spec::WorkloadRegistry &reg);
+void registerCholeskyWorkloads(spec::WorkloadRegistry &reg);
+void registerMergesortWorkloads(spec::WorkloadRegistry &reg);
+
+/** Register every built-in workload (called once by the registry). */
+void registerBuiltinWorkloads(spec::WorkloadRegistry &reg);
+
+} // namespace picosim::apps
+
+#endif // PICOSIM_APPS_REGISTER_HH

@@ -10,10 +10,13 @@
 
 #include "apps/workloads.hh"
 
+#include <limits>
 #include <vector>
 
+#include "apps/register.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
+#include "spec/workload_registry.hh"
 
 namespace picosim::apps
 {
@@ -95,6 +98,22 @@ sparseLu(unsigned nb, unsigned bs, std::uint64_t seed)
     }
     prog.taskwait();
     return prog;
+}
+
+void
+registerSparseLuWorkloads(spec::WorkloadRegistry &reg)
+{
+    reg.add({"sparselu",
+             "sparse blocked LU factorization (kastors)",
+             {{"nb", 8, 1, 10'000, "matrix dimension in blocks"},
+              {"bs", 6, 1, 10'000, "block dimension in doubles"},
+              {"seed", 42, 0, std::numeric_limits<std::uint64_t>::max(),
+               "sparsity-pattern RNG seed"}},
+             [](const spec::WorkloadArgs &a) {
+                 return sparseLu(static_cast<unsigned>(a.at("nb")),
+                                 static_cast<unsigned>(a.at("bs")),
+                                 a.at("seed"));
+             }});
 }
 
 } // namespace picosim::apps

@@ -8,7 +8,9 @@
 
 #include "apps/workloads.hh"
 
+#include "apps/register.hh"
 #include "sim/log.hh"
+#include "spec/workload_registry.hh"
 
 namespace picosim::apps
 {
@@ -89,6 +91,31 @@ streamBarr(unsigned num_blocks, unsigned block_elems, unsigned iterations)
         }
     }
     return prog;
+}
+
+void
+registerStreamWorkloads(spec::WorkloadRegistry &reg)
+{
+    using spec::WorkloadArgs;
+    const std::vector<spec::ParamDef> params = {
+        {"blocks", 8, 1, 1'000'000, "array blocks (tasks per kernel)"},
+        {"elems", 8, 1, 100'000'000, "doubles per block"},
+        {"iters", 2, 1, 100'000, "copy/scale/add/triad iterations"},
+    };
+    reg.add({"stream-deps",
+             "STREAM kernels chained by per-block dependences (ompss-ee)",
+             params, [](const WorkloadArgs &a) {
+                 return streamDeps(static_cast<unsigned>(a.at("blocks")),
+                                   static_cast<unsigned>(a.at("elems")),
+                                   static_cast<unsigned>(a.at("iters")));
+             }});
+    reg.add({"stream-barr",
+             "STREAM kernels separated by taskwait barriers (ompss-ee)",
+             params, [](const WorkloadArgs &a) {
+                 return streamBarr(static_cast<unsigned>(a.at("blocks")),
+                                   static_cast<unsigned>(a.at("elems")),
+                                   static_cast<unsigned>(a.at("iters")));
+             }});
 }
 
 } // namespace picosim::apps

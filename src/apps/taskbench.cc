@@ -5,7 +5,9 @@
 
 #include "apps/workloads.hh"
 
+#include "apps/register.hh"
 #include "sim/log.hh"
+#include "spec/workload_registry.hh"
 
 namespace picosim::apps
 {
@@ -108,6 +110,43 @@ taskChain(unsigned num_tasks, unsigned num_deps, Cycle payload)
         prog.spawn(payload, deps);
     prog.taskwait();
     return prog;
+}
+
+void
+registerTaskbenchWorkloads(spec::WorkloadRegistry &reg)
+{
+    using spec::WorkloadArgs;
+    const std::vector<spec::ParamDef> flat = {
+        {"tasks", 256, 1, 10'000'000, "number of tasks"},
+        {"deps", 1, 1, rocc::kMaxDeps, "monitored parameters per task"},
+        {"payload", 1000, 0, 1'000'000'000, "task body cycles"},
+    };
+    reg.add({"task-free",
+             "independent tasks, distinct output addresses (Figure 7)",
+             flat, [](const WorkloadArgs &a) {
+                 return taskFree(static_cast<unsigned>(a.at("tasks")),
+                                 static_cast<unsigned>(a.at("deps")),
+                                 a.at("payload"));
+             }});
+    reg.add({"task-chain",
+             "fully serialized chain of inout tasks (Figure 7)", flat,
+             [](const WorkloadArgs &a) {
+                 return taskChain(static_cast<unsigned>(a.at("tasks")),
+                                  static_cast<unsigned>(a.at("deps")),
+                                  a.at("payload"));
+             }});
+    reg.add({"task-tree",
+             "nested taskbench: fanout-ary tree of worker-spawned tasks",
+             {{"fanout", 4, 1, 64, "children per inner node"},
+              {"depth", 3, 0, 16, "tree depth below the roots"},
+              {"payload", 1000, 0, 1'000'000'000, "task body cycles"},
+              {"chained", 0, 0, 1,
+               "1 links siblings with an inout dependence"}},
+             [](const WorkloadArgs &a) {
+                 return taskTree(static_cast<unsigned>(a.at("fanout")),
+                                 static_cast<unsigned>(a.at("depth")),
+                                 a.at("payload"), a.at("chained") != 0);
+             }});
 }
 
 } // namespace picosim::apps

@@ -19,11 +19,11 @@
 #define PICOSIM_APPS_WORKLOADS_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "runtime/task_types.hh"
+#include "spec/workload_registry.hh"
 
 namespace picosim::apps
 {
@@ -97,9 +97,12 @@ rt::Program taskTree(unsigned fanout, unsigned depth, Cycle payload,
 
 struct BenchInput
 {
-    std::string program;             ///< e.g. "blackscholes"
-    std::string label;               ///< e.g. "4K B8"
-    std::function<rt::Program()> build;
+    std::string program;    ///< registry workload name, e.g. "blackscholes"
+    std::string label;      ///< figure label, e.g. "4K B8"
+    spec::WorkloadArgs args; ///< workload parameters (spec `wl.*` keys)
+
+    /** Build the program through the workload registry. */
+    rt::Program build() const;
 };
 
 /** All 37 inputs of Figure 9, grouped per program, in figure order. */

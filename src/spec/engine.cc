@@ -1,0 +1,141 @@
+#include "spec/engine.hh"
+
+#include "runtime/nanos.hh"
+#include "runtime/phentos.hh"
+#include "runtime/task_trace.hh"
+#include "spec/workload_registry.hh"
+
+namespace picosim::spec
+{
+
+rt::Program
+Engine::buildProgram(const RunSpec &spec)
+{
+    return WorkloadRegistry::instance().build(spec.workload, spec.wl);
+}
+
+rt::HarnessParams
+Engine::harnessParams(const RunSpec &spec)
+{
+    rt::HarnessParams hp;
+    hp.numCores = spec.cores;
+    hp.cycleLimit = spec.cycleLimit;
+
+    cpu::SystemParams &sp = hp.system;
+    sp.evalMode = spec.mode;
+    sp.bandwidthAlpha = spec.bandwidthAlpha;
+
+    sp.mem.mode = spec.mem;
+    sp.mem.mshrs = spec.mshrs;
+    sp.mem.busBytesPerCycle = spec.busBytes;
+    sp.mem.memOccupancy = spec.memOccupancy;
+
+    sp.topology.schedShards = spec.schedShards;
+    sp.topology.clusters = spec.clusters;
+    sp.topology.workStealing = spec.steal;
+    sp.topology.clusterLinkCycles = spec.clusterLink;
+    sp.topology.xshardDepCycles = spec.xshardDep;
+    sp.topology.xshardNotifyCycles = spec.xshardNotify;
+    sp.topology.stealPenaltyCycles = spec.stealPenalty;
+    sp.topology.gatewayQueueDepth = spec.gatewayDepth;
+
+    sp.manager.coreReadyQueueDepth = spec.coreReadyDepth;
+    sp.hartApi.roccLatency = spec.roccLatency;
+
+    sp.pdes.hostThreads = spec.hostThreads;
+    sp.pdes.domains = spec.pdesDomains;
+    sp.pdes.partition = spec.pdes;
+    return hp;
+}
+
+cpu::SystemParams
+Engine::systemParams(const RunSpec &spec)
+{
+    const rt::HarnessParams hp = harnessParams(spec);
+    cpu::SystemParams sp = hp.system;
+    sp.numCores = spec.runtime == rt::RuntimeKind::Serial ? 1 : hp.numCores;
+    if (spec.runtime == rt::RuntimeKind::Serial) {
+        // The serial baseline never touches the scheduler; a clustered
+        // topology cannot be laid out over its single core.
+        sp.topology = {};
+    }
+    return sp;
+}
+
+std::unique_ptr<cpu::System>
+Engine::makeSystem(const RunSpec &spec)
+{
+    return std::make_unique<cpu::System>(systemParams(spec));
+}
+
+rt::RunResult
+Engine::run(const RunSpec &spec)
+{
+    return rt::runProgram(spec.runtime, buildProgram(spec),
+                          harnessParams(spec));
+}
+
+rt::RunResult
+Engine::runWithSpeedup(const RunSpec &spec)
+{
+    return rt::runWithSpeedup(spec.runtime, buildProgram(spec),
+                              harnessParams(spec));
+}
+
+std::vector<rt::RunResult>
+Engine::runBatch(const std::vector<RunSpec> &specs, unsigned threads,
+                 const std::function<void(std::size_t,
+                                          const rt::RunResult &)> &onResult)
+{
+    std::vector<rt::Job> jobs;
+    jobs.reserve(specs.size());
+    for (const RunSpec &spec : specs) {
+        rt::Job job;
+        job.kind = spec.runtime;
+        job.prog = buildProgram(spec);
+        job.params = harnessParams(spec);
+        job.label = spec.serialize();
+        jobs.push_back(std::move(job));
+    }
+    return rt::runBatch(jobs, threads, onResult);
+}
+
+InspectedRun
+Engine::runInspected(const RunSpec &spec, rt::TaskTrace *trace)
+{
+    const rt::HarnessParams hp = harnessParams(spec);
+    const rt::Program prog = buildProgram(spec);
+
+    InspectedRun out;
+    out.system = makeSystem(spec);
+    out.runtime = rt::makeRuntime(spec.runtime, hp.costs);
+
+    if (trace != nullptr) {
+        trace->reset(prog.numTasks());
+        if (auto *ph = dynamic_cast<rt::Phentos *>(out.runtime.get()))
+            ph->setTrace(trace);
+        else if (auto *nn = dynamic_cast<rt::Nanos *>(out.runtime.get()))
+            nn->setTrace(trace);
+    }
+
+    out.runtime->install(*out.system, prog);
+    const bool ok = out.system->run(hp.cycleLimit);
+
+    rt::RunResult &res = out.result;
+    res.runtime = out.runtime->name();
+    res.program = prog.name;
+    res.completed = ok && out.runtime->finished();
+    res.cycles = out.system->clock().now();
+    res.serialPayload = prog.serialPayloadCycles();
+    res.tasks = prog.numTasks();
+    res.meanTaskSize = prog.meanTaskSize();
+    res.evaluatedCycles = out.system->simulator().evaluatedCycles();
+    res.componentTicks = out.system->simulator().componentTicks();
+    res.tickWorldTicks = out.system->simulator().tickWorldTicks();
+    res.workerSubmits = out.runtime->tasksSubmittedByWorkers();
+    res.inlineTasks = out.runtime->tasksExecutedInline();
+    rt::fillContentionStats(res, *out.system);
+    return out;
+}
+
+} // namespace picosim::spec

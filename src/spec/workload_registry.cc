@@ -1,0 +1,146 @@
+#include "spec/workload_registry.hh"
+
+#include <algorithm>
+#include <mutex>
+
+#include "apps/register.hh"
+#include "sim/log.hh"
+
+namespace picosim::spec
+{
+
+const ParamDef *
+WorkloadDef::findParam(const std::string &param) const
+{
+    for (const ParamDef &p : params)
+        if (p.name == param)
+            return &p;
+    return nullptr;
+}
+
+WorkloadArgs
+WorkloadDef::canonicalArgs(const WorkloadArgs &args) const
+{
+    WorkloadArgs out;
+    for (const ParamDef &p : params)
+        out[p.name] = p.def;
+    for (const auto &[key, value] : args) {
+        const ParamDef *p = findParam(key);
+        if (!p) {
+            std::string valid;
+            std::string best;
+            unsigned bestDist = ~0u;
+            for (const ParamDef &q : params) {
+                if (!valid.empty())
+                    valid += ", ";
+                valid += "wl." + q.name;
+                const unsigned d = editDistance(key, q.name);
+                if (d < bestDist) {
+                    bestDist = d;
+                    best = q.name;
+                }
+            }
+            throw SpecError("workload '" + name + "' has no parameter 'wl." +
+                            key + "' (valid: " + valid + ")" +
+                            didYouMean(key, best, "wl."));
+        }
+        if (value < p->min || value > p->max) {
+            throw SpecError("wl." + key + " expects an integer in [" +
+                            std::to_string(p->min) + ", " +
+                            std::to_string(p->max) + "], got '" +
+                            std::to_string(value) + "'");
+        }
+        out[key] = value;
+    }
+    return out;
+}
+
+WorkloadRegistry &
+WorkloadRegistry::instance()
+{
+    static WorkloadRegistry registry;
+    static std::once_flag once;
+    std::call_once(once,
+                   [] { apps::registerBuiltinWorkloads(registry); });
+    return registry;
+}
+
+void
+WorkloadRegistry::add(WorkloadDef def)
+{
+    for (const WorkloadDef &d : defs_)
+        if (d.name == def.name)
+            sim::fatal("duplicate workload registration: " + def.name);
+    defs_.push_back(std::move(def));
+}
+
+const WorkloadDef *
+WorkloadRegistry::find(const std::string &name) const
+{
+    for (const WorkloadDef &d : defs_)
+        if (d.name == name)
+            return &d;
+    return nullptr;
+}
+
+std::string
+WorkloadRegistry::nearest(const std::string &name) const
+{
+    std::string best;
+    unsigned bestDist = ~0u;
+    for (const WorkloadDef &d : defs_) {
+        const unsigned dist = editDistance(name, d.name);
+        if (dist < bestDist) {
+            bestDist = dist;
+            best = d.name;
+        }
+    }
+    return best;
+}
+
+rt::Program
+WorkloadRegistry::build(const std::string &name,
+                        const WorkloadArgs &args) const
+{
+    const WorkloadDef *def = find(name);
+    if (!def) {
+        throw SpecError("unknown workload '" + name +
+                        "' (try --list-workloads)" +
+                        didYouMean(name, nearest(name)));
+    }
+    return def->build(def->canonicalArgs(args));
+}
+
+unsigned
+editDistance(const std::string &a, const std::string &b)
+{
+    // Classic two-row Levenshtein; the strings involved are short keys.
+    std::vector<unsigned> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = static_cast<unsigned>(j);
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = static_cast<unsigned>(i);
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const unsigned sub =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string
+didYouMean(const std::string &got, const std::string &nearest,
+           const std::string &prefix)
+{
+    if (nearest.empty() || nearest == got)
+        return "";
+    // A suggestion further away than half the typed key is noise.
+    const unsigned dist = editDistance(got, nearest);
+    if (dist > std::max<std::size_t>(2, got.size() / 2))
+        return "";
+    return " (did you mean '" + prefix + nearest + "'?)";
+}
+
+} // namespace picosim::spec

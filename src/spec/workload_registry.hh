@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Workload registry: the one table behind `--workload=<name>` and
+ * `--list-workloads`. Every generator in src/apps/ registers itself here
+ * (name -> factory + parameter schema), so front-ends resolve workloads
+ * by name through a single lookup instead of string-compare ladders, and
+ * the spec layer can validate workload parameters against the schema of
+ * the workload they belong to.
+ *
+ * Registration happens in the generator's own translation unit (see
+ * apps/register.hh); the registry itself knows nothing about individual
+ * workloads.
+ */
+
+#ifndef PICOSIM_SPEC_WORKLOAD_REGISTRY_HH
+#define PICOSIM_SPEC_WORKLOAD_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/task_types.hh"
+
+namespace picosim::spec
+{
+
+/** Error in a spec, a workload parameter, or a registry lookup. The
+ *  message names the offending key, its value and its legal range. */
+class SpecError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Workload parameter values by schema name (canonical: every schema
+ *  parameter present). std::map keeps equality order-independent. */
+using WorkloadArgs = std::map<std::string, std::uint64_t>;
+
+/** Schema of one workload parameter (spec key `wl.<name>`). */
+struct ParamDef
+{
+    std::string name;
+    std::uint64_t def;
+    std::uint64_t min;
+    std::uint64_t max;
+    std::string help; ///< one-line description
+};
+
+/** One registered workload: name, description, schema, factory. */
+struct WorkloadDef
+{
+    std::string name;        ///< registry key, e.g. "blackscholes"
+    std::string description; ///< one-liner for --list-workloads
+    std::vector<ParamDef> params;
+
+    /** Build the rt::Program; @p args is canonical (all params present,
+     *  range-checked). Throws SpecError on invalid combinations the
+     *  per-parameter ranges cannot express (e.g. divisibility). */
+    std::function<rt::Program(const WorkloadArgs &)> build;
+
+    /** Schema entry for @p param, or nullptr. */
+    const ParamDef *findParam(const std::string &param) const;
+
+    /** @p args padded with schema defaults for every missing parameter.
+     *  Throws SpecError for unknown names or out-of-range values. */
+    WorkloadArgs canonicalArgs(const WorkloadArgs &args) const;
+};
+
+/**
+ * Process-wide workload table. Generators self-register on first use
+ * (apps::registerBuiltinWorkloads); lookups are in registration order,
+ * which is deterministic.
+ */
+class WorkloadRegistry
+{
+  public:
+    /** The singleton, with every built-in workload registered. */
+    static WorkloadRegistry &instance();
+
+    /** Register @p def. Duplicate names are a programming error. */
+    void add(WorkloadDef def);
+
+    /** Workload named exactly @p name, or nullptr. */
+    const WorkloadDef *find(const std::string &name) const;
+
+    /** All workloads, in registration order. */
+    const std::vector<WorkloadDef> &list() const { return defs_; }
+
+    /** Closest registered name to @p name (edit distance), or empty. */
+    std::string nearest(const std::string &name) const;
+
+    /** Build @p name with @p args (padded to canonical first). Throws
+     *  SpecError for unknown names/params and out-of-range values. */
+    rt::Program build(const std::string &name,
+                      const WorkloadArgs &args = {}) const;
+
+  private:
+    WorkloadRegistry() = default;
+
+    std::vector<WorkloadDef> defs_;
+};
+
+/** Edit distance helper shared by the "did you mean" diagnostics. */
+unsigned editDistance(const std::string &a, const std::string &b);
+
+/** " (did you mean '<prefix><nearest>'?)" when @p nearest is close
+ *  enough to @p got to plausibly be a typo, else an empty string. */
+std::string didYouMean(const std::string &got, const std::string &nearest,
+                       const std::string &prefix = "");
+
+} // namespace picosim::spec
+
+#endif // PICOSIM_SPEC_WORKLOAD_REGISTRY_HH

@@ -1,0 +1,127 @@
+/** @file Unit tests for the workload registry behind --workload /
+ *  --list-workloads. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "apps/workloads.hh"
+#include "spec/workload_registry.hh"
+
+using namespace picosim;
+using namespace picosim::spec;
+
+TEST(WorkloadRegistry, AllBuiltinWorkloadsRegistered)
+{
+    const std::set<std::string> expected = {
+        "task-free",   "task-chain",      "task-tree",
+        "blackscholes", "jacobi",          "sparselu",
+        "stream-deps", "stream-barr",     "cholesky-nested",
+        "mergesort-nested",
+    };
+    std::set<std::string> got;
+    for (const WorkloadDef &def : WorkloadRegistry::instance().list()) {
+        got.insert(def.name);
+        EXPECT_FALSE(def.description.empty()) << def.name;
+        EXPECT_TRUE(def.build) << def.name;
+        for (const ParamDef &p : def.params) {
+            EXPECT_FALSE(p.help.empty()) << def.name << "." << p.name;
+            EXPECT_LE(p.min, p.def) << def.name << "." << p.name;
+            EXPECT_LE(p.def, p.max) << def.name << "." << p.name;
+        }
+    }
+    EXPECT_EQ(got, expected);
+}
+
+TEST(WorkloadRegistry, EveryFigure9InputResolvesThroughRegistry)
+{
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    const auto inputs = apps::figure9Inputs();
+    ASSERT_EQ(inputs.size(), 37u);
+    for (const apps::BenchInput &input : inputs) {
+        const WorkloadDef *def = reg.find(input.program);
+        ASSERT_NE(def, nullptr) << input.program;
+        // Every figure parameter must be in the workload's schema...
+        for (const auto &[param, value] : input.args) {
+            const ParamDef *p = def->findParam(param);
+            ASSERT_NE(p, nullptr) << input.program << "." << param;
+            EXPECT_GE(value, p->min) << input.program << "." << param;
+            EXPECT_LE(value, p->max) << input.program << "." << param;
+        }
+        // ...and the input must actually build through the registry.
+        const rt::Program prog = reg.build(input.program, input.args);
+        EXPECT_GT(prog.numTasks(), 0u)
+            << input.program << " " << input.label;
+        // Generators label programs themselves (sizes may be rendered
+        // differently from the figure label), but the registry name
+        // always prefixes it.
+        EXPECT_EQ(prog.name.rfind(input.program, 0), 0u) << prog.name;
+    }
+}
+
+TEST(WorkloadRegistry, CanonicalArgsPadsDefaultsAndValidates)
+{
+    const WorkloadDef *def =
+        WorkloadRegistry::instance().find("blackscholes");
+    ASSERT_NE(def, nullptr);
+
+    const WorkloadArgs canonical = def->canonicalArgs({{"block", 8}});
+    EXPECT_EQ(canonical.at("block"), 8u);
+    EXPECT_EQ(canonical.size(), def->params.size());
+    for (const ParamDef &p : def->params)
+        EXPECT_TRUE(canonical.count(p.name)) << p.name;
+
+    // Unknown parameter: named, with a nearest-name suggestion.
+    try {
+        def->canonicalArgs({{"blok", 8}});
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("'wl.blok'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("did you mean"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("block"), std::string::npos) << msg;
+    }
+
+    // Out-of-range value: message names key, value and legal range.
+    const ParamDef *block = def->findParam("block");
+    ASSERT_NE(block, nullptr);
+    try {
+        def->canonicalArgs({{"block", block->max + 1}});
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("block"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::to_string(block->max)),
+                  std::string::npos) << msg;
+    }
+}
+
+TEST(WorkloadRegistry, BuildRejectsInvalidCombinations)
+{
+    // 1000 options are not divisible into blocks of 16: a constraint the
+    // per-parameter ranges cannot express, enforced by the factory.
+    EXPECT_THROW(WorkloadRegistry::instance().build(
+                     "blackscholes", {{"options", 1000}, {"block", 16}}),
+                 SpecError);
+    EXPECT_THROW(WorkloadRegistry::instance().build("no-such-workload"),
+                 SpecError);
+}
+
+TEST(WorkloadRegistry, NearestAndDidYouMean)
+{
+    const WorkloadRegistry &reg = WorkloadRegistry::instance();
+    EXPECT_EQ(reg.nearest("blackscoles"), "blackscholes");
+    EXPECT_EQ(reg.nearest("task-fre"), "task-free");
+
+    EXPECT_EQ(didYouMean("coers", "cores", "--"),
+              " (did you mean '--cores'?)");
+    EXPECT_EQ(didYouMean("coers", "cores"), " (did you mean 'cores'?)");
+    // A wildly different string is not presented as a typo.
+    EXPECT_EQ(didYouMean("zzzzzzzz", "cores"), "");
+    EXPECT_EQ(didYouMean("coers", ""), "");
+
+    EXPECT_EQ(editDistance("cores", "cores"), 0u);
+    EXPECT_EQ(editDistance("cores", "coers"), 2u);
+    EXPECT_EQ(editDistance("", "abc"), 3u);
+}

@@ -15,6 +15,10 @@ Fails (exit 1) when:
     by construction, so those comparisons are loudly SKIPPED rather
     than reported as regressions.
 
+Rows stamped with a "spec" field (the serialized RunSpec that produced
+the measurement) are reported with a replay hint on failure: feed the
+spec back through `picosim_run --spec` to reproduce the exact run.
+
 Wall-clock seconds are machine-dependent, so the gate is on wallSpeedup —
 the event-driven/tick-world ratio measured within one process on one
 machine, which transfers across hosts far better than absolute times.
@@ -44,12 +48,19 @@ def main():
 
     failures = []
 
+    def replay_hint(row):
+        spec = row.get("spec")
+        return f" [replay: picosim_run --spec <<< '{spec}']" if spec else ""
+
+    stamped = sum(1 for row in fresh if row.get("spec"))
+    print(f"{stamped}/{len(fresh)} fresh rows carry a replayable spec")
+
     for row in fresh:
         if row.get("identical") is False:
             failures.append(
                 f"row '{row.get('label', row.get('bench'))}' reports "
                 "identical: false — event kernel diverged from the "
-                "reference")
+                "reference" + replay_hint(row))
 
     base_by_label = {
         row["label"]: row
@@ -73,7 +84,8 @@ def main():
         if got < floor:
             failures.append(
                 f"'{label}' wallSpeedup {got:.2f}x fell more than "
-                f"{tolerance:.0%} below the baseline {want:.2f}x")
+                f"{tolerance:.0%} below the baseline {want:.2f}x"
+                + replay_hint(row))
 
     def host_concurrency(row):
         # Rows written before hostConcurrency stamping count as
@@ -130,7 +142,8 @@ def main():
             if got < floor:
                 failures.append(
                     f"'{label}' {field} {got:.2f}x fell more than "
-                    f"{tolerance:.0%} below the baseline {want:.2f}x")
+                    f"{tolerance:.0%} below the baseline {want:.2f}x"
+                    + replay_hint(row))
 
     check_pool_speedup("batch_throughput", "poolSpeedup")
     check_pool_speedup("pdes_compare", "pdesSpeedup", need_workers=True)

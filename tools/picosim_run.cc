@@ -1,49 +1,40 @@
 /**
  * @file
- * Command-line driver: run built-in workloads under any runtime on a
- * configurable system and print results plus hardware statistics. Multiple
- * workloads (comma-separated) are simulated in parallel on a worker pool.
+ * Command-line driver: a thin shell over the spec layer. Flags are spec
+ * keys (`--cores=16` sets the spec key `cores`); the driver parses them
+ * into a spec::RunSpec, resolves it through the workload registry, and
+ * dispatches to spec::Engine. Multiple workloads (comma-separated) are
+ * simulated in parallel on a worker pool.
  *
  * Usage:
- *   picosim_run [--list] [--workload=NAME[,NAME...]] [--runtime=KIND]
- *               [--cores=N] [--jobs=N] [--mode=event|tickworld]
- *               [--mem=inline|timed] [--mshrs=N] [--bus-bytes=N]
- *               [--mem-occupancy=N] [--sched-shards=N] [--clusters=N]
- *               [--steal=on|off] [--host-threads=N]
+ *   picosim_run [--list] [--list-workloads]
+ *               [--spec=FILE] [--dump-spec]
+ *               [--workload=NAME[,NAME...]] [--wl.PARAM=N ...]
+ *               [--runtime=KIND] [--cores=N] [--jobs=N]
+ *               [--mode=event|tickworld] [--mem=inline|timed] [--mshrs=N]
+ *               [--bus-bytes=N] [--mem-occupancy=N] [--sched-shards=N]
+ *               [--clusters=N] [--steal=on|off] [--host-threads=N]
  *               [--pdes=auto|off|force] [--pdes-domains=auto|N]
- *               [--nested] [--stats] [--trace=FILE.json]
+ *               [--repeat=N] [--seed=N] [--nested] [--stats]
+ *               [--trace=FILE.json]
  *
- *   NAME: a Figure-9 input label substring, e.g. "blackscholes 4K B8",
- *         one of: task-free, task-chain, or a nested workload:
- *         cholesky-nested, mergesort-nested, task-tree.
+ *   NAME: a workload-registry name (see --list-workloads), optionally
+ *         parameterized with --wl.PARAM flags, or a Figure-9 input label
+ *         substring, e.g. "blackscholes 4K B8" (rewritten to the registry
+ *         name plus its wl.* parameters).
+ *   --spec: read key=value pairs (or a flat JSON object) from FILE first;
+ *         command-line flags override file keys.
+ *   --dump-spec: print the fully resolved spec (one key=value per line)
+ *         and exit. `picosim_run --dump-spec ... | picosim_run --spec
+ *         /dev/stdin` reproduces the run exactly.
  *   --nested: taskbench nested mode — task-free/task-chain become the
  *         equivalent recursive task trees (workers spawn the children).
  *   KIND: serial | nanos-sw | nanos-rv | nanos-axi | phentos
  *   --jobs: worker threads for multi-workload batches (default: hardware
- *           concurrency).
- *   --mode: kernel evaluation strategy (default: event).
- *   --mem:  memory model (default: inline). timed routes accesses through
- *           the contention-aware subsystem; --mshrs, --bus-bytes and
- *           --mem-occupancy tune its structure.
- *   --sched-shards / --clusters / --steal: scheduler topology. The
- *           default (1, 1) is the paper's single centralized Picos;
- *           larger values instantiate the sharded scaling layer with
- *           per-cluster managers and optional cross-cluster work
- *           stealing (on by default).
- *   --host-threads: host threads per simulated system (default 1). With
- *           a sharded topology, values > 1 run the conservative-PDES
- *           windowed kernel; results are bit-identical for any count.
- *   --pdes: domain partitioning policy (default auto = partition when
- *           --host-threads > 1). force partitions even at one thread
- *           (same windowed schedule, for determinism diffs); off never
- *           partitions. Single-Picos topologies always fall back to the
- *           sequential kernel.
- *   --pdes-domains: PDES domain count (default auto = derive from the
- *           topology: cores | one domain per cluster manager | the
- *           scheduler). N >= 2 requests exactly N domains, clamped to
- *           2 + clusters. Results are bit-identical for any value and
- *           any --host-threads; the count never depends on the thread
- *           count, only on the simulated topology.
+ *           concurrency). Execution-only: not part of the spec.
+ *
+ * Every other key is documented in src/spec/run_spec.hh; unknown flags
+ * and misspelled keys are rejected with a nearest-key suggestion.
  *
  * --stats / --trace need the simulated System inspectable after the run,
  * so they force the single-workload in-process path.
@@ -60,111 +51,119 @@
 
 #include "apps/workloads.hh"
 #include "runtime/harness.hh"
-#include "runtime/nanos.hh"
-#include "runtime/phentos.hh"
-#include "runtime/serial.hh"
 #include "runtime/task_trace.hh"
+#include "spec/engine.hh"
+#include "spec/run_spec.hh"
+#include "spec/workload_registry.hh"
 
 using namespace picosim;
 
 namespace
 {
 
-constexpr const char *kValidRuntimes =
-    "serial, nanos-sw, nanos-rv, nanos-axi, phentos";
-constexpr const char *kValidMemModes = "inline, timed";
-constexpr const char *kValidModes = "event, tickworld";
-
-std::optional<rt::RuntimeKind>
-parseKind(const std::string &s)
+/** One parsed command-line argument: `--key=value` or a bare `--flag`. */
+struct CliArg
 {
-    if (s == "serial") return rt::RuntimeKind::Serial;
-    if (s == "nanos-sw") return rt::RuntimeKind::NanosSW;
-    if (s == "nanos-rv") return rt::RuntimeKind::NanosRV;
-    if (s == "nanos-axi") return rt::RuntimeKind::NanosAXI;
-    if (s == "phentos") return rt::RuntimeKind::Phentos;
-    return std::nullopt;
-}
+    std::string key;
+    std::string value;
+    bool has_value = false;
+};
 
-std::optional<rt::Program>
-buildWorkload(const std::string &name, bool nested)
-{
-    if (name == "task-free") {
-        return nested ? apps::taskTree(4, 3, 1000, /*chained=*/false)
-                      : apps::taskFree(256, 1, 1000);
-    }
-    if (name == "task-chain") {
-        return nested ? apps::taskTree(4, 3, 1000, /*chained=*/true)
-                      : apps::taskChain(256, 1, 1000);
-    }
-    if (name == "cholesky-nested")
-        return apps::choleskyNested(10, 16);
-    if (name == "mergesort-nested")
-        return apps::mergesortNested(4096, 128);
-    if (name == "task-tree")
-        return apps::taskTree(4, 3, 1000);
-    for (const auto &input : apps::figure9Inputs()) {
-        const std::string full = input.program + " " + input.label;
-        if (full.find(name) != std::string::npos)
-            return input.build();
-    }
-    return std::nullopt;
-}
+/** Bare flags (no value) the driver itself consumes. */
+constexpr const char *kBareFlags[] = {
+    "list", "list-workloads", "dump-spec", "nested", "stats",
+};
 
-std::optional<std::string>
-argValue(int argc, char **argv, const char *flag)
+/** Valued flags that are not spec keys (execution/introspection only). */
+constexpr const char *kDriverValueFlags[] = {
+    "workload", "jobs", "trace", "spec",
+};
+
+bool
+isBareFlag(const std::string &key)
 {
-    const std::string prefix = std::string(flag) + "=";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
-            return std::string(argv[i] + prefix.size());
-    }
-    return std::nullopt;
+    for (const char *f : kBareFlags)
+        if (key == f)
+            return true;
+    return false;
 }
 
 bool
-hasFlag(int argc, char **argv, const char *flag)
+isDriverValueFlag(const std::string &key)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0)
+    for (const char *f : kDriverValueFlags)
+        if (key == f)
             return true;
-    }
+    return false;
+}
+
+/** Closest known flag (spec keys + driver flags) for a typo suggestion. */
+std::string
+nearestFlag(const std::string &key)
+{
+    std::string best = spec::RunSpec::nearestKey(key);
+    unsigned bestDist = best.empty() ? ~0u : spec::editDistance(key, best);
+    const auto consider = [&](const char *name) {
+        const unsigned d = spec::editDistance(key, name);
+        if (d < bestDist) {
+            bestDist = d;
+            best = name;
+        }
+    };
+    for (const char *f : kBareFlags)
+        consider(f);
+    for (const char *f : kDriverValueFlags)
+        consider(f);
+    return best;
+}
+
+bool
+isSpecKey(const std::string &key)
+{
+    if (key.rfind("wl.", 0) == 0)
+        return true;
+    for (const std::string &k : spec::RunSpec::keys())
+        if (key == k)
+            return true;
     return false;
 }
 
 /**
- * Strict numeric flag parsing: base-10 digits only (trailing garbage,
- * signs and hex prefixes are rejected, never truncated) and an explicit
- * valid range reported in the same style as the enum-flag messages.
- * @return false after printing the error; true with @p out untouched
- * when the flag is absent.
+ * Split argv into CliArgs. Throws SpecError for arguments that are not
+ * `--key[=value]` or whose bare/valued shape does not match the flag.
  */
-bool
-parseCountFlag(int argc, char **argv, const char *flag, unsigned min,
-               unsigned max, unsigned &out)
+std::vector<CliArg>
+parseArgv(int argc, char **argv)
 {
-    const auto v = argValue(argc, argv, flag);
-    if (!v)
-        return true;
-    unsigned long long value = 0;
-    bool ok = !v->empty() && v->size() <= 12;
-    if (ok) {
-        for (const char c : *v) {
-            if (c < '0' || c > '9') {
-                ok = false;
-                break;
-            }
-            value = value * 10 + static_cast<unsigned>(c - '0');
+    std::vector<CliArg> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            throw spec::SpecError("unexpected argument '" + arg +
+                                  "' (flags look like --key=value)");
         }
+        CliArg out;
+        const std::size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+            out.key = arg.substr(2);
+            // Valued driver flags also accept "--flag VALUE".
+            if (isDriverValueFlag(out.key) && i + 1 < argc &&
+                std::strncmp(argv[i + 1], "--", 2) != 0) {
+                out.value = argv[++i];
+                out.has_value = true;
+            }
+        } else {
+            out.key = arg.substr(2, eq - 2);
+            out.value = arg.substr(eq + 1);
+            out.has_value = true;
+        }
+        if (out.key.empty()) {
+            throw spec::SpecError("unexpected argument '" + arg +
+                                  "' (flags look like --key=value)");
+        }
+        args.push_back(std::move(out));
     }
-    if (!ok || value < min || value > max) {
-        std::fprintf(stderr, "%s expects an integer in [%u, %u], got "
-                             "'%s'\n",
-                     flag, min, max, v->c_str());
-        return false;
-    }
-    out = static_cast<unsigned>(value);
-    return true;
+    return args;
 }
 
 std::vector<std::string>
@@ -238,57 +237,56 @@ printResult(const rt::RunResult &res, unsigned cores)
     }
 }
 
+/** Legacy quick listing (workload names, runtimes, memory models). */
+void
+printList()
+{
+    std::printf("workloads:\n  task-free\n  task-chain\n"
+                "  cholesky-nested\n  mergesort-nested\n  task-tree\n");
+    for (const auto &input : apps::figure9Inputs())
+        std::printf("  %s %s\n", input.program.c_str(),
+                    input.label.c_str());
+    std::printf("runtimes: serial nanos-sw nanos-rv nanos-axi "
+                "phentos\n");
+    std::printf("memory models: inline timed\n");
+}
+
+/** Registry listing: every workload with its parameter schema. */
+void
+printWorkloadRegistry()
+{
+    std::printf("workloads:\n");
+    for (const auto &def : spec::WorkloadRegistry::instance().list()) {
+        std::printf("  %-18s %s\n", def.name.c_str(),
+                    def.description.c_str());
+        for (const auto &p : def.params) {
+            std::printf("    wl.%-16s %s (default %llu, range [%llu, "
+                        "%llu])\n",
+                        p.name.c_str(), p.help.c_str(),
+                        static_cast<unsigned long long>(p.def),
+                        static_cast<unsigned long long>(p.min),
+                        static_cast<unsigned long long>(p.max));
+        }
+    }
+}
+
 /** Single-workload path with the System kept inspectable (stats/trace). */
 int
-runInspectable(const std::string &wl, rt::RuntimeKind kind,
-               const rt::HarnessParams &hp, bool nested,
+runInspectable(const spec::RunSpec &sp,
                const std::optional<std::string> &trace_path, bool stats)
 {
-    const auto prog = buildWorkload(wl, nested);
-    if (!prog) {
-        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
-                     wl.c_str());
-        return 1;
-    }
-
-    cpu::SystemParams sp = hp.system;
-    sp.numCores = kind == rt::RuntimeKind::Serial ? 1 : hp.numCores;
-    cpu::System sys(sp);
-    auto runtime = rt::makeRuntime(kind, hp.costs);
-
     rt::TaskTrace trace;
-    if (trace_path) {
-        trace.reset(prog->numTasks());
-        if (auto *ph = dynamic_cast<rt::Phentos *>(runtime.get()))
-            ph->setTrace(&trace);
-        else if (auto *nn = dynamic_cast<rt::Nanos *>(runtime.get()))
-            nn->setTrace(&trace);
-    }
+    spec::InspectedRun run = spec::Engine::runInspected(
+        sp, trace_path ? &trace : nullptr);
 
-    runtime->install(sys, *prog);
-    const bool ok = sys.run(hp.cycleLimit);
-
-    const auto serial = rt::runProgram(rt::RuntimeKind::Serial, *prog, hp);
-
-    rt::RunResult res;
-    res.runtime = runtime->name();
-    res.program = prog->name;
-    res.completed = ok && runtime->finished();
-    res.cycles = sys.clock().now();
-    res.tasks = prog->numTasks();
-    res.meanTaskSize = prog->meanTaskSize();
-    res.serialCycles = serial.cycles;
-    res.evaluatedCycles = sys.simulator().evaluatedCycles();
-    res.componentTicks = sys.simulator().componentTicks();
-    res.tickWorldTicks = sys.simulator().tickWorldTicks();
-    res.workerSubmits = runtime->tasksSubmittedByWorkers();
-    res.inlineTasks = runtime->tasksExecutedInline();
-    rt::fillContentionStats(res, sys);
-    printResult(res, sys.numCores());
+    spec::RunSpec serial = sp;
+    serial.runtime = rt::RuntimeKind::Serial;
+    run.result.serialCycles = spec::Engine::run(serial).cycles;
+    printResult(run.result, run.system->numCores());
 
     if (trace_path) {
         std::ofstream out(*trace_path);
-        trace.writeChromeTrace(out, prog->name);
+        trace.writeChromeTrace(out, run.result.program);
         std::printf("trace     : %s (queue %.0f cyc, service %.0f cyc)\n",
                     trace_path->c_str(), trace.meanQueueLatency(),
                     trace.meanServiceTime());
@@ -302,10 +300,191 @@ runInspectable(const std::string &wl, rt::RuntimeKind kind,
     }
     if (stats) {
         std::printf("\n-- system statistics --\n");
-        sys.stats().dump(std::cout);
-        sys.memory().stats().dump(std::cout);
+        run.system->stats().dump(std::cout);
+        run.system->memory().stats().dump(std::cout);
     }
-    return res.completed ? 0 : 1;
+    return run.result.completed ? 0 : 1;
+}
+
+int
+runMain(int argc, char **argv)
+{
+    const std::vector<CliArg> args = parseArgv(argc, argv);
+
+    // Pass 1: driver-level flags.
+    bool list = false, list_workloads = false, dump_spec = false;
+    bool nested = false, stats = false;
+    std::optional<std::string> workloads_flag, trace_path, spec_path;
+    unsigned jobs = 0;
+    for (const CliArg &a : args) {
+        if (!isBareFlag(a.key) && !isDriverValueFlag(a.key) &&
+            !isSpecKey(a.key)) {
+            throw spec::SpecError(
+                "unknown flag '--" + a.key + "'" +
+                spec::didYouMean(a.key, nearestFlag(a.key), "--"));
+        }
+        if (isBareFlag(a.key)) {
+            if (a.has_value) {
+                throw spec::SpecError("--" + a.key +
+                                      " does not take a value");
+            }
+            if (a.key == "list") list = true;
+            else if (a.key == "list-workloads") list_workloads = true;
+            else if (a.key == "dump-spec") dump_spec = true;
+            else if (a.key == "nested") nested = true;
+            else if (a.key == "stats") stats = true;
+            continue;
+        }
+        if (!a.has_value) {
+            // A known valued flag missing its value.
+            if (isDriverValueFlag(a.key)) {
+                throw spec::SpecError("--" + a.key + " expects a value "
+                                      "(--" + a.key + "=...)");
+            }
+            spec::RunSpec probe;
+            probe.setKey(a.key, "", "--"); // throws the right message
+            continue;
+        }
+        if (a.key == "workload") workloads_flag = a.value;
+        else if (a.key == "trace") trace_path = a.value;
+        else if (a.key == "spec") spec_path = a.value;
+        else if (a.key == "jobs") {
+            // Execution-only knob, same strict parsing as spec keys.
+            const std::string &v = a.value;
+            bool ok = !v.empty() && v.size() <= 12;
+            unsigned long long value = 0;
+            if (ok) {
+                for (const char c : v) {
+                    if (c < '0' || c > '9') { ok = false; break; }
+                    value = value * 10 + static_cast<unsigned>(c - '0');
+                }
+            }
+            if (!ok || value > 4096) {
+                throw spec::SpecError(
+                    "--jobs expects an integer in [0, 4096], got '" + v +
+                    "'");
+            }
+            jobs = static_cast<unsigned>(value);
+        }
+        // Spec keys are applied in pass 2 (after any --spec file).
+    }
+
+    if (list) {
+        printList();
+        return 0;
+    }
+    if (list_workloads) {
+        printWorkloadRegistry();
+        return 0;
+    }
+
+    // Base spec: file first, then command-line keys override.
+    spec::RunSpec base;
+    if (spec_path) {
+        std::ifstream in(*spec_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot read spec file '%s'\n",
+                         spec_path->c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        base.merge(text.str());
+    }
+    for (const CliArg &a : args) {
+        if (isBareFlag(a.key) || isDriverValueFlag(a.key) ||
+            a.key == "workload")
+            continue;
+        if (a.key == "jobs" || !a.has_value)
+            continue;
+        base.setKey(a.key, a.value, "--");
+    }
+    base.nested = base.nested || nested;
+
+    // The legacy no-flag default: blackscholes 4K with 32-option blocks.
+    std::vector<std::string> names;
+    if (workloads_flag) {
+        names = splitCommas(*workloads_flag);
+        if (names.empty()) {
+            std::fprintf(stderr, "no workload given\n");
+            return 1;
+        }
+    } else if (!spec_path) {
+        names = {"blackscholes 4K B32"};
+    }
+
+    // Resolve one canonical spec per workload name; warnings once.
+    std::vector<spec::RunSpec> specs;
+    if (names.empty()) {
+        specs.push_back(base);
+    } else {
+        for (const std::string &name : names) {
+            spec::RunSpec sp = base;
+            sp.workload = name;
+            specs.push_back(std::move(sp));
+        }
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto warnings = specs[i].canonicalize("--");
+        if (i == 0) {
+            for (const std::string &w : warnings)
+                std::fprintf(stderr, "%s\n", w.c_str());
+        }
+    }
+
+    if (dump_spec) {
+        if (specs.size() > 1) {
+            std::fprintf(stderr,
+                         "--dump-spec needs a single workload\n");
+            return 1;
+        }
+        std::printf("%s\n", specs[0].serialize('\n').c_str());
+        return 0;
+    }
+
+    // Introspection keeps the legacy single-run path; everything else
+    // goes through the batch engine (workload + serial baseline each).
+    if (trace_path || stats) {
+        if (specs.size() > 1) {
+            std::fprintf(stderr,
+                         "--trace/--stats need a single workload\n");
+            return 1;
+        }
+        return runInspectable(specs[0], trace_path, stats);
+    }
+
+    // One main job per workload and repetition, plus a serial baseline
+    // unless the main run already is serial (then it is its own
+    // baseline).
+    const bool isSerial =
+        specs[0].runtime == rt::RuntimeKind::Serial;
+    const std::size_t runsPerSpec = isSerial ? 1 : 2;
+    const unsigned repeat = specs[0].repeat;
+    std::vector<spec::RunSpec> batch;
+    for (const spec::RunSpec &sp : specs) {
+        for (unsigned r = 0; r < repeat; ++r) {
+            batch.push_back(sp);
+            if (!isSerial) {
+                spec::RunSpec serial = sp;
+                serial.runtime = rt::RuntimeKind::Serial;
+                batch.push_back(std::move(serial));
+            }
+        }
+    }
+
+    const std::vector<rt::RunResult> results =
+        spec::Engine::runBatch(batch, jobs);
+
+    bool all_ok = true;
+    for (std::size_t i = 0; i * runsPerSpec < results.size(); ++i) {
+        rt::RunResult res = results[runsPerSpec * i];
+        res.serialCycles = results[runsPerSpec * i + runsPerSpec - 1].cycles;
+        if (i > 0)
+            std::printf("\n");
+        printResult(res, isSerial ? 1 : specs[0].cores);
+        all_ok = all_ok && res.completed;
+    }
+    return all_ok ? 0 : 1;
 }
 
 } // namespace
@@ -313,193 +492,10 @@ runInspectable(const std::string &wl, rt::RuntimeKind kind,
 int
 main(int argc, char **argv)
 {
-    if (hasFlag(argc, argv, "--list")) {
-        std::printf("workloads:\n  task-free\n  task-chain\n"
-                    "  cholesky-nested\n  mergesort-nested\n  task-tree\n");
-        for (const auto &input : apps::figure9Inputs())
-            std::printf("  %s %s\n", input.program.c_str(),
-                        input.label.c_str());
-        std::printf("runtimes: serial nanos-sw nanos-rv nanos-axi "
-                    "phentos\n");
-        std::printf("memory models: inline timed\n");
-        return 0;
-    }
-
-    const std::string wl =
-        argValue(argc, argv, "--workload").value_or("blackscholes 4K B32");
-    const std::string rtname =
-        argValue(argc, argv, "--runtime").value_or("phentos");
-
-    const auto kind = parseKind(rtname);
-    if (!kind) {
-        std::fprintf(stderr, "unknown runtime '%s' (valid: %s)\n",
-                     rtname.c_str(), kValidRuntimes);
+    try {
+        return runMain(argc, argv);
+    } catch (const spec::SpecError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
         return 1;
     }
-
-    rt::HarnessParams hp;
-    if (!parseCountFlag(argc, argv, "--cores", 1, 4096, hp.numCores))
-        return 1;
-    if (auto mode = argValue(argc, argv, "--mode")) {
-        if (*mode == "event") {
-            hp.system.evalMode = sim::EvalMode::EventDriven;
-        } else if (*mode == "tickworld") {
-            hp.system.evalMode = sim::EvalMode::TickWorld;
-        } else {
-            std::fprintf(stderr, "unknown mode '%s' (valid: %s)\n",
-                         mode->c_str(), kValidModes);
-            return 1;
-        }
-    }
-    if (auto memmode = argValue(argc, argv, "--mem")) {
-        if (*memmode == "inline") {
-            hp.system.mem.mode = mem::MemMode::Inline;
-        } else if (*memmode == "timed") {
-            hp.system.mem.mode = mem::MemMode::Timed;
-        } else {
-            std::fprintf(stderr, "unknown memory model '%s' (valid: %s)\n",
-                         memmode->c_str(), kValidMemModes);
-            return 1;
-        }
-    }
-    unsigned mem_occupancy = 0; // Cycle-typed param needs a widening copy
-    if (!parseCountFlag(argc, argv, "--mshrs", 1, 100'000'000,
-                        hp.system.mem.mshrs) ||
-        !parseCountFlag(argc, argv, "--bus-bytes", 1, 100'000'000,
-                        hp.system.mem.busBytesPerCycle) ||
-        !parseCountFlag(argc, argv, "--mem-occupancy", 1, 100'000'000,
-                        mem_occupancy)) {
-        return 1;
-    }
-    if (mem_occupancy > 0)
-        hp.system.mem.memOccupancy = mem_occupancy;
-
-    // Scheduler topology: shards/clusters select the scaling layer;
-    // (1, 1) keeps the paper's single centralized Picos.
-    if (!parseCountFlag(argc, argv, "--sched-shards", 1, 64,
-                        hp.system.topology.schedShards) ||
-        !parseCountFlag(argc, argv, "--clusters", 1, 256,
-                        hp.system.topology.clusters)) {
-        return 1;
-    }
-    if (hp.system.topology.clusters > hp.numCores) {
-        std::fprintf(stderr,
-                     "--clusters=%u exceeds --cores=%u (each cluster "
-                     "needs at least one core)\n",
-                     hp.system.topology.clusters, hp.numCores);
-        return 1;
-    }
-    if (auto steal = argValue(argc, argv, "--steal")) {
-        if (*steal == "on") {
-            hp.system.topology.workStealing = true;
-        } else if (*steal == "off") {
-            hp.system.topology.workStealing = false;
-        } else {
-            std::fprintf(stderr,
-                         "unknown steal policy '%s' (valid: on, off)\n",
-                         steal->c_str());
-            return 1;
-        }
-    }
-
-    // Conservative-PDES controls (see cpu::PdesParams).
-    if (!parseCountFlag(argc, argv, "--host-threads", 1, 256,
-                        hp.system.pdes.hostThreads))
-        return 1;
-    if (auto pdes = argValue(argc, argv, "--pdes")) {
-        if (*pdes == "auto") {
-            hp.system.pdes.partition = cpu::PdesParams::Partition::Auto;
-        } else if (*pdes == "off") {
-            hp.system.pdes.partition = cpu::PdesParams::Partition::Off;
-        } else if (*pdes == "force") {
-            hp.system.pdes.partition = cpu::PdesParams::Partition::Force;
-        } else {
-            std::fprintf(stderr,
-                         "unknown pdes policy '%s' (valid: auto, off, "
-                         "force)\n",
-                         pdes->c_str());
-            return 1;
-        }
-    }
-    if (auto pd = argValue(argc, argv, "--pdes-domains")) {
-        if (*pd == "auto") {
-            hp.system.pdes.domains = 0;
-        } else if (!parseCountFlag(argc, argv, "--pdes-domains", 2, 258,
-                                   hp.system.pdes.domains)) {
-            return 1;
-        }
-    }
-    if (hp.system.pdes.partition == cpu::PdesParams::Partition::Off &&
-        hp.system.pdes.hostThreads > 1) {
-        std::fprintf(stderr,
-                     "warning: --host-threads=%u is ignored with "
-                     "--pdes=off (the unpartitioned kernel is "
-                     "sequential)\n",
-                     hp.system.pdes.hostThreads);
-    }
-
-    unsigned jobs = 0;
-    if (!parseCountFlag(argc, argv, "--jobs", 0, 4096, jobs))
-        return 1;
-
-    const auto trace_path = argValue(argc, argv, "--trace");
-    const bool stats = hasFlag(argc, argv, "--stats");
-    const bool nested = hasFlag(argc, argv, "--nested");
-    const std::vector<std::string> names = splitCommas(wl);
-    if (names.empty()) {
-        std::fprintf(stderr, "no workload given\n");
-        return 1;
-    }
-
-    // Introspection keeps the legacy single-run path; everything else goes
-    // through the batch harness (workload + serial baseline per name).
-    if (trace_path || stats) {
-        if (names.size() > 1) {
-            std::fprintf(stderr,
-                         "--trace/--stats need a single workload\n");
-            return 1;
-        }
-        return runInspectable(names[0], *kind, hp, nested, trace_path,
-                              stats);
-    }
-
-    // One main job per workload, plus a serial baseline unless the main
-    // run already is serial (then it serves as its own baseline).
-    const bool isSerial = *kind == rt::RuntimeKind::Serial;
-    const std::size_t runsPerName = isSerial ? 1 : 2;
-    std::vector<rt::Job> batch;
-    for (const std::string &name : names) {
-        const auto prog = buildWorkload(name, nested);
-        if (!prog) {
-            std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
-                         name.c_str());
-            return 1;
-        }
-        rt::Job main_job;
-        main_job.kind = *kind;
-        main_job.prog = *prog;
-        main_job.params = hp;
-        batch.push_back(main_job);
-
-        if (!isSerial) {
-            rt::Job serial_job;
-            serial_job.kind = rt::RuntimeKind::Serial;
-            serial_job.prog = *prog;
-            serial_job.params = hp;
-            batch.push_back(std::move(serial_job));
-        }
-    }
-
-    const std::vector<rt::RunResult> results = rt::runBatch(batch, jobs);
-
-    bool all_ok = true;
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        rt::RunResult res = results[runsPerName * i];
-        res.serialCycles = results[runsPerName * i + runsPerName - 1].cycles;
-        if (i > 0)
-            std::printf("\n");
-        printResult(res, isSerial ? 1 : hp.numCores);
-        all_ok = all_ok && res.completed;
-    }
-    return all_ok ? 0 : 1;
 }
