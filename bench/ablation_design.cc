@@ -41,7 +41,7 @@ overheadWith(spec::RunSpec base)
     base.runtime = rt::RuntimeKind::Phentos;
     base.cores = 1;
     base.canonicalize();
-    const auto r = spec::Engine::run(base);
+    const auto r = bench::runJob(base);
     return r.completed ? r.overheadPerTask() : -1.0;
 }
 
@@ -51,9 +51,9 @@ speedupWith(spec::RunSpec s)
     s.canonicalize();
     spec::RunSpec serialSpec = s;
     serialSpec.runtime = rt::RuntimeKind::Serial;
-    const auto serial = spec::Engine::run(serialSpec);
+    const auto serial = bench::runJob(serialSpec);
     s.runtime = rt::RuntimeKind::Phentos;
-    const auto par = spec::Engine::run(s);
+    const auto par = bench::runJob(s);
     if (!serial.completed || !par.completed)
         return -1.0;
     return static_cast<double>(serial.cycles) /

@@ -10,13 +10,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/harness.hh"
+#include "service/job_manager.hh"
 #include "spec/engine.hh"
 #include "spec/run_spec.hh"
+#include "spec/workload_registry.hh"
 
 namespace picosim::bench
 {
@@ -182,6 +186,94 @@ canonicalSpec(const std::string &workload, spec::WorkloadArgs args,
     return s;
 }
 
+// -- Local job service ---------------------------------------------------
+//
+// The bench drivers' sweep loops execute through the same job core
+// picosim_run and picosim_serve use (svc::JobManager, in-process); only
+// kernel-timing microbenches that time Engine calls directly stay on
+// the engine to keep the measured path free of job bookkeeping.
+
+/** The process-wide job manager the sequential bench loops share. */
+inline svc::JobManager &
+localJobService()
+{
+    static svc::JobManager mgr; // hardware-concurrency workers
+    return mgr;
+}
+
+/** Run one spec as a single-run job on the local job service. */
+inline rt::RunResult
+runJob(const spec::RunSpec &s)
+{
+    svc::JobManager &mgr = localJobService();
+    svc::JobSpec js;
+    js.runs = {s};
+    const std::uint64_t id = mgr.submit(std::move(js));
+    const svc::JobStatus st = mgr.wait(id);
+    if (st.state == svc::JobState::Failed)
+        throw spec::SpecError(st.error);
+    std::vector<svc::RunRow> rows = mgr.runRows(id);
+    return std::move(rows.at(0).result);
+}
+
+/** runJob plus the serial baseline (fills serialCycles) — the job-core
+ *  equivalent of spec::Engine::runWithSpeedup. */
+inline rt::RunResult
+runJobWithSpeedup(const spec::RunSpec &s)
+{
+    if (s.runtime == rt::RuntimeKind::Serial) {
+        rt::RunResult res = runJob(s);
+        res.serialCycles = res.cycles;
+        return res;
+    }
+    spec::RunSpec serial = s;
+    serial.runtime = rt::RuntimeKind::Serial;
+    svc::JobManager &mgr = localJobService();
+    svc::JobSpec js;
+    js.runs = {s, std::move(serial)};
+    const std::uint64_t id = mgr.submit(std::move(js));
+    const svc::JobStatus st = mgr.wait(id);
+    if (st.state == svc::JobState::Failed)
+        throw spec::SpecError(st.error);
+    std::vector<svc::RunRow> rows = mgr.runRows(id);
+    rt::RunResult res = std::move(rows.at(0).result);
+    res.serialCycles = rows.at(1).result.cycles;
+    return res;
+}
+
+/**
+ * Run @p specs as one job on a dedicated @p workers-thread manager
+ * (0 = hardware concurrency); results are positional and identical to
+ * running each spec alone. @p onResult fires in run order as rows
+ * complete. Throws on a failed job (first error message).
+ */
+inline std::vector<rt::RunResult>
+runJobs(const std::vector<spec::RunSpec> &specs, unsigned workers = 0,
+        const std::function<void(std::size_t, const rt::RunResult &)>
+            &onResult = nullptr)
+{
+    if (specs.empty())
+        return {};
+    svc::JobManager::Params mp;
+    mp.workers = workers;
+    svc::JobManager mgr(mp);
+    svc::JobSpec js;
+    js.runs = specs;
+    const std::uint64_t id = mgr.submit(std::move(js));
+    std::vector<rt::RunResult> out;
+    out.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        auto row = mgr.waitRow(id, i);
+        if (row && onResult)
+            onResult(i, row->result);
+        out.push_back(row ? std::move(row->result) : rt::RunResult{});
+    }
+    const svc::JobStatus st = mgr.wait(id);
+    if (st.state == svc::JobState::Failed)
+        throw spec::SpecError(st.error);
+    return out;
+}
+
 /**
  * Measure the Figure 7 lifetime-overhead metric: single-core run (the
  * measuring thread both generates and executes tasks, as in the paper's
@@ -191,7 +283,7 @@ inline double
 lifetimeOverhead(spec::RunSpec s)
 {
     s.cores = 1;
-    const rt::RunResult res = spec::Engine::run(s);
+    const rt::RunResult res = runJob(s);
     if (!res.completed) {
         std::fprintf(stderr, "warning: %s did not complete %s\n",
                      res.runtime.c_str(), res.program.c_str());

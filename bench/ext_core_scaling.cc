@@ -38,14 +38,14 @@ main()
 
     spec::RunSpec serialSpec = base;
     serialSpec.runtime = rt::RuntimeKind::Serial;
-    const auto serial = spec::Engine::run(serialSpec);
+    const auto serial = bench::runJob(serialSpec);
 
     for (unsigned cores : {1u, 2u, 4u, 8u, 12u, 16u}) {
         const auto speedup = [&](rt::RuntimeKind kind) {
             spec::RunSpec s = base;
             s.runtime = kind;
             s.cores = cores;
-            const auto r = spec::Engine::run(s);
+            const auto r = bench::runJob(s);
             return r.completed ? static_cast<double>(serial.cycles) /
                                      static_cast<double>(r.cycles)
                                : 0.0;
@@ -71,9 +71,9 @@ main()
         s.runtime = rt::RuntimeKind::NanosSW;
         s.cores = cores;
         s.mem = mem::MemMode::Inline;
-        const auto ri = spec::Engine::run(s);
+        const auto ri = bench::runJob(s);
         s.mem = mem::MemMode::Timed;
-        const auto rtm = spec::Engine::run(s);
+        const auto rtm = bench::runJob(s);
         const double diff =
             ri.cycles == 0
                 ? 0.0

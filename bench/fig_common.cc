@@ -57,7 +57,9 @@ runFigure9Matrix(bool progress, unsigned threads)
                          rows[p].label.c_str(), res.runtime.c_str());
         }
     };
-    const auto results = spec::Engine::runBatch(specs, threads, onResult);
+    // The matrix rides the job core (one job, run-granular dispatch on
+    // a dedicated pool) — the same execution path as picosim_serve.
+    const auto results = runJobs(specs, threads, onResult);
 
     for (std::size_t j = 0; j < results.size(); ++j) {
         const rt::RunResult &res = results[j];

@@ -42,9 +42,9 @@ runBoth(const spec::RunSpec &base, rt::RuntimeKind kind, unsigned cores,
     s.runtime = kind;
     s.cores = cores;
     s.mem = mem::MemMode::Inline;
-    p.inlineRes = spec::Engine::run(s);
+    p.inlineRes = bench::runJob(s);
     s.mem = mem::MemMode::Timed;
-    p.timedRes = spec::Engine::run(s);
+    p.timedRes = bench::runJob(s);
     timed_spec = s;
     return p;
 }

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hh"
 #include "picos/picos.hh"
 #include "rocc/task_packets.hh"
 #include "runtime/harness.hh"
@@ -79,7 +80,7 @@ BM_RuntimeOverhead(benchmark::State &state)
     s.cores = 1;
     s.canonicalize();
     for (auto _ : state) {
-        const rt::RunResult res = spec::Engine::run(s);
+        const rt::RunResult res = bench::runJob(s);
         state.counters["overhead_cycles"] =
             benchmark::Counter(res.overheadPerTask());
     }
@@ -99,7 +100,7 @@ BM_SimulatorThroughput(benchmark::State &state)
     s.wl = {{"options", 4096}, {"block", 16}};
     s.canonicalize();
     for (auto _ : state) {
-        const rt::RunResult res = spec::Engine::run(s);
+        const rt::RunResult res = bench::runJob(s);
         benchmark::DoNotOptimize(res.cycles);
     }
 }

@@ -40,7 +40,7 @@ rt::RunResult
 runTopo(const spec::RunSpec &s, double &wall_sec)
 {
     const auto t0 = std::chrono::steady_clock::now();
-    rt::RunResult r = spec::Engine::runWithSpeedup(s);
+    rt::RunResult r = bench::runJobWithSpeedup(s);
     wall_sec = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - t0)
                    .count();

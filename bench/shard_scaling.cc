@@ -51,7 +51,7 @@ rt::RunResult
 runSpecTimed(const spec::RunSpec &s, double &wall_sec)
 {
     const auto t0 = std::chrono::steady_clock::now();
-    rt::RunResult r = spec::Engine::run(s);
+    rt::RunResult r = bench::runJob(s);
     wall_sec = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - t0)
                    .count();

@@ -1,9 +1,12 @@
 #include "runtime/harness.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <iterator>
 #include <mutex>
+#include <optional>
+#include <semaphore>
 #include <thread>
 
 #include "runtime/nanos.hh"
@@ -71,10 +74,60 @@ fillContentionStats(RunResult &res, cpu::System &sys)
     res.workSteals = stat("sharded.steals");
 }
 
+void
+armControls(cpu::System &sys, const RunControls &ctl)
+{
+    // Compose the wall-clock deadline: the tighter of the caller's
+    // absolute cutoff and a per-run budget counted from right here.
+    using SteadyClock = std::chrono::steady_clock;
+    SteadyClock::time_point deadline{};
+    bool hasDeadline = false;
+    if (ctl.hasDeadline) {
+        deadline = ctl.deadline;
+        hasDeadline = true;
+    }
+    if (ctl.timeoutSec > 0.0) {
+        const auto budget = SteadyClock::now() +
+            std::chrono::duration_cast<SteadyClock::duration>(
+                std::chrono::duration<double>(ctl.timeoutSec));
+        if (!hasDeadline || budget < deadline)
+            deadline = budget;
+        hasDeadline = true;
+    }
+    if (!ctl.cancel && !ctl.groupCancel && !hasDeadline)
+        return;
+    sys.simulator().setStopCheck(
+        [ctl, deadline, hasDeadline]() noexcept {
+            if (ctl.cancelRequested())
+                return true;
+            return hasDeadline && SteadyClock::now() >= deadline;
+        });
+}
+
+RunStatus
+finishStatus(cpu::System &sys, const RunControls &ctl, bool completed)
+{
+    if (sys.simulator().stoppedByCheck())
+        return ctl.cancelRequested() ? RunStatus::Cancelled
+                                     : RunStatus::TimedOut;
+    return completed ? RunStatus::Ok : RunStatus::CycleLimit;
+}
+
 RunResult
 runProgram(RuntimeKind kind, const Program &prog,
            const HarnessParams &params)
 {
+    const RunControls &ctl = params.controls;
+    if (ctl.cancelRequested()) {
+        // Between-runs cancellation boundary: report the job cancelled
+        // without building a System (nothing simulated, nothing leaked).
+        RunResult res;
+        res.runtime = std::string(kindName(kind));
+        res.program = prog.name;
+        res.status = RunStatus::Cancelled;
+        return res;
+    }
+
     cpu::SystemParams sp = params.system;
     sp.numCores = kind == RuntimeKind::Serial ? 1 : params.numCores;
     if (kind == RuntimeKind::Serial) {
@@ -86,6 +139,7 @@ runProgram(RuntimeKind kind, const Program &prog,
     cpu::System sys(sp);
     std::unique_ptr<Runtime> runtime = makeRuntime(kind, params.costs);
     runtime->install(sys, prog);
+    armControls(sys, ctl);
 
     const bool ok = sys.run(params.cycleLimit);
 
@@ -93,6 +147,7 @@ runProgram(RuntimeKind kind, const Program &prog,
     res.runtime = runtime->name();
     res.program = prog.name;
     res.completed = ok && runtime->finished();
+    res.status = finishStatus(sys, ctl, res.completed);
     res.cycles = sys.clock().now();
     res.serialPayload = prog.serialPayloadCycles();
     res.tasks = prog.numTasks();
@@ -103,7 +158,9 @@ runProgram(RuntimeKind kind, const Program &prog,
     res.workerSubmits = runtime->tasksSubmittedByWorkers();
     res.inlineTasks = runtime->tasksExecutedInline();
     fillContentionStats(res, sys);
-    if (!res.completed) {
+    if (res.status == RunStatus::CycleLimit) {
+        // Cancelled/timed-out runs are expected to be incomplete; only
+        // an exhausted cycle budget signals a genuinely stuck program.
         PSIM_WARN(sys.clock(), "harness",
                   res.runtime << " did not complete " << prog.name << " ("
                               << runtime->tasksExecuted() << "/"
@@ -117,29 +174,49 @@ runWithSpeedup(RuntimeKind kind, const Program &prog,
                const HarnessParams &params)
 {
     const RunResult serial = runProgram(RuntimeKind::Serial, prog, params);
-    RunResult res = kind == RuntimeKind::Serial
-                        ? serial
-                        : runProgram(kind, prog, params);
+    if (kind == RuntimeKind::Serial) {
+        RunResult res = serial;
+        res.serialCycles = serial.cycles;
+        return res;
+    }
+    if (serial.status == RunStatus::Cancelled ||
+        serial.status == RunStatus::TimedOut) {
+        // Between-runs boundary: the baseline was stopped, so the main
+        // run never starts and inherits the stop status.
+        RunResult res;
+        res.runtime = std::string(kindName(kind));
+        res.program = prog.name;
+        res.status = serial.status;
+        res.serialCycles = serial.cycles;
+        return res;
+    }
+    RunResult res = runProgram(kind, prog, params);
     res.serialCycles = serial.cycles;
     return res;
 }
 
 std::vector<RunResult>
-runBatch(const std::vector<Job> &jobs, unsigned threads,
-         const std::function<void(std::size_t, const RunResult &)>
-             &onResult)
+runBatch(const std::vector<Job> &jobs, const BatchOptions &opts)
 {
     std::vector<RunResult> results(jobs.size());
     if (jobs.empty())
         return results;
 
+    unsigned threads = opts.threads;
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
     threads = std::min<unsigned>(threads,
                                  static_cast<unsigned>(jobs.size()));
 
+    // The in-flight gate bounds how many Systems exist at once; jobs a
+    // worker picks up while the gate is full wait before simulating, so
+    // the result order and contents stay identical.
+    std::optional<std::counting_semaphore<>> gate;
+    if (opts.maxInFlight > 0 && opts.maxInFlight < threads)
+        gate.emplace(static_cast<std::ptrdiff_t>(opts.maxInFlight));
+
     std::atomic<std::size_t> nextJob{0};
-    std::mutex mtx; // guards firstError + onResult invocations
+    std::mutex mtx; // guards firstError + onStart/onResult invocations
     std::exception_ptr firstError;
 
     const auto worker = [&] {
@@ -148,19 +225,67 @@ runBatch(const std::vector<Job> &jobs, unsigned threads,
                 nextJob.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
-            try {
-                RunResult res =
-                    runProgram(jobs[i].kind, jobs[i].prog, jobs[i].params);
-                if (onResult) {
+
+            HarnessParams params = jobs[i].params;
+            if (opts.cancel && !params.controls.groupCancel)
+                params.controls.groupCancel = opts.cancel;
+            if (opts.timeoutSec > 0.0 && params.controls.timeoutSec <= 0.0)
+                params.controls.timeoutSec = opts.timeoutSec;
+
+            RunResult res;
+            bool recorded = true;
+            if (params.controls.cancelRequested()) {
+                // Cancelled before dispatch: drain the index space so
+                // every job gets an explicit per-position result.
+                res.runtime = std::string(kindName(jobs[i].kind));
+                res.program = jobs[i].prog.name;
+                res.status = RunStatus::Cancelled;
+            } else {
+                if (gate)
+                    gate->acquire();
+                if (opts.onStart) {
                     const std::lock_guard<std::mutex> lock(mtx);
-                    onResult(i, res);
+                    opts.onStart(i);
                 }
-                results[i] = std::move(res);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(mtx);
-                if (!firstError)
-                    firstError = std::current_exception();
+                try {
+                    res = runProgram(jobs[i].kind, jobs[i].prog, params);
+                } catch (const std::exception &e) {
+                    if (opts.captureErrors) {
+                        res = RunResult{};
+                        res.runtime = std::string(kindName(jobs[i].kind));
+                        res.program = jobs[i].prog.name;
+                        res.status = RunStatus::Error;
+                        res.error = e.what();
+                    } else {
+                        recorded = false;
+                        const std::lock_guard<std::mutex> lock(mtx);
+                        if (!firstError)
+                            firstError = std::current_exception();
+                    }
+                } catch (...) {
+                    if (opts.captureErrors) {
+                        res = RunResult{};
+                        res.runtime = std::string(kindName(jobs[i].kind));
+                        res.program = jobs[i].prog.name;
+                        res.status = RunStatus::Error;
+                        res.error = "unknown worker exception";
+                    } else {
+                        recorded = false;
+                        const std::lock_guard<std::mutex> lock(mtx);
+                        if (!firstError)
+                            firstError = std::current_exception();
+                    }
+                }
+                if (gate)
+                    gate->release();
             }
+            if (!recorded)
+                continue;
+            if (opts.onResult) {
+                const std::lock_guard<std::mutex> lock(mtx);
+                opts.onResult(i, res);
+            }
+            results[i] = std::move(res);
         }
     };
 
@@ -178,6 +303,18 @@ runBatch(const std::vector<Job> &jobs, unsigned threads,
     if (firstError)
         std::rethrow_exception(firstError);
     return results;
+}
+
+std::vector<RunResult>
+runBatch(const std::vector<Job> &jobs, unsigned threads,
+         const std::function<void(std::size_t, const RunResult &)>
+             &onResult)
+{
+    BatchOptions opts;
+    opts.threads = threads;
+    opts.onResult = onResult;
+    opts.captureErrors = false; // legacy contract: rethrow after join
+    return runBatch(jobs, opts);
 }
 
 std::vector<std::vector<RunResult>>

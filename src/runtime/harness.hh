@@ -8,12 +8,14 @@
 #ifndef PICOSIM_RUNTIME_HARNESS_HH
 #define PICOSIM_RUNTIME_HARNESS_HH
 
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
 
 #include "cpu/system.hh"
+#include "runtime/cancel.hh"
 #include "runtime/cost_model.hh"
 #include "runtime/runtime.hh"
 
@@ -27,12 +29,36 @@ std::string_view kindName(RuntimeKind kind);
 /** Factory for the runtime model of @p kind. */
 std::unique_ptr<Runtime> makeRuntime(RuntimeKind kind, const CostModel &cm);
 
+/**
+ * Cooperative stop conditions for one run. All of them are polled only
+ * at deterministic simulation boundaries (cycle-dispatch stride in the
+ * sequential kernels, every window barrier under PDES), so a stopped
+ * run ends at a clean schedule point and concurrent runs are unaffected.
+ * Cancellation wins over the deadline when both fire.
+ */
+struct RunControls
+{
+    const CancelToken *cancel = nullptr;      ///< per-job token
+    const CancelToken *groupCancel = nullptr; ///< batch/manager-wide token
+    double timeoutSec = 0.0; ///< >0: wall-clock budget from run start
+    std::chrono::steady_clock::time_point deadline{}; ///< absolute cutoff
+    bool hasDeadline = false; ///< deadline field is armed
+
+    bool
+    cancelRequested() const
+    {
+        return (cancel && cancel->cancelled()) ||
+               (groupCancel && groupCancel->cancelled());
+    }
+};
+
 struct HarnessParams
 {
     unsigned numCores = 8;
     CostModel costs{};
     cpu::SystemParams system{};
     Cycle cycleLimit = 50'000'000'000ull;
+    RunControls controls{};
 };
 
 /**
@@ -46,6 +72,17 @@ RunResult runProgram(RuntimeKind kind, const Program &prog,
 /** Copy the interconnect/memory contention counters of a finished run
  *  (timed memory mode; zeros under MemMode::Inline) into @p res. */
 void fillContentionStats(RunResult &res, cpu::System &sys);
+
+/**
+ * Arm @p sys's cooperative stop check from @p ctl: cancellation plus
+ * the tighter of ctl.deadline and a timeoutSec budget counted from the
+ * moment of this call. No-op when @p ctl carries no stop condition.
+ */
+void armControls(cpu::System &sys, const RunControls &ctl);
+
+/** How a finished run of @p sys ended under @p ctl. */
+RunStatus finishStatus(cpu::System &sys, const RunControls &ctl,
+                       bool completed);
 
 /** Run serial + the given runtime and fill in the speedup baseline. */
 RunResult runWithSpeedup(RuntimeKind kind, const Program &prog,
@@ -68,14 +105,46 @@ struct Job
 };
 
 /**
- * Run every job on a pool of @p threads worker threads (0 = hardware
- * concurrency). Results are positionally aligned with @p jobs. Each job
- * builds a fresh Simulator/System, so results are identical to running
- * the same jobs sequentially through runProgram(), in any thread count.
- *
- * @param onResult Optional progress callback, invoked once per finished
- *        job from its worker thread under an internal mutex (safe to
- *        print from). May be nullptr.
+ * Knobs for one runBatch() call. The defaults reproduce the legacy
+ * behaviour: run everything, capture nothing, no limits.
+ */
+struct BatchOptions
+{
+    unsigned threads = 0;     ///< worker threads (0 = hardware concurrency)
+    unsigned maxInFlight = 0; ///< >0: cap on concurrently simulated jobs
+    const CancelToken *cancel = nullptr; ///< batch-wide cancellation
+    double timeoutSec = 0.0; ///< >0: per-job wall-clock budget
+
+    /** Invoked from the worker right before it simulates job @p i. */
+    std::function<void(std::size_t)> onStart;
+
+    /** Invoked once per finished job under an internal mutex. */
+    std::function<void(std::size_t, const RunResult &)> onResult;
+
+    /**
+     * true: a worker-thread exception becomes an explicit per-job
+     * RunStatus::Error result (message in RunResult::error) and the rest
+     * of the batch keeps running. false: legacy semantics — the first
+     * exception is rethrown from runBatch() after all workers join.
+     */
+    bool captureErrors = true;
+};
+
+/**
+ * Run every job on a pool of worker threads. Results are positionally
+ * aligned with @p jobs. Each job builds a fresh Simulator/System, so
+ * results are identical to running the same jobs sequentially through
+ * runProgram(), in any thread count — and a job cancelled or timing out
+ * never perturbs the other jobs' results. Jobs whose cancellation was
+ * already requested when a worker reached them are reported as
+ * RunStatus::Cancelled without building a System.
+ */
+std::vector<RunResult> runBatch(const std::vector<Job> &jobs,
+                                const BatchOptions &opts);
+
+/**
+ * Legacy convenience overload: @p threads workers, optional progress
+ * callback, worker exceptions rethrown after the pool joins.
  */
 std::vector<RunResult>
 runBatch(const std::vector<Job> &jobs, unsigned threads = 0,

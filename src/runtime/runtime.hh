@@ -57,12 +57,42 @@ class Runtime
     virtual std::uint64_t tasksExecutedInline() const { return 0; }
 };
 
+/**
+ * How a run ended. Ok and CycleLimit are the classic synchronous
+ * outcomes; Cancelled/TimedOut report cooperative stops observed at
+ * deterministic schedule boundaries (see rt::CancelToken); Error marks
+ * a job whose worker threw (message preserved in RunResult::error).
+ */
+enum class RunStatus : std::uint8_t
+{
+    Ok,         ///< program completed before the cycle limit
+    CycleLimit, ///< simulated-cycle budget exhausted
+    Cancelled,  ///< stopped by a CancelToken
+    TimedOut,   ///< stopped by a wall-clock deadline
+    Error,      ///< run threw; see RunResult::error
+};
+
+constexpr const char *
+runStatusName(RunStatus s)
+{
+    switch (s) {
+    case RunStatus::Ok: return "ok";
+    case RunStatus::CycleLimit: return "cycle-limit";
+    case RunStatus::Cancelled: return "cancelled";
+    case RunStatus::TimedOut: return "timed-out";
+    case RunStatus::Error: return "error";
+    }
+    return "?";
+}
+
 /** Outcome of one program run on one runtime. */
 struct RunResult
 {
     std::string runtime;
     std::string program;
     bool completed = false;   ///< finished before the cycle limit
+    RunStatus status = RunStatus::Ok; ///< how the run ended
+    std::string error;        ///< non-empty iff status == Error
     Cycle cycles = 0;         ///< parallel makespan
     Cycle serialPayload = 0;  ///< sum of task payloads
     std::uint64_t tasks = 0;

@@ -1,0 +1,382 @@
+#include "service/job_manager.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "runtime/cancel.hh"
+#include "runtime/harness.hh"
+#include "service/run_plan.hh"
+#include "spec/engine.hh"
+#include "spec/workload_registry.hh"
+
+namespace picosim::svc
+{
+
+namespace
+{
+using SteadyClock = std::chrono::steady_clock;
+}
+
+/** One job's full bookkeeping. Lives behind a unique_ptr so the
+ *  CancelToken's address stays stable for in-flight RunControls. */
+struct JobManager::Rec
+{
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::Queued;
+    std::vector<RunRow> rows;       ///< rows[i] pairs with spec.runs[i]
+    std::size_t nextRun = 0;        ///< first undispatched run index
+    std::size_t doneRuns = 0;       ///< dispatched runs that returned
+    std::size_t inFlight = 0;
+    rt::CancelToken token;
+    bool cancelRequested = false;
+    double timeoutSec = 0.0;        ///< resolved (spec or manager default)
+    unsigned maxInFlight = 0;       ///< resolved
+    bool deadlineArmed = false;
+    SteadyClock::time_point deadline{};
+    std::uint64_t startSeq = 0;
+    std::string error;
+
+    JobStatus
+    snapshot() const
+    {
+        JobStatus st;
+        st.id = id;
+        st.tag = spec.tag;
+        st.state = state;
+        st.runsTotal = spec.runs.size();
+        st.runsDone = doneRuns;
+        st.error = error;
+        st.startSeq = startSeq;
+        return st;
+    }
+};
+
+JobManager::JobManager() : JobManager(Params{}) {}
+
+JobManager::JobManager(const Params &params)
+    : defaultTimeoutSec_(params.defaultTimeoutSec),
+      defaultMaxInFlight_(params.maxInFlightPerJob),
+      queue_(params.maxQueued), paused_(params.startPaused)
+{
+    workers_ = params.workers != 0
+                   ? params.workers
+                   : std::max(1u, std::thread::hardware_concurrency());
+    pool_.reserve(workers_);
+    for (unsigned t = 0; t < workers_; ++t)
+        pool_.emplace_back([this] { workerLoop(); });
+}
+
+JobManager::~JobManager()
+{
+    {
+        const std::lock_guard<std::mutex> lk(lock_);
+        stopping_ = true;
+        // Wake in-flight runs at their next deterministic boundary;
+        // their results are discarded with the manager.
+        for (auto &[id, rec] : jobs_)
+            if (!jobStateFinal(rec->state))
+                rec->token.cancel();
+    }
+    dispatchCv_.notify_all();
+    for (std::thread &t : pool_)
+        t.join();
+}
+
+JobManager::Rec *
+JobManager::find(std::uint64_t id)
+{
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+const JobManager::Rec *
+JobManager::find(std::uint64_t id) const
+{
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+JobManager::submit(JobSpec spec)
+{
+    if (spec.runs.empty())
+        throw spec::SpecError("job has no runs");
+
+    const std::lock_guard<std::mutex> lk(lock_);
+    if (stopping_)
+        throw spec::SpecError("job manager is shutting down");
+    if (queue_.full()) {
+        throw spec::SpecError("job queue full (" +
+                              std::to_string(queue_.size()) +
+                              " jobs queued)");
+    }
+
+    auto rec = std::make_unique<Rec>();
+    rec->id = ++lastId_;
+    rec->rows.resize(spec.runs.size());
+    rec->timeoutSec =
+        spec.timeoutSec > 0.0 ? spec.timeoutSec : defaultTimeoutSec_;
+    rec->maxInFlight =
+        spec.maxInFlight != 0 ? spec.maxInFlight : defaultMaxInFlight_;
+    rec->spec = std::move(spec);
+
+    const std::uint64_t id = rec->id;
+    queue_.push(id); // capacity checked above, under the same lock
+    jobs_.emplace(id, std::move(rec));
+    dispatchCv_.notify_all();
+    return id;
+}
+
+std::uint64_t
+JobManager::submitText(const std::string &text, double timeoutSec,
+                       std::string tag,
+                       std::vector<std::string> *warnings)
+{
+    const spec::RunSpec parsed = spec::RunSpec::parse(text, warnings);
+    const RunPlan plan = RunPlan::make({parsed});
+
+    JobSpec js;
+    js.runs = plan.runs;
+    js.timeoutSec = timeoutSec;
+    js.tag = std::move(tag);
+    return submit(std::move(js));
+}
+
+bool
+JobManager::cancel(std::uint64_t id)
+{
+    {
+        const std::lock_guard<std::mutex> lk(lock_);
+        Rec *rec = find(id);
+        if (rec == nullptr || jobStateFinal(rec->state))
+            return false;
+        rec->cancelRequested = true;
+        rec->token.cancel();
+        if (rec->state == JobState::Queued) {
+            // Nothing dispatched: finalize on the spot. The rows keep
+            // done == false — the runs never existed.
+            queue_.remove(id);
+            rec->state = JobState::Cancelled;
+        }
+        // Running jobs finalize when their in-flight and remaining
+        // runs drain (each observes the token and returns Cancelled).
+    }
+    resultCv_.notify_all();
+    return true;
+}
+
+std::optional<JobStatus>
+JobManager::status(std::uint64_t id) const
+{
+    const std::lock_guard<std::mutex> lk(lock_);
+    const Rec *rec = find(id);
+    if (rec == nullptr)
+        return std::nullopt;
+    return rec->snapshot();
+}
+
+std::vector<JobStatus>
+JobManager::list() const
+{
+    const std::lock_guard<std::mutex> lk(lock_);
+    std::vector<JobStatus> out;
+    out.reserve(jobs_.size());
+    for (const auto &[id, rec] : jobs_) // map: ascending id = admission
+        out.push_back(rec->snapshot());
+    return out;
+}
+
+JobStatus
+JobManager::wait(std::uint64_t id)
+{
+    std::unique_lock<std::mutex> lk(lock_);
+    const Rec *rec = find(id);
+    if (rec == nullptr)
+        throw spec::SpecError("unknown job " + std::to_string(id));
+    resultCv_.wait(lk, [&] { return jobStateFinal(rec->state); });
+    return rec->snapshot();
+}
+
+std::optional<JobStatus>
+JobManager::waitFor(std::uint64_t id, double seconds)
+{
+    std::unique_lock<std::mutex> lk(lock_);
+    const Rec *rec = find(id);
+    if (rec == nullptr)
+        throw spec::SpecError("unknown job " + std::to_string(id));
+    const bool finished = resultCv_.wait_for(
+        lk, std::chrono::duration<double>(seconds),
+        [&] { return jobStateFinal(rec->state); });
+    if (!finished)
+        return std::nullopt;
+    return rec->snapshot();
+}
+
+std::optional<RunRow>
+JobManager::waitRow(std::uint64_t id, std::size_t idx)
+{
+    std::unique_lock<std::mutex> lk(lock_);
+    const Rec *rec = find(id);
+    if (rec == nullptr || idx >= rec->rows.size())
+        return std::nullopt;
+    resultCv_.wait(lk, [&] {
+        return rec->rows[idx].done || jobStateFinal(rec->state);
+    });
+    return rec->rows[idx];
+}
+
+std::vector<RunRow>
+JobManager::runRows(std::uint64_t id) const
+{
+    const std::lock_guard<std::mutex> lk(lock_);
+    const Rec *rec = find(id);
+    if (rec == nullptr)
+        return {};
+    return rec->rows;
+}
+
+void
+JobManager::pause()
+{
+    const std::lock_guard<std::mutex> lk(lock_);
+    paused_ = true;
+}
+
+void
+JobManager::resume()
+{
+    {
+        const std::lock_guard<std::mutex> lk(lock_);
+        paused_ = false;
+    }
+    dispatchCv_.notify_all();
+}
+
+/** First (job, run) eligible for dispatch, in strict admission order.
+ *  Caller holds lock_. */
+JobManager::Rec *
+JobManager::pickRun(std::size_t &runIdx)
+{
+    for (const std::uint64_t id : queue_.items()) {
+        Rec *rec = find(id);
+        if (rec == nullptr || rec->nextRun >= rec->spec.runs.size())
+            continue;
+        if (rec->maxInFlight != 0 && rec->inFlight >= rec->maxInFlight)
+            continue;
+        runIdx = rec->nextRun;
+        return rec;
+    }
+    return nullptr;
+}
+
+/** Settle the final state once every dispatched run returned.
+ *  Precedence: cancelled > timeout > failed > done. Holds lock_. */
+void
+JobManager::finalize(Rec &rec)
+{
+    if (rec.cancelRequested) {
+        rec.state = JobState::Cancelled;
+        return;
+    }
+    bool timedOut = false;
+    bool failed = false;
+    for (const RunRow &row : rec.rows) {
+        if (!row.done)
+            continue;
+        if (row.result.status == rt::RunStatus::TimedOut)
+            timedOut = true;
+        if (row.result.status == rt::RunStatus::Error) {
+            if (!failed)
+                rec.error = row.result.error;
+            failed = true;
+        }
+    }
+    rec.state = timedOut  ? JobState::TimedOut
+                : failed  ? JobState::Failed
+                          : JobState::Done;
+}
+
+void
+JobManager::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(lock_);
+    while (true) {
+        std::size_t idx = 0;
+        Rec *rec = nullptr;
+        dispatchCv_.wait(lk, [&] {
+            if (stopping_)
+                return true;
+            if (paused_)
+                return false;
+            rec = pickRun(idx);
+            return rec != nullptr;
+        });
+        if (stopping_)
+            return;
+
+        rec->nextRun = idx + 1;
+        ++rec->inFlight;
+        if (rec->state == JobState::Queued) {
+            rec->state = JobState::Running;
+            rec->startSeq = ++startCounter_;
+            if (rec->timeoutSec > 0.0) {
+                // The wall-clock budget covers the whole job, counted
+                // from its first dispatched run.
+                rec->deadline =
+                    SteadyClock::now() +
+                    std::chrono::duration_cast<SteadyClock::duration>(
+                        std::chrono::duration<double>(rec->timeoutSec));
+                rec->deadlineArmed = true;
+            }
+        }
+        if (rec->nextRun >= rec->spec.runs.size())
+            queue_.remove(rec->id); // fully dispatched
+
+        // Snapshot everything the unlocked run needs. The token address
+        // is stable (Rec is heap-pinned) and outlives the run: records
+        // are only destroyed with the manager, after the pool joined.
+        const spec::RunSpec runSpec = rec->spec.runs[idx];
+        const bool capture = rec->spec.captureStatDumps;
+        rt::RunControls ctl;
+        ctl.cancel = &rec->token;
+        ctl.deadline = rec->deadline;
+        ctl.hasDeadline = rec->deadlineArmed;
+
+        lk.unlock();
+        RunRow row;
+        try {
+            if (capture) {
+                spec::InspectedRun ins =
+                    spec::Engine::runInspected(runSpec, nullptr, ctl);
+                std::ostringstream os;
+                ins.system->stats().dump(os);
+                ins.system->memory().stats().dump(os);
+                row.result = std::move(ins.result);
+                row.statDump = os.str();
+            } else {
+                row.result = spec::Engine::run(runSpec, ctl);
+            }
+        } catch (const std::exception &e) {
+            row.result.status = rt::RunStatus::Error;
+            row.result.error = e.what();
+        } catch (...) {
+            row.result.status = rt::RunStatus::Error;
+            row.result.error = "unknown worker exception";
+        }
+        row.done = true;
+        lk.lock();
+
+        rec->rows[idx] = std::move(row);
+        --rec->inFlight;
+        ++rec->doneRuns;
+        if (rec->doneRuns == rec->spec.runs.size() &&
+            !jobStateFinal(rec->state))
+            finalize(*rec);
+        resultCv_.notify_all();
+        dispatchCv_.notify_all();
+    }
+}
+
+} // namespace picosim::svc

@@ -1,0 +1,27 @@
+#include "service/job_queue.hh"
+
+#include <algorithm>
+
+namespace picosim::svc
+{
+
+bool
+JobQueue::push(std::uint64_t id)
+{
+    if (full())
+        return false;
+    q_.push_back(id);
+    return true;
+}
+
+bool
+JobQueue::remove(std::uint64_t id)
+{
+    const auto it = std::find(q_.begin(), q_.end(), id);
+    if (it == q_.end())
+        return false;
+    q_.erase(it);
+    return true;
+}
+
+} // namespace picosim::svc

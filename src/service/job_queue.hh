@@ -1,0 +1,53 @@
+/**
+ * @file
+ * JobQueue: the admission-bounded FIFO of job ids awaiting dispatch.
+ *
+ * Deliberately not thread-safe — it lives under the JobManager's lock,
+ * which also guards the per-job bookkeeping the dispatch scan reads.
+ * Keeping it a separate value type pins down the ordering contract
+ * (strict admission order; removal anywhere for cancel-while-queued)
+ * and makes it unit-testable without a worker pool.
+ */
+
+#ifndef PICOSIM_SERVICE_JOB_QUEUE_HH
+#define PICOSIM_SERVICE_JOB_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace picosim::svc
+{
+
+class JobQueue
+{
+  public:
+    /** @p maxQueued 0 = unbounded admission. */
+    explicit JobQueue(std::size_t maxQueued = 0) : maxQueued_(maxQueued) {}
+
+    bool
+    full() const
+    {
+        return maxQueued_ != 0 && q_.size() >= maxQueued_;
+    }
+
+    /** Admit @p id at the back; false (and no change) when full. */
+    bool push(std::uint64_t id);
+
+    /** Remove @p id wherever it sits; false when absent. */
+    bool remove(std::uint64_t id);
+
+    bool empty() const { return q_.empty(); }
+    std::size_t size() const { return q_.size(); }
+
+    /** Ids in dispatch order, front first (for the manager's scan). */
+    const std::deque<std::uint64_t> &items() const { return q_; }
+
+  private:
+    std::deque<std::uint64_t> q_;
+    std::size_t maxQueued_;
+};
+
+} // namespace picosim::svc
+
+#endif // PICOSIM_SERVICE_JOB_QUEUE_HH

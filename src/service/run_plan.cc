@@ -1,0 +1,127 @@
+#include "service/run_plan.hh"
+
+#include <cstdio>
+
+#include "runtime/harness.hh"
+#include "spec/workload_registry.hh"
+
+namespace picosim::svc
+{
+
+RunPlan
+RunPlan::make(const std::vector<spec::RunSpec> &specs)
+{
+    if (specs.empty())
+        throw spec::SpecError("run plan needs at least one spec");
+
+    RunPlan plan;
+    const bool isSerial = specs[0].runtime == rt::RuntimeKind::Serial;
+    plan.runsPerSpec = isSerial ? 1 : 2;
+    plan.printCores = isSerial ? 1 : specs[0].cores;
+
+    // One main job per workload and repetition, plus a serial baseline
+    // unless the main run already is serial (then it is its own
+    // baseline).
+    const unsigned repeat = specs[0].repeat;
+    for (const spec::RunSpec &sp : specs) {
+        for (unsigned r = 0; r < repeat; ++r) {
+            plan.runs.push_back(sp);
+            if (!isSerial) {
+                spec::RunSpec serial = sp;
+                serial.runtime = rt::RuntimeKind::Serial;
+                plan.runs.push_back(std::move(serial));
+            }
+        }
+    }
+    return plan;
+}
+
+std::vector<rt::RunResult>
+RunPlan::fold(const std::vector<rt::RunResult> &results) const
+{
+    std::vector<rt::RunResult> out;
+    out.reserve(displayCount(results.size()));
+    for (std::size_t i = 0; i * runsPerSpec < results.size(); ++i) {
+        rt::RunResult res = results[runsPerSpec * i];
+        res.serialCycles =
+            results[runsPerSpec * i + runsPerSpec - 1].cycles;
+        out.push_back(std::move(res));
+    }
+    return out;
+}
+
+void
+printRunResult(const rt::RunResult &res, unsigned cores)
+{
+    std::printf("workload  : %s (%llu tasks, mean size %.0f cycles)\n",
+                res.program.c_str(),
+                static_cast<unsigned long long>(res.tasks),
+                res.meanTaskSize);
+    std::printf("runtime   : %s on %u core(s)\n", res.runtime.c_str(),
+                cores);
+    std::printf("cycles    : %llu (%s)\n",
+                static_cast<unsigned long long>(res.cycles),
+                res.completed ? "completed" : "INCOMPLETE");
+    std::printf("serial    : %llu cycles\n",
+                static_cast<unsigned long long>(res.serialCycles));
+    std::printf("speedup   : %.2fx\n", res.speedup());
+    std::printf("wall time @80MHz: %.1f ms\n",
+                static_cast<double>(res.cycles) / 80'000.0);
+    if (res.tickWorldTicks > 0) {
+        std::printf("kernel    : %llu component ticks over %llu cycles "
+                    "(%.2fx fewer than tick-the-world)\n",
+                    static_cast<unsigned long long>(res.componentTicks),
+                    static_cast<unsigned long long>(res.evaluatedCycles),
+                    res.componentTicks == 0
+                        ? 0.0
+                        : static_cast<double>(res.tickWorldTicks) /
+                              static_cast<double>(res.componentTicks));
+    }
+    if (res.busTransactions > 0) {
+        std::printf("contention: %llu bus transactions; stall cycles "
+                    "bus %llu, dram %llu, mshr %llu\n",
+                    static_cast<unsigned long long>(res.busTransactions),
+                    static_cast<unsigned long long>(res.busStallCycles),
+                    static_cast<unsigned long long>(res.dramStallCycles),
+                    static_cast<unsigned long long>(res.mshrStallCycles));
+    }
+    if (res.schedSubStalls + res.schedRoutingStalls + res.schedReadyStalls +
+            res.schedGatewayStallCycles + res.crossShardEdges +
+            res.workSteals >
+        0) {
+        std::printf("scheduler : push stalls sub %llu, routing %llu, "
+                    "ready %llu; gateway wait %llu cyc; "
+                    "cross-shard edges %llu; steals %llu\n",
+                    static_cast<unsigned long long>(res.schedSubStalls),
+                    static_cast<unsigned long long>(res.schedRoutingStalls),
+                    static_cast<unsigned long long>(res.schedReadyStalls),
+                    static_cast<unsigned long long>(
+                        res.schedGatewayStallCycles),
+                    static_cast<unsigned long long>(res.crossShardEdges),
+                    static_cast<unsigned long long>(res.workSteals));
+    }
+    if (res.workerSubmits > 0) {
+        std::printf("nested    : %llu of %llu tasks submitted from worker "
+                    "harts, %llu run inline (window full)\n",
+                    static_cast<unsigned long long>(res.workerSubmits),
+                    static_cast<unsigned long long>(res.tasks),
+                    static_cast<unsigned long long>(res.inlineTasks));
+    }
+}
+
+bool
+printPlanResults(const RunPlan &plan,
+                 const std::vector<rt::RunResult> &results)
+{
+    const std::vector<rt::RunResult> display = plan.fold(results);
+    bool all_ok = true;
+    for (std::size_t i = 0; i < display.size(); ++i) {
+        if (i > 0)
+            std::printf("\n");
+        printRunResult(display[i], plan.printCores);
+        all_ok = all_ok && display[i].completed;
+    }
+    return all_ok;
+}
+
+} // namespace picosim::svc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * RunPlan: the one place that knows how a request expands into the runs
+ * of a job and how the finished runs print.
+ *
+ * `picosim_run`, `picosim_submit --print=cli` and the server all build
+ * their batches through RunPlan::make and print through
+ * printRunResult/printPlanResults, so a spec submitted over the wire
+ * produces stdout byte-identical to the same spec run directly — the
+ * round-trip contract the server smoke test diffs.
+ */
+
+#ifndef PICOSIM_SERVICE_RUN_PLAN_HH
+#define PICOSIM_SERVICE_RUN_PLAN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/runtime.hh"
+#include "spec/run_spec.hh"
+
+namespace picosim::svc
+{
+
+struct RunPlan
+{
+    /** Expanded batch: per display spec and repetition, the main run
+     *  followed by its serial baseline (unless the main run already is
+     *  serial and serves as its own baseline). */
+    std::vector<spec::RunSpec> runs;
+    std::size_t runsPerSpec = 2; ///< 1 when the main runtime is serial
+    unsigned printCores = 8;     ///< core count the report prints
+
+    /** Expand @p specs (canonical, non-empty, sharing runtime/repeat —
+     *  the `picosim_run` contract). Throws spec::SpecError when empty. */
+    static RunPlan make(const std::vector<spec::RunSpec> &specs);
+
+    /** Number of displayed results @p results folds to. */
+    std::size_t
+    displayCount(std::size_t resultCount) const
+    {
+        return resultCount / runsPerSpec;
+    }
+
+    /** Fold raw per-run results (positionally aligned with `runs`) into
+     *  display results: one per main run, serialCycles filled from its
+     *  baseline partner. */
+    std::vector<rt::RunResult>
+    fold(const std::vector<rt::RunResult> &results) const;
+};
+
+/** The classic `picosim_run` per-run report (exact format preserved —
+ *  this is the byte-identity contract of the CLI golden tests). */
+void printRunResult(const rt::RunResult &res, unsigned cores);
+
+/** Fold + print every display result, blank-line separated; true when
+ *  every displayed run completed (the process exit-code contract). */
+bool printPlanResults(const RunPlan &plan,
+                      const std::vector<rt::RunResult> &results);
+
+} // namespace picosim::svc
+
+#endif // PICOSIM_SERVICE_RUN_PLAN_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Server: the picosim_serve daemon core — a plain-TCP line-protocol
+ * front-end over a JobManager (wire.hh documents the protocol).
+ *
+ * One thread per connection; every connection talks to the same
+ * JobManager, so jobs submitted over different connections share the
+ * worker pool, the admission queue, and the id space. RESULT streams
+ * rows in run order as they complete, which lets a client print a
+ * partial report while later runs are still simulating.
+ */
+
+#ifndef PICOSIM_SERVICE_SERVER_HH
+#define PICOSIM_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/job_manager.hh"
+#include "service/wire.hh"
+
+namespace picosim::svc
+{
+
+struct ServerParams
+{
+    std::string host = "127.0.0.1";
+    unsigned short port = 0; ///< 0: ephemeral, read back via port()
+    JobManager::Params manager{};
+};
+
+class Server
+{
+  public:
+    /** Binds and listens (throws std::runtime_error on failure); the
+     *  job manager starts immediately. */
+    explicit Server(const ServerParams &params);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    unsigned short port() const { return port_; }
+    const std::string &host() const { return host_; }
+    JobManager &manager() { return manager_; }
+
+    /** Accept loop; returns after stop() / a SHUTDOWN verb, with every
+     *  connection thread joined. */
+    void serveForever();
+
+    /** Ask serveForever() to wind down (callable from any thread). */
+    void stop();
+
+  private:
+    void handleClient(int fd);
+    void cmdSubmit(int fd, wire::LineReader &in, const std::string &line);
+    void cmdResult(int fd, std::uint64_t id);
+
+    std::string host_;
+    unsigned short port_ = 0;
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+    JobManager manager_;
+    std::mutex connLock_;
+    std::vector<std::thread> connections_;
+};
+
+} // namespace picosim::svc
+
+#endif // PICOSIM_SERVICE_SERVER_HH

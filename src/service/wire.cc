@@ -1,0 +1,402 @@
+#include "service/wire.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "spec/workload_registry.hh"
+
+namespace picosim::svc::wire
+{
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace
+{
+
+const char *
+statusName(rt::RunStatus s)
+{
+    return rt::runStatusName(s);
+}
+
+rt::RunStatus
+statusFromName(const std::string &name)
+{
+    for (const rt::RunStatus s :
+         {rt::RunStatus::Ok, rt::RunStatus::CycleLimit,
+          rt::RunStatus::Cancelled, rt::RunStatus::TimedOut,
+          rt::RunStatus::Error}) {
+        if (name == rt::runStatusName(s))
+            return s;
+    }
+    throw spec::SpecError("unknown run status '" + name + "'");
+}
+
+void
+appendField(std::string &out, const char *key, unsigned long long v)
+{
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+}
+
+} // namespace
+
+std::string
+runResultJson(const rt::RunResult &res)
+{
+    std::string out = "{";
+    out += "\"runtime\":" + jsonString(res.runtime);
+    out += ",\"program\":" + jsonString(res.program);
+    out += ",\"completed\":";
+    out += res.completed ? "true" : "false";
+    out += ",\"status\":";
+    out += jsonString(statusName(res.status));
+    out += ",\"error\":" + jsonString(res.error);
+    out += ',';
+
+    const auto num = [&out](const char *key, std::uint64_t v) {
+        appendField(out, key, static_cast<unsigned long long>(v));
+        out += ',';
+    };
+    num("cycles", res.cycles);
+    num("serialPayload", res.serialPayload);
+    num("tasks", res.tasks);
+
+    // %.17g round-trips every IEEE-754 double bit-exactly, so the
+    // client reprints the very value the server computed.
+    char mean[40];
+    std::snprintf(mean, sizeof(mean), "%.17g", res.meanTaskSize);
+    out += "\"meanTaskSize\":";
+    out += mean;
+    out += ',';
+
+    num("serialCycles", res.serialCycles);
+    num("evaluatedCycles", res.evaluatedCycles);
+    num("componentTicks", res.componentTicks);
+    num("tickWorldTicks", res.tickWorldTicks);
+    num("busTransactions", res.busTransactions);
+    num("busStallCycles", res.busStallCycles);
+    num("dramStallCycles", res.dramStallCycles);
+    num("mshrStallCycles", res.mshrStallCycles);
+    num("schedSubStalls", res.schedSubStalls);
+    num("schedRoutingStalls", res.schedRoutingStalls);
+    num("schedReadyStalls", res.schedReadyStalls);
+    num("schedGatewayStallCycles", res.schedGatewayStallCycles);
+    num("crossShardEdges", res.crossShardEdges);
+    num("workSteals", res.workSteals);
+    num("workerSubmits", res.workerSubmits);
+    appendField(out, "inlineTasks",
+                static_cast<unsigned long long>(res.inlineTasks));
+    out += '}';
+    return out;
+}
+
+namespace
+{
+
+/** Cursor over flat JSON text. Throws SpecError with position info. */
+struct JsonCursor
+{
+    const std::string &text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw spec::SpecError("malformed JSON at byte " +
+                              std::to_string(pos) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            const char e = text[pos++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (pos + 4 > text.size())
+                    fail("truncated \\u escape");
+                unsigned v = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    v <<= 4;
+                    if (h >= '0' && h <= '9') v |= h - '0';
+                    else if (h >= 'a' && h <= 'f') v |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F') v |= h - 'A' + 10;
+                    else fail("bad \\u escape digit");
+                }
+                if (v > 0xff)
+                    fail("non-ASCII \\u escape unsupported");
+                out += static_cast<char>(v);
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    /** Number / true / false / null, returned verbatim. */
+    std::string
+    parseScalar()
+    {
+        skipWs();
+        const std::size_t start = pos;
+        while (pos < text.size() && text[pos] != ',' &&
+               text[pos] != '}' && text[pos] != ' ' &&
+               text[pos] != '\t' && text[pos] != '\n' &&
+               text[pos] != '\r')
+            ++pos;
+        if (pos == start)
+            fail("expected a value");
+        return text.substr(start, pos - start);
+    }
+};
+
+} // namespace
+
+std::map<std::string, std::string>
+parseFlatJson(const std::string &text)
+{
+    JsonCursor cur{text};
+    std::map<std::string, std::string> out;
+    cur.expect('{');
+    if (cur.peek() == '}')
+        return out;
+    while (true) {
+        const std::string key = cur.parseString();
+        cur.expect(':');
+        out[key] =
+            cur.peek() == '"' ? cur.parseString() : cur.parseScalar();
+        const char c = cur.peek();
+        if (c == '}')
+            return out;
+        cur.expect(',');
+    }
+}
+
+std::string
+parseJsonString(const std::string &text)
+{
+    JsonCursor cur{text};
+    return cur.parseString();
+}
+
+rt::RunResult
+runResultFromJson(const std::string &json)
+{
+    const std::map<std::string, std::string> kv = parseFlatJson(json);
+    rt::RunResult res;
+
+    const auto str = [&](const char *key, std::string &dst) {
+        const auto it = kv.find(key);
+        if (it != kv.end())
+            dst = it->second;
+    };
+    const auto num = [&](const char *key, auto &dst) {
+        const auto it = kv.find(key);
+        if (it != kv.end())
+            dst = static_cast<std::remove_reference_t<decltype(dst)>>(
+                std::strtoull(it->second.c_str(), nullptr, 10));
+    };
+
+    str("runtime", res.runtime);
+    str("program", res.program);
+    str("error", res.error);
+    if (const auto it = kv.find("completed"); it != kv.end())
+        res.completed = it->second == "true";
+    if (const auto it = kv.find("status"); it != kv.end())
+        res.status = statusFromName(it->second);
+    if (const auto it = kv.find("meanTaskSize"); it != kv.end())
+        res.meanTaskSize = std::strtod(it->second.c_str(), nullptr);
+
+    num("cycles", res.cycles);
+    num("serialPayload", res.serialPayload);
+    num("tasks", res.tasks);
+    num("serialCycles", res.serialCycles);
+    num("evaluatedCycles", res.evaluatedCycles);
+    num("componentTicks", res.componentTicks);
+    num("tickWorldTicks", res.tickWorldTicks);
+    num("busTransactions", res.busTransactions);
+    num("busStallCycles", res.busStallCycles);
+    num("dramStallCycles", res.dramStallCycles);
+    num("mshrStallCycles", res.mshrStallCycles);
+    num("schedSubStalls", res.schedSubStalls);
+    num("schedRoutingStalls", res.schedRoutingStalls);
+    num("schedReadyStalls", res.schedReadyStalls);
+    num("schedGatewayStallCycles", res.schedGatewayStallCycles);
+    num("crossShardEdges", res.crossShardEdges);
+    num("workSteals", res.workSteals);
+    num("workerSubmits", res.workerSubmits);
+    num("inlineTasks", res.inlineTasks);
+    return res;
+}
+
+int
+connectTcp(const std::string &host, unsigned short port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        errno = EINVAL;
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+LineReader::fill()
+{
+    char chunk[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            return true;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // EOF or hard error
+    }
+}
+
+bool
+LineReader::readLine(std::string &out)
+{
+    while (true) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            out = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            if (!out.empty() && out.back() == '\r')
+                out.pop_back();
+            return true;
+        }
+        if (!fill())
+            return false;
+    }
+}
+
+bool
+LineReader::readExact(std::size_t n, std::string &out)
+{
+    while (buf_.size() < n)
+        if (!fill())
+            return false;
+    out = buf_.substr(0, n);
+    buf_.erase(0, n);
+    return true;
+}
+
+} // namespace picosim::svc::wire

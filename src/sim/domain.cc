@@ -245,6 +245,18 @@ Simulator::runWindowed(const DonePredicate &done, Cycle limit)
             result = true;
             return;
         }
+        if (stopCheck_ && stopCheck_()) {
+            // Window barriers are the PDES cancellation points: every
+            // domain is parked, so stopping here ends the run at a
+            // deterministic boundary of the windowed schedule. The
+            // check must not throw — this lambda is a noexcept barrier
+            // completion step.
+            advanceAllClocksTo(maxClock);
+            stop = true;
+            result = false;
+            stoppedByCheck_ = true;
+            return;
+        }
         const Cycle next = cachedGlobalNext();
         if (next == kCycleNever) {
             // Fully idle system: either done() holds now or the

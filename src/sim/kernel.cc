@@ -448,6 +448,7 @@ Simulator::refreshNextEventCycle(Domain &d)
 bool
 Simulator::run(DonePredicate done, Cycle limit)
 {
+    stoppedByCheck_ = false;
     if (mode_ == EvalMode::TickWorld)
         return runTickWorld(done, limit);
     if (windowed_)
@@ -460,6 +461,13 @@ Simulator::run(DonePredicate done, Cycle limit)
             return true;
         if (d.clock.now() - start >= limit)
             return false;
+        if (stopCheckDue()) {
+            // Cooperative stop at the cycle-dispatch boundary: nothing
+            // of this cycle has been evaluated yet, so the run ends at
+            // a clean point of the deterministic schedule.
+            stoppedByCheck_ = true;
+            return false;
+        }
 
         evaluateDue(d);
 
@@ -530,6 +538,10 @@ Simulator::runTickWorld(const DonePredicate &done, Cycle limit)
             return true;
         if (main_.clock.now() - start >= limit)
             return false;
+        if (stopCheckDue()) {
+            stoppedByCheck_ = true;
+            return false;
+        }
 
         evaluateAll();
 

@@ -10,6 +10,7 @@
 #define PICOSIM_SIM_KERNEL_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -46,6 +47,16 @@ enum class EvalMode : std::uint8_t
 
 /** Non-allocating done-predicate storage for the run loop. */
 using DonePredicate = SmallFn<bool(), 32>;
+
+/**
+ * Cooperative stop request for the run loop: polled at deterministic
+ * schedule boundaries (every kStopCheckStride dispatched cycles on the
+ * sequential kernels, every window barrier on the PDES loop) and never
+ * mid-cycle, so a stopped run ends at a clean point in the schedule.
+ * Must not throw (the PDES coordination step is noexcept). The harness
+ * composes cancellation tokens and wall-clock deadlines into one check.
+ */
+using StopCheck = std::function<bool()>;
 
 /**
  * Cycle-exact simulator over a bitmap timing-wheel scheduler.
@@ -204,8 +215,31 @@ class Simulator
      */
     bool run(DonePredicate done, Cycle limit = kCycleNever);
 
-    /** Run for exactly n cycles of simulated time. */
+    /** Run for exactly n cycles of simulated time. Stop checks do not
+     *  apply (bounded-time runs are harness warmup/probe helpers). */
     void runFor(Cycle n);
+
+    // -- Cooperative stop (cancellation / wall-clock timeouts) -----------
+
+    /** Dispatched-cycle stride between stop-check polls on the
+     *  sequential kernels (the PDES loop polls every window barrier). */
+    static constexpr std::uint64_t kStopCheckStride = 1024;
+
+    /**
+     * Install (or clear, with an empty function) the cooperative stop
+     * check. When the check returns true, run() returns false at the
+     * next polling boundary and stoppedByCheck() reports why the run
+     * ended. The check must not throw.
+     */
+    void
+    setStopCheck(StopCheck check)
+    {
+        stopCheck_ = std::move(check);
+    }
+
+    /** True when the last run() ended because the stop check fired
+     *  (as opposed to completing or exhausting the cycle limit). */
+    bool stoppedByCheck() const { return stoppedByCheck_; }
 
     /** Number of distinct cycles at which any component was evaluated
      *  (global across domains; deduplicated at window boundaries). */
@@ -310,6 +344,21 @@ class Simulator
     std::uint64_t windowBarriers_ = 0; ///< coordination steps executed
 
     std::uint64_t evaluatedCycles_ = 0;
+
+    StopCheck stopCheck_;            ///< empty = never stop early
+    bool stoppedByCheck_ = false;    ///< last run() ended by the check
+    std::uint64_t stopPollClock_ = 0; ///< dispatch counter for the stride
+
+    /** Stride-gated poll of the stop check (sequential kernels). */
+    bool
+    stopCheckDue()
+    {
+        if (!stopCheck_)
+            return false;
+        if (++stopPollClock_ % kStopCheckStride != 0)
+            return false;
+        return stopCheck_();
+    }
 };
 
 } // namespace picosim::sim

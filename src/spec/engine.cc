@@ -69,17 +69,69 @@ Engine::makeSystem(const RunSpec &spec)
 }
 
 rt::RunResult
-Engine::run(const RunSpec &spec)
+Engine::run(const RunSpec &spec, const rt::RunControls &controls)
 {
-    return rt::runProgram(spec.runtime, buildProgram(spec),
-                          harnessParams(spec));
+    rt::HarnessParams hp = harnessParams(spec);
+    hp.controls = controls;
+    return rt::runProgram(spec.runtime, buildProgram(spec), hp);
 }
 
 rt::RunResult
-Engine::runWithSpeedup(const RunSpec &spec)
+Engine::runWithSpeedup(const RunSpec &spec, const rt::RunControls &controls)
 {
-    return rt::runWithSpeedup(spec.runtime, buildProgram(spec),
-                              harnessParams(spec));
+    rt::HarnessParams hp = harnessParams(spec);
+    hp.controls = controls;
+    return rt::runWithSpeedup(spec.runtime, buildProgram(spec), hp);
+}
+
+std::vector<rt::RunResult>
+Engine::runBatch(const std::vector<RunSpec> &specs,
+                 const rt::BatchOptions &opts)
+{
+    std::vector<rt::RunResult> results(specs.size());
+    if (specs.empty())
+        return results; // explicit: an empty batch yields no results
+
+    // Build phase. A spec whose workload cannot be built becomes a
+    // per-position Error result (captureErrors) instead of poisoning
+    // the batch; buildable specs — duplicates included, each with a
+    // private Program — are mapped onto a dense job vector.
+    std::vector<rt::Job> jobs;
+    std::vector<std::size_t> jobSpec; // job index -> spec index
+    jobs.reserve(specs.size());
+    jobSpec.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        try {
+            rt::Job job;
+            job.kind = specs[i].runtime;
+            job.prog = buildProgram(specs[i]);
+            job.params = harnessParams(specs[i]);
+            job.label = specs[i].serialize();
+            jobs.push_back(std::move(job));
+            jobSpec.push_back(i);
+        } catch (const std::exception &e) {
+            if (!opts.captureErrors)
+                throw;
+            rt::RunResult &res = results[i];
+            res.runtime = std::string(rt::kindName(specs[i].runtime));
+            res.status = rt::RunStatus::Error;
+            res.error = e.what();
+            if (opts.onResult)
+                opts.onResult(i, res);
+        }
+    }
+
+    rt::BatchOptions inner = opts;
+    if (opts.onStart)
+        inner.onStart = [&](std::size_t j) { opts.onStart(jobSpec[j]); };
+    if (opts.onResult)
+        inner.onResult = [&](std::size_t j, const rt::RunResult &r) {
+            opts.onResult(jobSpec[j], r);
+        };
+    std::vector<rt::RunResult> ran = rt::runBatch(jobs, inner);
+    for (std::size_t j = 0; j < ran.size(); ++j)
+        results[jobSpec[j]] = std::move(ran[j]);
+    return results;
 }
 
 std::vector<rt::RunResult>
@@ -87,21 +139,16 @@ Engine::runBatch(const std::vector<RunSpec> &specs, unsigned threads,
                  const std::function<void(std::size_t,
                                           const rt::RunResult &)> &onResult)
 {
-    std::vector<rt::Job> jobs;
-    jobs.reserve(specs.size());
-    for (const RunSpec &spec : specs) {
-        rt::Job job;
-        job.kind = spec.runtime;
-        job.prog = buildProgram(spec);
-        job.params = harnessParams(spec);
-        job.label = spec.serialize();
-        jobs.push_back(std::move(job));
-    }
-    return rt::runBatch(jobs, threads, onResult);
+    rt::BatchOptions opts;
+    opts.threads = threads;
+    opts.onResult = onResult;
+    opts.captureErrors = false; // legacy contract: rethrow after join
+    return runBatch(specs, opts);
 }
 
 InspectedRun
-Engine::runInspected(const RunSpec &spec, rt::TaskTrace *trace)
+Engine::runInspected(const RunSpec &spec, rt::TaskTrace *trace,
+                     const rt::RunControls &controls)
 {
     const rt::HarnessParams hp = harnessParams(spec);
     const rt::Program prog = buildProgram(spec);
@@ -119,12 +166,14 @@ Engine::runInspected(const RunSpec &spec, rt::TaskTrace *trace)
     }
 
     out.runtime->install(*out.system, prog);
+    rt::armControls(*out.system, controls);
     const bool ok = out.system->run(hp.cycleLimit);
 
     rt::RunResult &res = out.result;
     res.runtime = out.runtime->name();
     res.program = prog.name;
     res.completed = ok && out.runtime->finished();
+    res.status = rt::finishStatus(*out.system, controls, res.completed);
     res.cycles = out.system->clock().now();
     res.serialPayload = prog.serialPayloadCycles();
     res.tasks = prog.numTasks();

@@ -61,17 +61,35 @@ class Engine
     static std::unique_ptr<cpu::System> makeSystem(const RunSpec &spec);
 
     /** Run @p spec once; bit-identical to rt::runProgram on the same
-     *  parameters. serialCycles is left zero (see runWithSpeedup). */
-    static rt::RunResult run(const RunSpec &spec);
+     *  parameters. serialCycles is left zero (see runWithSpeedup).
+     *  @p controls adds cooperative cancellation / wall-clock limits,
+     *  polled only at deterministic boundaries. */
+    static rt::RunResult run(const RunSpec &spec,
+                             const rt::RunControls &controls = {});
 
     /** Run @p spec plus its serial baseline; fills serialCycles. */
-    static rt::RunResult runWithSpeedup(const RunSpec &spec);
+    static rt::RunResult
+    runWithSpeedup(const RunSpec &spec,
+                   const rt::RunControls &controls = {});
 
     /**
      * Run every spec on the harness worker pool (rt::runBatch; 0
      * threads = hardware concurrency). Results align positionally with
      * @p specs and are identical to running each spec sequentially.
+     * Duplicate specs are independent jobs with private Programs.
+     *
+     * With opts.captureErrors (the default), a spec whose workload
+     * fails to build — and a run whose worker throws — becomes an
+     * explicit per-job rt::RunStatus::Error result carrying the message
+     * verbatim; the rest of the batch still runs. An empty spec vector
+     * returns an empty result vector.
      */
+    static std::vector<rt::RunResult>
+    runBatch(const std::vector<RunSpec> &specs,
+             const rt::BatchOptions &opts);
+
+    /** Legacy overload: build errors and worker exceptions propagate
+     *  as exceptions (first one rethrown after the pool joins). */
     static std::vector<rt::RunResult>
     runBatch(const std::vector<RunSpec> &specs, unsigned threads = 0,
              const std::function<void(std::size_t, const rt::RunResult &)>
@@ -83,7 +101,8 @@ class Engine
      * (Phentos, Nanos). serialCycles is left zero.
      */
     static InspectedRun runInspected(const RunSpec &spec,
-                                     rt::TaskTrace *trace = nullptr);
+                                     rt::TaskTrace *trace = nullptr,
+                                     const rt::RunControls &controls = {});
 };
 
 } // namespace picosim::spec

@@ -101,3 +101,119 @@ TEST(RunBatch, SerialJobsForcedToOneCore)
     EXPECT_TRUE(results[0].completed);
     EXPECT_EQ(results[0].runtime, "serial");
 }
+
+// -- BatchOptions: cancellation, in-flight caps, error capture ----------
+
+namespace
+{
+
+/** A job whose run throws inside the worker thread: the payload sum
+ *  overflows Cycle, so collecting the serial baseline after the
+ *  (cycle-limited, instant) run fails loudly via sim::fatal. */
+Job
+poisonJob()
+{
+    Program prog;
+    prog.name = "poison";
+    prog.spawn(Cycle{1} << 63, {});
+    prog.spawn(Cycle{1} << 63, {});
+    prog.taskwait();
+    Job job;
+    job.kind = RuntimeKind::Serial;
+    job.prog = std::move(prog);
+    job.params.cycleLimit = 1000; // stop at the limit immediately
+    return job;
+}
+
+} // namespace
+
+TEST(RunBatch, MaxInFlightDoesNotChangeResults)
+{
+    const std::vector<Job> jobs = smallMatrix();
+    const std::vector<RunResult> unbounded = runBatch(jobs, 4);
+
+    BatchOptions opts;
+    opts.threads = 4;
+    opts.maxInFlight = 1;
+    const std::vector<RunResult> capped = runBatch(jobs, opts);
+
+    ASSERT_EQ(capped.size(), unbounded.size());
+    for (std::size_t i = 0; i < capped.size(); ++i) {
+        EXPECT_EQ(capped[i].status, RunStatus::Ok) << i;
+        EXPECT_EQ(capped[i].cycles, unbounded[i].cycles) << i;
+    }
+}
+
+TEST(RunBatch, PreCancelledBatchReportsEveryJobCancelled)
+{
+    CancelToken token;
+    token.cancel();
+    BatchOptions opts;
+    opts.threads = 2;
+    opts.cancel = &token;
+    const std::vector<RunResult> results =
+        runBatch(smallMatrix(), opts);
+    ASSERT_FALSE(results.empty());
+    for (const RunResult &res : results) {
+        EXPECT_EQ(res.status, RunStatus::Cancelled);
+        EXPECT_FALSE(res.completed);
+    }
+}
+
+TEST(RunBatch, WorkerExceptionBecomesPerJobError)
+{
+    std::vector<Job> jobs;
+    Job ok;
+    ok.kind = RuntimeKind::Phentos;
+    ok.prog = apps::taskFree(64, 1, 100);
+    jobs.push_back(ok);
+    jobs.push_back(poisonJob());
+    jobs.push_back(ok);
+
+    BatchOptions opts;
+    opts.threads = 2;
+    const std::vector<RunResult> results = runBatch(jobs, opts);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].status, RunStatus::Ok);
+    EXPECT_EQ(results[2].status, RunStatus::Ok);
+    EXPECT_EQ(results[0].cycles, results[2].cycles);
+
+    // The poisoned job failed loudly and alone.
+    EXPECT_EQ(results[1].status, RunStatus::Error);
+    EXPECT_FALSE(results[1].completed);
+    EXPECT_FALSE(results[1].error.empty());
+    EXPECT_NE(results[1].error.find("payload sum overflows"),
+              std::string::npos)
+        << results[1].error;
+}
+
+TEST(RunBatch, LegacyOverloadRethrowsWorkerExceptions)
+{
+    EXPECT_THROW(runBatch({poisonJob()}, 2), std::runtime_error);
+}
+
+TEST(RunBatch, PerJobTimeoutOnlyStopsTheSlowJob)
+{
+    // A batch-wide per-job budget: the long chain times out, but the
+    // short independent job still completes with its solo cycle count.
+    Job slow;
+    slow.kind = RuntimeKind::Phentos;
+    slow.prog = apps::taskChain(20000, 1, 500);
+    Job fast;
+    fast.kind = RuntimeKind::Phentos;
+    fast.prog = apps::taskFree(64, 1, 100);
+    const RunResult solo = runProgram(fast.kind, fast.prog);
+
+    // Arm the timeout on the slow job only (per-job controls compose
+    // with batch options; an explicit per-job budget is kept).
+    slow.params.controls.timeoutSec = 1e-9;
+
+    BatchOptions opts;
+    opts.threads = 2;
+    const std::vector<RunResult> results = runBatch({slow, fast}, opts);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, RunStatus::TimedOut);
+    EXPECT_FALSE(results[0].completed);
+    EXPECT_EQ(results[1].status, RunStatus::Ok);
+    EXPECT_EQ(results[1].cycles, solo.cycles);
+}

@@ -1,0 +1,102 @@
+#!/bin/sh
+# End-to-end smoke of the picosim_serve daemon, gated as a ctest:
+#
+#   1. Start picosim_serve on an ephemeral port and parse the
+#      "listening on" line.
+#   2. Submit the golden blackscholes spec through picosim_submit and
+#      require its stdout to be BYTE-IDENTICAL to running the same
+#      spec locally with `picosim_run --spec` (the wire round-trip
+#      acceptance criterion).
+#   3. CANCEL leg: submit a long job, cancel it mid-flight through the
+#      wire, and require both the streaming client and STATUS to
+#      observe the cancelled state.
+#   4. SHUTDOWN drains the server.
+#
+# Usage: server_roundtrip.sh <picosim_serve> <picosim_submit> <picosim_run>
+set -u
+
+SERVE=$1
+SUBMIT=$2
+RUN=$3
+
+TMP=$(mktemp -d) || exit 1
+SERVER_PID=
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+# -- 1. Start the server on an ephemeral port ---------------------------
+"$SERVE" --port=0 --workers=2 >"$TMP/serve.out" 2>&1 &
+SERVER_PID=$!
+
+PORT=
+i=0
+while [ $i -lt 100 ]; do
+    PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+               "$TMP/serve.out")
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null \
+        || fail "server died: $(cat "$TMP/serve.out")"
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$PORT" ] || fail "server never printed its listening line"
+
+"$SUBMIT" --port="$PORT" --ping | grep -q PONG || fail "PING"
+
+# -- 2. Byte-identical wire round trip on the golden spec ---------------
+"$RUN" --workload=blackscholes --dump-spec >"$TMP/golden.spec" \
+    || fail "dump-spec"
+"$RUN" --spec "$TMP/golden.spec" >"$TMP/local.out" \
+    || fail "local golden run"
+"$SUBMIT" --port="$PORT" --spec="$TMP/golden.spec" \
+    >"$TMP/remote.out" 2>"$TMP/remote.err" \
+    || fail "submit: $(cat "$TMP/remote.err")"
+diff -u "$TMP/local.out" "$TMP/remote.out" \
+    || fail "served stdout differs from the local run"
+grep -q "cycles    : 404299 (completed)" "$TMP/local.out" \
+    || fail "golden cycle count missing from the report"
+
+# -- 3. CANCEL a long job mid-flight ------------------------------------
+cat >"$TMP/long.spec" <<EOF
+workload=task-chain
+wl.tasks=50000
+wl.payload=1000
+EOF
+"$SUBMIT" --port="$PORT" --spec="$TMP/long.spec" --tag=longjob \
+    --print=rows >"$TMP/cancel.out" 2>"$TMP/cancel.err" &
+CLIENT_PID=$!
+
+ID=
+i=0
+while [ $i -lt 100 ]; do
+    "$SUBMIT" --port="$PORT" --list >"$TMP/list.out" 2>/dev/null
+    ID=$(sed -n 's/^JOB \([0-9]*\) .*tag="longjob".*/\1/p' \
+             "$TMP/list.out" | head -n 1)
+    [ -n "$ID" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ID" ] || fail "long job never appeared in LIST"
+
+"$SUBMIT" --port="$PORT" --cancel="$ID" >/dev/null || fail "CANCEL"
+wait "$CLIENT_PID" # non-zero by design: the job did not finish as done
+grep -q "DONE cancelled" "$TMP/cancel.out" \
+    || fail "streaming client did not observe the cancellation: \
+$(cat "$TMP/cancel.out")"
+"$SUBMIT" --port="$PORT" --status="$ID" | grep -q "state=cancelled" \
+    || fail "STATUS does not report the cancelled state"
+
+# -- 4. Drain -----------------------------------------------------------
+"$SUBMIT" --port="$PORT" --shutdown >/dev/null || fail "SHUTDOWN"
+wait "$SERVER_PID"
+SERVER_PID=
+
+echo "server round trip OK"

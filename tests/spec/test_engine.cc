@@ -138,6 +138,79 @@ TEST(Engine, RunBatchMatchesSequentialRuns)
     }
 }
 
+TEST(Engine, RunBatchEmptySpecVectorYieldsNoResults)
+{
+    EXPECT_TRUE(Engine::runBatch({}, rt::BatchOptions{}).empty());
+    EXPECT_TRUE(Engine::runBatch({}, 4).empty());
+}
+
+TEST(Engine, RunBatchDuplicateSpecsGetPrivatePrograms)
+{
+    // The same spec three times: every instance must run on a private
+    // Program/System and report the identical solo result (shared
+    // mutable state across workers would race or skew).
+    const RunSpec s = smallSpec();
+    const rt::RunResult solo = Engine::run(s);
+    const std::vector<rt::RunResult> batch =
+        Engine::runBatch({s, s, s}, rt::BatchOptions{});
+    ASSERT_EQ(batch.size(), 3u);
+    for (const rt::RunResult &res : batch) {
+        EXPECT_EQ(res.status, rt::RunStatus::Ok);
+        EXPECT_EQ(res.cycles, solo.cycles);
+        EXPECT_EQ(res.tasks, solo.tasks);
+    }
+}
+
+TEST(Engine, RunBatchBuildFailureIsAPerJobError)
+{
+    // A spec that fails to build (unknown workload) must surface as an
+    // explicit RunStatus::Error on its own slot — with the registry's
+    // message verbatim — while the surrounding jobs run to completion.
+    RunSpec bad;
+    bad.workload = "no-such-workload";
+    const RunSpec good = smallSpec();
+    const rt::RunResult solo = Engine::run(good);
+
+    std::atomic<unsigned> callbacks{0};
+    rt::BatchOptions opts;
+    opts.threads = 2;
+    opts.onResult = [&](std::size_t, const rt::RunResult &) {
+        ++callbacks;
+    };
+    const std::vector<rt::RunResult> batch =
+        Engine::runBatch({good, bad, good}, opts);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(callbacks.load(), 3u);
+    EXPECT_EQ(batch[0].status, rt::RunStatus::Ok);
+    EXPECT_EQ(batch[0].cycles, solo.cycles);
+    EXPECT_EQ(batch[2].status, rt::RunStatus::Ok);
+    EXPECT_EQ(batch[2].cycles, solo.cycles);
+
+    EXPECT_EQ(batch[1].status, rt::RunStatus::Error);
+    EXPECT_FALSE(batch[1].completed);
+    EXPECT_NE(batch[1].error.find("no-such-workload"), std::string::npos)
+        << batch[1].error;
+}
+
+TEST(Engine, RunBatchLegacyOverloadRethrowsBuildFailures)
+{
+    RunSpec bad;
+    bad.workload = "no-such-workload";
+    EXPECT_THROW(Engine::runBatch({bad}, 2), std::exception);
+}
+
+TEST(Engine, RunHonoursControls)
+{
+    RunSpec s = smallSpec();
+    rt::CancelToken token;
+    token.cancel();
+    rt::RunControls ctl;
+    ctl.cancel = &token;
+    const rt::RunResult res = Engine::run(s, ctl);
+    EXPECT_EQ(res.status, rt::RunStatus::Cancelled);
+    EXPECT_FALSE(res.completed);
+}
+
 TEST(Engine, RunInspectedMatchesRun)
 {
     const RunSpec s = smallSpec();

@@ -26,7 +26,17 @@ The tolerance is generous (CI machines are noisy neighbours), but a real
 scheduler regression — an O(log n) structure creeping back, a per-event
 allocation — shifts the ratio well past it.
 
-Usage: check_perf.py <fresh BENCH_kernel.json> <baseline json> [tolerance]
+With --expect-scaling[=FLOOR] the gate additionally enforces an
+ABSOLUTE floor (default 1.05x) on every fresh poolSpeedup and
+pdesSpeedup row: a multi-worker pool and the partitioned PDES kernel
+must actually beat single-threaded execution on a multi-core host, not
+merely match their own previous measurement. On a single-hardware-
+thread host those rows are loudly SKIPPED (a 1-CPU box cannot scale by
+construction) — the CI leg that passes this flag guards itself with an
+nproc check for the same reason.
+
+Usage: check_perf.py <fresh BENCH_kernel.json> <baseline json>
+                     [tolerance] [--expect-scaling[=FLOOR]]
 """
 
 import json
@@ -39,12 +49,21 @@ def load_rows(path):
 
 
 def main():
-    if len(sys.argv) < 3:
+    args = list(sys.argv[1:])
+    scaling_floor = None
+    for arg in list(args):
+        if arg == "--expect-scaling":
+            scaling_floor = 1.05
+            args.remove(arg)
+        elif arg.startswith("--expect-scaling="):
+            scaling_floor = float(arg.split("=", 1)[1])
+            args.remove(arg)
+    if len(args) < 2:
         print(__doc__)
         return 2
-    fresh = load_rows(sys.argv[1])
-    baseline = load_rows(sys.argv[2])
-    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+    fresh = load_rows(args[0])
+    baseline = load_rows(args[1])
+    tolerance = float(args[2]) if len(args) > 2 else 0.20
 
     failures = []
 
@@ -147,6 +166,36 @@ def main():
 
     check_pool_speedup("batch_throughput", "poolSpeedup")
     check_pool_speedup("pdes_compare", "pdesSpeedup", need_workers=True)
+
+    def expect_scaling(bench, field, need_workers=False):
+        # Absolute multi-thread gate (--expect-scaling): fresh rows must
+        # clear the floor outright, independent of any baseline.
+        for row in (r for r in fresh if r.get("bench") == bench):
+            label = row.get("label", bench)
+            hc = host_concurrency(row)
+            if hc <= 1:
+                print(f"{label:32s} {field} SKIPPED (scaling gate: "
+                      "hostConcurrency == 1 — a 1-CPU host cannot "
+                      "scale, so this row is unmeasurable — NOT a pass)")
+                continue
+            if need_workers and hc < worker_threads(row):
+                print(f"{label:32s} {field} SKIPPED (scaling gate: "
+                      f"needs {worker_threads(row)} hardware threads, "
+                      f"host has {hc} — NOT a pass)")
+                continue
+            got = float(row[field])
+            status = "ok" if got >= scaling_floor else "NO SCALING"
+            print(f"{label:32s} {field} {got:6.2f}x "
+                  f"(absolute floor {scaling_floor:.2f}x) {status}")
+            if got < scaling_floor:
+                failures.append(
+                    f"'{label}' {field} {got:.2f}x is below the absolute "
+                    f"scaling floor {scaling_floor:.2f}x on a "
+                    f"{hc}-thread host" + replay_hint(row))
+
+    if scaling_floor is not None:
+        expect_scaling("batch_throughput", "poolSpeedup")
+        expect_scaling("pdes_compare", "pdesSpeedup", need_workers=True)
 
     if failures:
         print("\nperf-smoke FAILED:")

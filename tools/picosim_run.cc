@@ -52,6 +52,8 @@
 #include "apps/workloads.hh"
 #include "runtime/harness.hh"
 #include "runtime/task_trace.hh"
+#include "service/job_manager.hh"
+#include "service/run_plan.hh"
 #include "spec/engine.hh"
 #include "spec/run_spec.hh"
 #include "spec/workload_registry.hh"
@@ -178,65 +180,6 @@ splitCommas(const std::string &s)
     return parts;
 }
 
-void
-printResult(const rt::RunResult &res, unsigned cores)
-{
-    std::printf("workload  : %s (%llu tasks, mean size %.0f cycles)\n",
-                res.program.c_str(),
-                static_cast<unsigned long long>(res.tasks),
-                res.meanTaskSize);
-    std::printf("runtime   : %s on %u core(s)\n", res.runtime.c_str(),
-                cores);
-    std::printf("cycles    : %llu (%s)\n",
-                static_cast<unsigned long long>(res.cycles),
-                res.completed ? "completed" : "INCOMPLETE");
-    std::printf("serial    : %llu cycles\n",
-                static_cast<unsigned long long>(res.serialCycles));
-    std::printf("speedup   : %.2fx\n", res.speedup());
-    std::printf("wall time @80MHz: %.1f ms\n",
-                static_cast<double>(res.cycles) / 80'000.0);
-    if (res.tickWorldTicks > 0) {
-        std::printf("kernel    : %llu component ticks over %llu cycles "
-                    "(%.2fx fewer than tick-the-world)\n",
-                    static_cast<unsigned long long>(res.componentTicks),
-                    static_cast<unsigned long long>(res.evaluatedCycles),
-                    res.componentTicks == 0
-                        ? 0.0
-                        : static_cast<double>(res.tickWorldTicks) /
-                              static_cast<double>(res.componentTicks));
-    }
-    if (res.busTransactions > 0) {
-        std::printf("contention: %llu bus transactions; stall cycles "
-                    "bus %llu, dram %llu, mshr %llu\n",
-                    static_cast<unsigned long long>(res.busTransactions),
-                    static_cast<unsigned long long>(res.busStallCycles),
-                    static_cast<unsigned long long>(res.dramStallCycles),
-                    static_cast<unsigned long long>(res.mshrStallCycles));
-    }
-    if (res.schedSubStalls + res.schedRoutingStalls + res.schedReadyStalls +
-            res.schedGatewayStallCycles + res.crossShardEdges +
-            res.workSteals >
-        0) {
-        std::printf("scheduler : push stalls sub %llu, routing %llu, "
-                    "ready %llu; gateway wait %llu cyc; "
-                    "cross-shard edges %llu; steals %llu\n",
-                    static_cast<unsigned long long>(res.schedSubStalls),
-                    static_cast<unsigned long long>(res.schedRoutingStalls),
-                    static_cast<unsigned long long>(res.schedReadyStalls),
-                    static_cast<unsigned long long>(
-                        res.schedGatewayStallCycles),
-                    static_cast<unsigned long long>(res.crossShardEdges),
-                    static_cast<unsigned long long>(res.workSteals));
-    }
-    if (res.workerSubmits > 0) {
-        std::printf("nested    : %llu of %llu tasks submitted from worker "
-                    "harts, %llu run inline (window full)\n",
-                    static_cast<unsigned long long>(res.workerSubmits),
-                    static_cast<unsigned long long>(res.tasks),
-                    static_cast<unsigned long long>(res.inlineTasks));
-    }
-}
-
 /** Legacy quick listing (workload names, runtimes, memory models). */
 void
 printList()
@@ -282,7 +225,7 @@ runInspectable(const spec::RunSpec &sp,
     spec::RunSpec serial = sp;
     serial.runtime = rt::RuntimeKind::Serial;
     run.result.serialCycles = spec::Engine::run(serial).cycles;
-    printResult(run.result, run.system->numCores());
+    svc::printRunResult(run.result, run.system->numCores());
 
     if (trace_path) {
         std::ofstream out(*trace_path);
@@ -453,38 +396,29 @@ runMain(int argc, char **argv)
         return runInspectable(specs[0], trace_path, stats);
     }
 
-    // One main job per workload and repetition, plus a serial baseline
-    // unless the main run already is serial (then it is its own
-    // baseline).
-    const bool isSerial =
-        specs[0].runtime == rt::RuntimeKind::Serial;
-    const std::size_t runsPerSpec = isSerial ? 1 : 2;
-    const unsigned repeat = specs[0].repeat;
-    std::vector<spec::RunSpec> batch;
-    for (const spec::RunSpec &sp : specs) {
-        for (unsigned r = 0; r < repeat; ++r) {
-            batch.push_back(sp);
-            if (!isSerial) {
-                spec::RunSpec serial = sp;
-                serial.runtime = rt::RuntimeKind::Serial;
-                batch.push_back(std::move(serial));
-            }
-        }
+    // Batch execution rides the job core: the CLI is a local in-process
+    // client of the same JobManager the daemon serves, so a spec run
+    // here and a spec submitted over the wire share one execution path.
+    const svc::RunPlan plan = svc::RunPlan::make(specs);
+
+    svc::JobManager::Params mp;
+    mp.workers = jobs;
+    svc::JobManager manager(mp);
+    svc::JobSpec job;
+    job.runs = plan.runs;
+    const std::uint64_t id = manager.submit(std::move(job));
+    const svc::JobStatus st = manager.wait(id);
+    if (st.state == svc::JobState::Failed) {
+        std::fprintf(stderr, "%s\n", st.error.c_str());
+        return 1;
     }
 
-    const std::vector<rt::RunResult> results =
-        spec::Engine::runBatch(batch, jobs);
-
-    bool all_ok = true;
-    for (std::size_t i = 0; i * runsPerSpec < results.size(); ++i) {
-        rt::RunResult res = results[runsPerSpec * i];
-        res.serialCycles = results[runsPerSpec * i + runsPerSpec - 1].cycles;
-        if (i > 0)
-            std::printf("\n");
-        printResult(res, isSerial ? 1 : specs[0].cores);
-        all_ok = all_ok && res.completed;
-    }
-    return all_ok ? 0 : 1;
+    std::vector<svc::RunRow> rows = manager.runRows(id);
+    std::vector<rt::RunResult> results;
+    results.reserve(rows.size());
+    for (svc::RunRow &row : rows)
+        results.push_back(std::move(row.result));
+    return svc::printPlanResults(plan, results) ? 0 : 1;
 }
 
 } // namespace

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * picosim_serve: the experiment daemon. Listens on a plain TCP socket
+ * and executes submitted RunSpecs through the shared JobManager (the
+ * same execution path `picosim_run` uses in-process). The protocol is
+ * documented in src/service/wire.hh; `picosim_submit` is the matching
+ * client.
+ *
+ * Usage:
+ *   picosim_serve [--port=N] [--host=ADDR] [--workers=N]
+ *                 [--max-queued=N] [--timeout=SEC]
+ *
+ *   --port       listen port (default 0 = ephemeral; the chosen port is
+ *                printed on the "listening" line for scripts to parse)
+ *   --host       bind address (default 127.0.0.1)
+ *   --workers    simulation worker threads (default: hardware
+ *                concurrency)
+ *   --max-queued job admission cap (default 0 = unbounded)
+ *   --timeout    default per-job wall-clock budget in seconds
+ *                (default 0 = none; SUBMIT timeout= overrides)
+ *
+ * The server runs until a client sends SHUTDOWN.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.hh"
+
+using namespace picosim;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr,
+                 "%s\nusage: picosim_serve [--port=N] [--host=ADDR] "
+                 "[--workers=N] [--max-queued=N] [--timeout=SEC]\n",
+                 msg);
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    svc::ServerParams params;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::size_t eq = arg.find('=');
+        if (arg.rfind("--", 0) != 0 || eq == std::string::npos)
+            usage(("bad argument '" + arg + "'").c_str());
+        const std::string key = arg.substr(2, eq - 2);
+        const std::string value = arg.substr(eq + 1);
+        char *end = nullptr;
+        if (key == "port") {
+            const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+            if (*end != '\0' || v > 65535)
+                usage("--port expects a port number");
+            params.port = static_cast<unsigned short>(v);
+        } else if (key == "host") {
+            params.host = value;
+        } else if (key == "workers") {
+            const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+            if (*end != '\0' || v > 4096)
+                usage("--workers expects an integer in [0, 4096]");
+            params.manager.workers = static_cast<unsigned>(v);
+        } else if (key == "max-queued") {
+            const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+            if (*end != '\0')
+                usage("--max-queued expects an integer");
+            params.manager.maxQueued = v;
+        } else if (key == "timeout") {
+            params.manager.defaultTimeoutSec =
+                std::strtod(value.c_str(), &end);
+            if (*end != '\0' || params.manager.defaultTimeoutSec < 0)
+                usage("--timeout expects seconds");
+        } else {
+            usage(("unknown flag '--" + key + "'").c_str());
+        }
+    }
+
+    try {
+        svc::Server server(params);
+        // Scripts parse this exact line (and its flush) to learn the
+        // ephemeral port before connecting.
+        std::printf("picosim_serve listening on %s:%u\n",
+                    server.host().c_str(),
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        server.serveForever();
+        std::printf("picosim_serve shut down\n");
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "picosim_serve: %s\n", e.what());
+        return 1;
+    }
+}
