@@ -99,6 +99,9 @@ System::System(const SystemParams &params)
         sharded_ = std::make_unique<picos::ShardedPicos>(
             pdesActive_ ? sim_.domainClock(ndom - 1) : sim_.clock(),
             std::move(readyClocks), params.picos, topo, sim_.stats());
+        if (params.fault.kind == sim::FaultKind::KillShard ||
+            params.fault.kind == sim::FaultKind::StallLink)
+            sharded_->setFault(params.fault);
         // Per-cluster managers keep their central ready queue at one
         // tuple: work buffered there is pinned to the cluster, and the
         // whole point of the sharded fabric is that surplus ready tasks

@@ -27,6 +27,7 @@
 #include "picos/picos.hh"
 #include "picos/sharded_picos.hh"
 #include "picos/topology.hh"
+#include "sim/fault.hh"
 #include "sim/kernel.hh"
 
 namespace picosim::cpu
@@ -79,6 +80,11 @@ struct SystemParams
     /** Kernel strategy; TickWorld is the bit-exact reference baseline. */
     sim::EvalMode evalMode = sim::EvalMode::EventDriven;
     PdesParams pdes{};
+
+    /** Fault to inject into the model (KillShard/StallLink; DropJob is
+     *  harness-level and ignored here). Requires the sharded topology —
+     *  the spec layer rejects shard/link faults without one. */
+    sim::FaultPlan fault{};
 };
 
 class System

@@ -380,7 +380,10 @@ ShardedPicos::tickNotify()
     // dependent's home shard this cycle. A pending dependence pins its
     // task entry (it cannot run, so it cannot retire or recycle), so the
     // id in flight is always the intended task.
-    for (Shard &sh : shards_) {
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        if (shardDown(s))
+            continue; // notifications queue up until the shard heals
+        Shard &sh = shards_[s];
         while (sh.notifyQueue.frontReady()) {
             const std::uint32_t packed = sh.notifyQueue.pop();
             wakeDependent(packed & kNotifyIdMask,
@@ -449,7 +452,9 @@ ShardedPicos::tickRetire()
             continue;
         }
         const unsigned s = homeShardOf(id);
-        if (served[s] || shards_[s].retireBusyUntil > now)
+        // A down home shard blocks its retirements head-of-line, just
+        // like a busy retire pipeline — in-order service per cluster.
+        if (served[s] || shards_[s].retireBusyUntil > now || shardDown(s))
             continue;
         cl.retireQueue.pop();
         finishRetire(shards_[s], id);
@@ -466,7 +471,10 @@ void
 ShardedPicos::tickGateways()
 {
     const Cycle now = clock_.now();
-    for (Shard &sh : shards_) {
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        if (shardDown(s))
+            continue; // descriptors wait at the gateway until it heals
+        Shard &sh = shards_[s];
         if (sh.gwTaskId < 0) {
             if (sh.inQueue.empty() || now < sh.inQueue.front().readyAt)
                 continue;
@@ -502,6 +510,8 @@ ShardedPicos::tickRouters()
 {
     const Cycle now = clock_.now();
     for (unsigned c = 0; c < clusters_.size(); ++c) {
+        if (clusterLinkDown(c))
+            continue; // submission fabric down: packets sit in subQueue
         Cluster &cl = clusters_[c];
         // Dispatch a decoded descriptor to its home shard's gateway.
         if (cl.hasDecoded) {
@@ -611,23 +621,42 @@ ShardedPicos::nextDue() const
     Cycle due = kCycleNever;
     const auto merge = [&due](Cycle c) { due = std::min(due, c); };
 
-    for (const Shard &sh : shards_) {
+    for (unsigned s = 0; s < shards_.size(); ++s) {
+        const Shard &sh = shards_[s];
+        // A down shard services nothing until it heals: defer its
+        // sources to the heal cycle (or never) instead of polling
+        // through the outage. The gate is a pure function of the
+        // domain clock, so the deferral is deterministic.
+        const bool down = shardDown(s);
         if (sh.gwTaskId >= 0)
-            merge(poll); // dep-table stall retry
+            merge(gateFault(poll, down)); // dep-table stall retry
         if (!sh.inQueue.empty())
-            merge(std::max(sh.inQueue.front().readyAt, poll));
-        merge(sh.notifyQueue.nextReadyCycle());
+            merge(gateFault(std::max(sh.inQueue.front().readyAt, poll),
+                            down));
+        merge(gateFault(sh.notifyQueue.nextReadyCycle(), down));
     }
-    for (const Cluster &cl : clusters_) {
+    for (unsigned c = 0; c < clusters_.size(); ++c) {
+        const Cluster &cl = clusters_[c];
+        const bool linkDown = clusterLinkDown(c);
         if (!cl.collectBuffer.empty() || cl.hasDecoded)
-            merge(poll);
-        merge(cl.subQueue.nextReadyCycle());
+            merge(gateFault(poll, linkDown));
+        merge(gateFault(cl.subQueue.nextReadyCycle(), linkDown));
         // Consumer-side view only (nextReadyCycle reads resident items,
         // never the producer's staging state): non-empty iff an item is
         // resident, exactly what the old empty() test established.
         const Cycle retire_ready = cl.retireQueue.nextReadyCycle();
-        if (retire_ready != kCycleNever)
-            merge(std::max(retire_ready, poll));
+        if (retire_ready != kCycleNever) {
+            // A consumable head homed on a down shard is head-of-line
+            // blocked until the heal; anything else is serviceable.
+            bool blocked = false;
+            if (cl.retireQueue.frontReady()) {
+                const std::uint32_t id = cl.retireQueue.front();
+                blocked = id < tasks_.size() &&
+                          tasks_[id].state == TaskState::Running &&
+                          shardDown(homeShardOf(id));
+            }
+            merge(gateFault(std::max(retire_ready, poll), blocked));
+        }
         if (cl.readyIssuingId >= 0)
             merge(std::max(cl.readyBusyUntil, poll));
         if (!cl.readyPending.empty())

@@ -45,6 +45,7 @@
 #include "picos/topology.hh"
 #include "rocc/task_packets.hh"
 #include "sim/clock.hh"
+#include "sim/fault.hh"
 #include "sim/port.hh"
 #include "sim/stats.hh"
 #include "sim/ticked.hh"
@@ -91,6 +92,18 @@ class ShardedPicos final : public sim::Ticked
 
     /** The SchedulerIf endpoint cluster @p c's manager connects to. */
     SchedulerIf &clusterPort(unsigned c);
+
+    /**
+     * Arm a KillShard/StallLink fault: while the scheduler-domain clock
+     * is inside [plan.cycle, plan.until) — forever from plan.cycle when
+     * plan.until is 0 — the target shard stops notifying, retiring and
+     * decoding (KillShard), or the target cluster's submission fabric
+     * stops moving (StallLink). Backpressure does the rest: upstream
+     * queues fill and the system stalls exactly as a real outage would.
+     * The down predicate is a pure function of the simulated clock, so
+     * faulted runs stay deterministic in both kernels and under PDES.
+     */
+    void setFault(const sim::FaultPlan &plan) { fault_ = plan; }
 
     /**
      * Flip every manager<->scheduler port into cross-domain staging mode
@@ -223,6 +236,49 @@ class ShardedPicos final : public sim::Ticked
     /** Earliest cycle at which internal progress is possible. */
     Cycle nextDue() const;
 
+    // -- Fault injection -------------------------------------------------
+
+    /** True while the armed fault is striking at the current cycle. */
+    bool
+    faultDownNow() const
+    {
+        if (!fault_.armed())
+            return false;
+        const Cycle now = clock_.now();
+        return now >= fault_.cycle &&
+               (fault_.until == 0 || now < fault_.until);
+    }
+
+    bool
+    shardDown(unsigned s) const
+    {
+        return fault_.kind == sim::FaultKind::KillShard &&
+               fault_.target == s && faultDownNow();
+    }
+
+    bool
+    clusterLinkDown(unsigned c) const
+    {
+        return fault_.kind == sim::FaultKind::StallLink &&
+               fault_.target == c && faultDownNow();
+    }
+
+    /**
+     * Defer a nextDue() source belonging to a currently-down component:
+     * nothing will service it before the fault heals, so waking for it
+     * earlier would be a pure polling storm (and, permanently down,
+     * would keep an otherwise-idle system spinning to the cycle limit).
+     * kCycleNever for a fault that never heals.
+     */
+    Cycle
+    gateFault(Cycle due, bool affected) const
+    {
+        if (!affected)
+            return due;
+        return fault_.until == 0 ? kCycleNever
+                                 : std::max(due, fault_.until);
+    }
+
     const sim::Clock &clock_;
     /** Per-cluster manager-domain clocks (PDES); all &clock_ classic. */
     std::vector<const sim::Clock *> readyClocks_;
@@ -249,6 +305,8 @@ class ShardedPicos final : public sim::Ticked
     std::vector<Shard> shards_;
     std::vector<Cluster> clusters_;
     std::vector<ClusterPort> ports_;
+
+    sim::FaultPlan fault_{}; ///< armed KillShard/StallLink fault, if any
 
     std::vector<TaskEntry> tasks_; ///< global TRS, sliced per shard
     unsigned inFlight_ = 0;

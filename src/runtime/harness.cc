@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <semaphore>
+#include <sstream>
 #include <thread>
 
 #include "runtime/nanos.hh"
@@ -75,7 +76,8 @@ fillContentionStats(RunResult &res, cpu::System &sys)
 }
 
 void
-armControls(cpu::System &sys, const RunControls &ctl)
+armControls(cpu::System &sys, const RunControls &ctl,
+            const sim::FaultPlan &fault)
 {
     // Compose the wall-clock deadline: the tighter of the caller's
     // absolute cutoff and a per-run budget counted from right here.
@@ -94,23 +96,112 @@ armControls(cpu::System &sys, const RunControls &ctl)
             deadline = budget;
         hasDeadline = true;
     }
-    if (!ctl.cancel && !ctl.groupCancel && !hasDeadline)
+    const bool drops = fault.kind == sim::FaultKind::DropJob;
+    if (!ctl.cancel && !ctl.groupCancel && !hasDeadline && !drops)
         return;
+    // The drop-job fault is a simulated-clock condition, so unlike the
+    // wall-clock legs it stops at the same deterministic boundary in
+    // every rerun: the first stop-check poll with now >= fault.cycle.
+    const sim::Clock *clk = drops ? &sys.clock() : nullptr;
+    const Cycle dropCycle = fault.cycle;
     sys.simulator().setStopCheck(
-        [ctl, deadline, hasDeadline]() noexcept {
+        [ctl, deadline, hasDeadline, clk, dropCycle]() noexcept {
             if (ctl.cancelRequested())
+                return true;
+            if (clk != nullptr && clk->now() >= dropCycle)
                 return true;
             return hasDeadline && SteadyClock::now() >= deadline;
         });
 }
 
 RunStatus
-finishStatus(cpu::System &sys, const RunControls &ctl, bool completed)
+finishStatus(cpu::System &sys, const RunControls &ctl, bool completed,
+             const sim::FaultPlan &fault)
 {
-    if (sys.simulator().stoppedByCheck())
-        return ctl.cancelRequested() ? RunStatus::Cancelled
-                                     : RunStatus::TimedOut;
+    if (sys.simulator().stoppedByCheck()) {
+        if (ctl.cancelRequested())
+            return RunStatus::Cancelled;
+        if (fault.kind == sim::FaultKind::DropJob &&
+            sys.clock().now() >= fault.cycle)
+            return RunStatus::Dropped;
+        return RunStatus::TimedOut;
+    }
     return completed ? RunStatus::Ok : RunStatus::CycleLimit;
+}
+
+std::shared_ptr<CheckpointOutcome>
+armCheckpoints(cpu::System &sys, const RunControls &ctl)
+{
+    auto out = std::make_shared<CheckpointOutcome>();
+
+    // Resume without periodic checkpoints: arm the stride at exactly
+    // the recorded cut so the replay re-fires at the original boundary
+    // (the first firing at or past cycle C reproduces label C — the
+    // window sequence and dispatch schedule are deterministic, and C is
+    // itself a label of the original run; see DESIGN.md).
+    const Cycle every =
+        ctl.checkpointEvery != 0
+            ? ctl.checkpointEvery
+            : (ctl.resumeFrom != nullptr && ctl.resumeFrom->cycle != 0
+                   ? ctl.resumeFrom->cycle
+                   : 0);
+    if (every == 0)
+        return out;
+
+    cpu::System *sysp = &sys;
+    const sim::Checkpoint *resume = ctl.resumeFrom;
+    const bool dumps = ctl.checkpointDumps;
+    const auto cb = ctl.onCheckpoint;
+    sys.simulator().setCheckpointHook(
+        // The hook runs inside the (noexcept under PDES) run loop, so
+        // every failure path — user callback throw, OOM in the dump —
+        // is converted into a mismatch record the harness epilogue
+        // turns into RunStatus::Error.
+        [out, sysp, resume, dumps, cb](Cycle boundary) noexcept {
+            try {
+                std::ostringstream os;
+                sysp->stats().dump(os);
+                sysp->memory().stats().dump(os);
+                std::string dump = os.str();
+
+                sim::Checkpoint cp;
+                cp.cycle = boundary;
+                cp.seq = ++out->taken;
+                cp.digest = sim::fnv1a(dump);
+                if (dumps)
+                    cp.statDump = std::move(dump);
+
+                if (resume != nullptr && boundary == resume->cycle) {
+                    if (cp.digest == resume->digest) {
+                        out->verified = true;
+                    } else if (!out->mismatch) {
+                        out->mismatch = true;
+                        out->message =
+                            "checkpoint digest mismatch at cycle " +
+                            std::to_string(boundary) +
+                            ": the replayed run diverged from the "
+                            "checkpointed one (spec, binary or "
+                            "environment changed since the checkpoint "
+                            "was taken)";
+                    }
+                }
+                if (cb)
+                    cb(cp);
+            } catch (const std::exception &e) {
+                if (!out->mismatch) {
+                    out->mismatch = true;
+                    out->message =
+                        std::string("checkpoint hook failed: ") + e.what();
+                }
+            } catch (...) {
+                if (!out->mismatch) {
+                    out->mismatch = true;
+                    out->message = "checkpoint hook failed";
+                }
+            }
+        },
+        every);
+    return out;
 }
 
 RunResult
@@ -130,16 +221,20 @@ runProgram(RuntimeKind kind, const Program &prog,
 
     cpu::SystemParams sp = params.system;
     sp.numCores = kind == RuntimeKind::Serial ? 1 : params.numCores;
+    sp.fault = params.fault;
     if (kind == RuntimeKind::Serial) {
         // The serial baseline never touches the scheduler; a clustered
-        // topology cannot be laid out over its single core.
+        // topology cannot be laid out over its single core, and a
+        // shard/link fault has no meaning without one.
         sp.topology = {};
+        sp.fault = {};
     }
 
     cpu::System sys(sp);
     std::unique_ptr<Runtime> runtime = makeRuntime(kind, params.costs);
     runtime->install(sys, prog);
-    armControls(sys, ctl);
+    armControls(sys, ctl, params.fault);
+    const auto cpState = armCheckpoints(sys, ctl);
 
     const bool ok = sys.run(params.cycleLimit);
 
@@ -147,7 +242,7 @@ runProgram(RuntimeKind kind, const Program &prog,
     res.runtime = runtime->name();
     res.program = prog.name;
     res.completed = ok && runtime->finished();
-    res.status = finishStatus(sys, ctl, res.completed);
+    res.status = finishStatus(sys, ctl, res.completed, params.fault);
     res.cycles = sys.clock().now();
     res.serialPayload = prog.serialPayloadCycles();
     res.tasks = prog.numTasks();
@@ -158,6 +253,13 @@ runProgram(RuntimeKind kind, const Program &prog,
     res.workerSubmits = runtime->tasksSubmittedByWorkers();
     res.inlineTasks = runtime->tasksExecutedInline();
     fillContentionStats(res, sys);
+    if (ctl.resumeFrom != nullptr)
+        res.resumedFromCycle = ctl.resumeFrom->cycle;
+    if (cpState->mismatch) {
+        res.status = RunStatus::Error;
+        res.error = cpState->message;
+        res.completed = false;
+    }
     if (res.status == RunStatus::CycleLimit) {
         // Cancelled/timed-out runs are expected to be incomplete; only
         // an exhausted cycle budget signals a genuinely stuck program.

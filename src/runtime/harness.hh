@@ -18,6 +18,8 @@
 #include "runtime/cancel.hh"
 #include "runtime/cost_model.hh"
 #include "runtime/runtime.hh"
+#include "sim/checkpoint.hh"
+#include "sim/fault.hh"
 
 namespace picosim::rt
 {
@@ -44,6 +46,34 @@ struct RunControls
     std::chrono::steady_clock::time_point deadline{}; ///< absolute cutoff
     bool hasDeadline = false; ///< deadline field is armed
 
+    // -- Checkpoint/resume (deterministic fast-forward replay) ----------
+
+    /** >0: take a checkpoint roughly every N simulated cycles, at the
+     *  deterministic boundaries sim::Simulator::setCheckpointHook
+     *  documents. 0 = no periodic checkpoints. */
+    Cycle checkpointEvery = 0;
+
+    /** Capture the full stat dump into each Checkpoint::statDump (for
+     *  divergence diagnostics); off by default — the digest is enough
+     *  for the resume-verification contract. */
+    bool checkpointDumps = false;
+
+    /** Invoked for every checkpoint taken (digest already computed).
+     *  Called from the simulation thread; must be cheap-ish and must
+     *  not call back into the running System. Exceptions are caught
+     *  and fail the run as RunStatus::Error. */
+    std::function<void(const sim::Checkpoint &)> onCheckpoint;
+
+    /**
+     * Resume cut to verify against: re-execution replays the spec from
+     * cycle 0 (determinism makes that equivalent to a state restore),
+     * and when the replay crosses resumeFrom->cycle the live digest is
+     * compared with the recorded one. A mismatch fails the run loudly
+     * (RunStatus::Error) instead of silently producing a different
+     * experiment. The pointee must outlive the run.
+     */
+    const sim::Checkpoint *resumeFrom = nullptr;
+
     bool
     cancelRequested() const
     {
@@ -59,6 +89,13 @@ struct HarnessParams
     cpu::SystemParams system{};
     Cycle cycleLimit = 50'000'000'000ull;
     RunControls controls{};
+
+    /** Fault to inject (sim::FaultKind::None = no fault). KillShard and
+     *  StallLink ride SystemParams into the model; DropJob is handled
+     *  here in the harness as a stop-check that ends the run with
+     *  RunStatus::Dropped at the first boundary at or past the fault
+     *  cycle. */
+    sim::FaultPlan fault{};
 };
 
 /**
@@ -76,13 +113,42 @@ void fillContentionStats(RunResult &res, cpu::System &sys);
 /**
  * Arm @p sys's cooperative stop check from @p ctl: cancellation plus
  * the tighter of ctl.deadline and a timeoutSec budget counted from the
- * moment of this call. No-op when @p ctl carries no stop condition.
+ * moment of this call, plus the drop-job fault (stops the run with the
+ * Dropped status once the simulated clock reaches the fault cycle).
+ * No-op when neither carries a stop condition.
  */
-void armControls(cpu::System &sys, const RunControls &ctl);
+void armControls(cpu::System &sys, const RunControls &ctl,
+                 const sim::FaultPlan &fault = {});
 
 /** How a finished run of @p sys ended under @p ctl. */
 RunStatus finishStatus(cpu::System &sys, const RunControls &ctl,
-                       bool completed);
+                       bool completed,
+                       const sim::FaultPlan &fault = {});
+
+/**
+ * Shared outcome of the checkpoint machinery for one run, written from
+ * the simulation thread by the hook armCheckpoints installs and read
+ * by the harness epilogue (and by Engine::runInspected).
+ */
+struct CheckpointOutcome
+{
+    std::uint64_t taken = 0;   ///< checkpoints fired this run
+    bool verified = false;     ///< resume digest was checked and matched
+    bool mismatch = false;     ///< resume digest differed, or hook threw
+    std::string message;       ///< human-readable mismatch description
+};
+
+/**
+ * Install the checkpoint hook on @p sys from @p ctl: periodic
+ * checkpoints every ctl.checkpointEvery cycles and/or resume
+ * verification against ctl.resumeFrom (when resuming without periodic
+ * checkpoints, the stride is armed at exactly the resume cycle so the
+ * replay re-crosses the recorded boundary — see DESIGN.md for why that
+ * reproduces the original label). Returns the shared outcome record;
+ * never null. No-op (hookless) when neither field is set.
+ */
+std::shared_ptr<CheckpointOutcome>
+armCheckpoints(cpu::System &sys, const RunControls &ctl);
 
 /** Run serial + the given runtime and fill in the speedup baseline. */
 RunResult runWithSpeedup(RuntimeKind kind, const Program &prog,

@@ -70,6 +70,7 @@ enum class RunStatus : std::uint8_t
     Cancelled,  ///< stopped by a CancelToken
     TimedOut,   ///< stopped by a wall-clock deadline
     Error,      ///< run threw; see RunResult::error
+    Dropped,    ///< fault-injection drop-job fired; run is resumable
 };
 
 constexpr const char *
@@ -81,6 +82,7 @@ runStatusName(RunStatus s)
     case RunStatus::Cancelled: return "cancelled";
     case RunStatus::TimedOut: return "timed-out";
     case RunStatus::Error: return "error";
+    case RunStatus::Dropped: return "dropped";
     }
     return "?";
 }
@@ -125,6 +127,15 @@ struct RunResult
     // -- Nested tasking (zero for flat programs) --
     std::uint64_t workerSubmits = 0; ///< tasks submitted from worker harts
     std::uint64_t inlineTasks = 0;   ///< saturation-fallback executions
+
+    /**
+     * Non-zero when the run was resumed from a checkpoint: the boundary
+     * cycle the replay was verified against. Deliberately NOT part of
+     * the CLI report — a resumed run's printed output must stay
+     * byte-identical to an uninterrupted one (that equality IS the
+     * resume contract); the field rides the wire JSON for provenance.
+     */
+    Cycle resumedFromCycle = 0;
 
     double
     speedup() const

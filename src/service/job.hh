@@ -57,6 +57,9 @@ jobStateFinal(JobState s)
     return s != JobState::Queued && s != JobState::Running;
 }
 
+/** Inverse of jobStateName (journal recovery, client parsing). */
+JobState jobStateFromName(const std::string &name);
+
 /** What a client submits: the runs plus per-job execution limits. */
 struct JobSpec
 {

@@ -34,6 +34,7 @@
 
 #include "service/job.hh"
 #include "service/job_queue.hh"
+#include "service/journal.hh"
 
 namespace picosim::svc
 {
@@ -48,6 +49,20 @@ class JobManager
         double defaultTimeoutSec = 0.0;  ///< used when JobSpec has none
         unsigned maxInFlightPerJob = 0;  ///< used when JobSpec has none
         bool startPaused = false;  ///< admit without dispatching (tests)
+
+        /** Directory of the durable job journal ("" = volatile manager,
+         *  the historical behavior). With a journal, submissions and
+         *  finished rows survive a crash: the next manager pointed at
+         *  the same directory re-queues unfinished jobs verbatim and
+         *  resumes their missing runs from the last durable
+         *  checkpoint. */
+        std::string journalDir;
+
+        /** Checkpoint stride (simulated cycles) for journaled runs.
+         *  0 keeps runs checkpoint-free — recovery then restarts
+         *  interrupted runs from cycle zero, which is always correct
+         *  (the simulator is deterministic), just slower. */
+        Cycle checkpointEvery = 0;
     };
 
     JobManager(); ///< default Params
@@ -98,6 +113,17 @@ class JobManager
     void pause();
     void resume();
 
+    /**
+     * Graceful shutdown: refuse new submissions, stop dispatching,
+     * cancel in-flight runs at their next deterministic boundary
+     * WITHOUT marking their jobs cancelled, and block until nothing is
+     * in flight. Interrupted rows are left unfinished (and never
+     * journaled), so a journaled manager restarted on the same
+     * directory re-dispatches them — resuming from their last durable
+     * checkpoint. Queued jobs stay queued.
+     */
+    void drain();
+
     unsigned workers() const { return workers_; }
 
   private:
@@ -108,10 +134,13 @@ class JobManager
     Rec *pickRun(std::size_t &runIdx); // next dispatchable (job, run)
     void finalize(Rec &rec);           // called with lock_ held
     void workerLoop();
+    void recover(const std::string &dir); // ctor: replay + compact
 
     const double defaultTimeoutSec_;
     const unsigned defaultMaxInFlight_;
+    const Cycle checkpointEvery_;
     unsigned workers_ = 1;
+    std::unique_ptr<Journal> journal_; ///< null = volatile manager
 
     mutable std::mutex lock_;
     std::condition_variable dispatchCv_; ///< workers: work available
@@ -122,6 +151,7 @@ class JobManager
     std::uint64_t startCounter_ = 0;
     bool paused_ = false;
     bool stopping_ = false;
+    bool draining_ = false;
     std::vector<std::thread> pool_;
 };
 

@@ -29,6 +29,14 @@ RunPlan::make(const std::vector<spec::RunSpec> &specs)
             if (!isSerial) {
                 spec::RunSpec serial = sp;
                 serial.runtime = rt::RuntimeKind::Serial;
+                // The baseline is the IDEAL serial execution: faults
+                // apply to the measured run only (and a shard/link
+                // fault could not be laid out over the baseline's
+                // topology-free single core anyway).
+                serial.faultKind = sim::FaultKind::None;
+                serial.faultCycle = 0;
+                serial.faultUntil = 0;
+                serial.faultTarget = 0;
                 plan.runs.push_back(std::move(serial));
             }
         }

@@ -40,6 +40,15 @@ parseId(const std::string &tok, std::uint64_t &id)
     return end != nullptr && *end == '\0';
 }
 
+/** Longest request line a client may send. Far beyond any legitimate
+ *  verb line, yet small enough that a hostile peer streaming bytes
+ *  without a newline cannot balloon the connection's buffer. */
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+/** SUBMIT body cap. Spec text is key=value pairs — megabytes of it is
+ *  not an experiment, it is a memory-exhaustion attempt. */
+constexpr std::uint64_t kMaxSubmitBytes = 16 * 1024 * 1024;
+
 std::string
 statusLine(const char *head, const JobStatus &st)
 {
@@ -123,12 +132,22 @@ Server::serveForever()
             break; // listener shut down
         }
         const std::lock_guard<std::mutex> lk(connLock_);
+        clientFds_.push_back(fd);
         connections_.emplace_back([this, fd] { handleClient(fd); });
     }
-    const std::lock_guard<std::mutex> lk(connLock_);
-    for (std::thread &t : connections_)
+    std::vector<std::thread> conns;
+    {
+        // Kick every connection still blocked in recv(); its thread
+        // sees EOF and exits, making the joins below finite. Joining
+        // happens outside connLock_ — each exiting thread takes it to
+        // deregister its fd.
+        const std::lock_guard<std::mutex> lk(connLock_);
+        for (const int fd : clientFds_)
+            ::shutdown(fd, SHUT_RDWR);
+        conns.swap(connections_);
+    }
+    for (std::thread &t : conns)
         t.join();
-    connections_.clear();
 }
 
 void
@@ -140,6 +159,15 @@ Server::cmdSubmit(int fd, wire::LineReader &in, const std::string &line)
         wire::sendAll(fd, "ERR " +
                               wire::jsonString(
                                   "SUBMIT expects a byte count") +
+                              "\n");
+        return;
+    }
+    if (nbytes > kMaxSubmitBytes) {
+        wire::sendAll(fd, "ERR " +
+                              wire::jsonString(
+                                  "SUBMIT body too large (" +
+                                  std::to_string(nbytes) + " bytes; max " +
+                                  std::to_string(kMaxSubmitBytes) + ")") +
                               "\n");
         return;
     }
@@ -204,7 +232,7 @@ Server::cmdResult(int fd, std::uint64_t id)
 void
 Server::handleClient(int fd)
 {
-    wire::LineReader in(fd);
+    wire::LineReader in(fd, kMaxLineBytes);
     std::string line;
     while (in.readLine(line)) {
         const std::vector<std::string> toks = tokenize(line);
@@ -261,6 +289,19 @@ Server::handleClient(int fd)
                                                    verb + "'") +
                                   "\n");
         }
+    }
+    if (in.overflowed()) {
+        wire::sendAll(fd, "ERR " +
+                              wire::jsonString(
+                                  "request line exceeds " +
+                                  std::to_string(kMaxLineBytes) +
+                                  " bytes") +
+                              "\n");
+    }
+    {
+        const std::lock_guard<std::mutex> lk(connLock_);
+        std::erase(clientFds_, fd); // before close: the fd number may
+                                    // be reused the moment it is freed
     }
     ::close(fd);
 }

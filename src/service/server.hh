@@ -66,6 +66,12 @@ class Server
     JobManager manager_;
     std::mutex connLock_;
     std::vector<std::thread> connections_;
+
+    /** Live client fds (under connLock_). serveForever() shuts them
+     *  down before joining, so an idle client blocked in recv() cannot
+     *  stall shutdown forever. handleClient removes its fd before
+     *  closing it — the list never holds a closed (reusable) fd. */
+    std::vector<int> clientFds_;
 };
 
 } // namespace picosim::svc

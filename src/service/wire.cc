@@ -59,7 +59,7 @@ statusFromName(const std::string &name)
     for (const rt::RunStatus s :
          {rt::RunStatus::Ok, rt::RunStatus::CycleLimit,
           rt::RunStatus::Cancelled, rt::RunStatus::TimedOut,
-          rt::RunStatus::Error}) {
+          rt::RunStatus::Error, rt::RunStatus::Dropped}) {
         if (name == rt::runStatusName(s))
             return s;
     }
@@ -121,6 +121,7 @@ runResultJson(const rt::RunResult &res)
     num("crossShardEdges", res.crossShardEdges);
     num("workSteals", res.workSteals);
     num("workerSubmits", res.workerSubmits);
+    num("resumedFromCycle", res.resumedFromCycle);
     appendField(out, "inlineTasks",
                 static_cast<unsigned long long>(res.inlineTasks));
     out += '}';
@@ -310,6 +311,7 @@ runResultFromJson(const std::string &json)
     num("crossShardEdges", res.crossShardEdges);
     num("workSteals", res.workSteals);
     num("workerSubmits", res.workerSubmits);
+    num("resumedFromCycle", res.resumedFromCycle);
     num("inlineTasks", res.inlineTasks);
     return res;
 }
@@ -343,8 +345,11 @@ sendAll(int fd, const std::string &data)
 {
     std::size_t sent = 0;
     while (sent < data.size()) {
-        const ssize_t n =
-            ::send(fd, data.data() + sent, data.size() - sent, 0);
+        // MSG_NOSIGNAL: a peer that disconnected mid-reply yields
+        // EPIPE here instead of a process-killing SIGPIPE — the
+        // daemon must outlive any one client.
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
                 continue;
@@ -382,6 +387,10 @@ LineReader::readLine(std::string &out)
             if (!out.empty() && out.back() == '\r')
                 out.pop_back();
             return true;
+        }
+        if (maxLine_ != 0 && buf_.size() > maxLine_) {
+            overflowed_ = true;
+            return false;
         }
         if (!fill())
             return false;

@@ -77,19 +77,32 @@ bool sendAll(int fd, const std::string &data);
 class LineReader
 {
   public:
-    explicit LineReader(int fd) : fd_(fd) {}
+    /** @p maxLine bounds how many bytes readLine() will buffer while
+     *  hunting for '\n' (0 = unbounded, for trusted client-side use).
+     *  The server passes a cap so a peer that streams garbage without a
+     *  newline gets an `ERR` instead of growing the buffer forever. */
+    explicit LineReader(int fd, std::size_t maxLine = 0)
+        : fd_(fd), maxLine_(maxLine)
+    {
+    }
 
     /** Read up to '\n' (stripped, and a preceding '\r' too); false on
-     *  EOF/error with nothing buffered. */
+     *  EOF/error with nothing buffered, or when the line-length bound
+     *  was exceeded (check overflowed() to tell the cases apart). */
     bool readLine(std::string &out);
 
     /** Read exactly @p n bytes; false on premature EOF. */
     bool readExact(std::size_t n, std::string &out);
 
+    /** True once readLine() gave up because a line exceeded maxLine. */
+    bool overflowed() const { return overflowed_; }
+
   private:
     bool fill(); // pull more bytes into buf_
 
     int fd_;
+    std::size_t maxLine_;
+    bool overflowed_ = false;
     std::string buf_;
 };
 

@@ -239,6 +239,18 @@ Simulator::runWindowed(const DonePredicate &done, Cycle limit)
         Cycle maxClock = 0;
         for (unsigned i = 0; i < ndom; ++i)
             maxClock = std::max(maxClock, domainAt(i).clock.now());
+        if (cpEvery_ != 0 && windowEnd != 0 && windowEnd >= cpNext_) {
+            // Window barriers are the PDES checkpoint cuts: every
+            // domain has completed the window ending at windowEnd, so
+            // that cycle labels a deterministic global state. The label
+            // is the barrier cycle itself (not a stride multiple) —
+            // the window sequence is identical at every host thread
+            // count, so the labels still reproduce exactly. The hook
+            // must not throw (noexcept completion step); the harness
+            // guarantees that.
+            cpHook_(windowEnd);
+            cpNext_ = windowEnd - windowEnd % cpEvery_ + cpEvery_;
+        }
         if (done()) {
             advanceAllClocksTo(maxClock);
             stop = true;

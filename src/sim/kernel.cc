@@ -468,6 +468,7 @@ Simulator::run(DonePredicate done, Cycle limit)
             stoppedByCheck_ = true;
             return false;
         }
+        checkpointDue(d.clock.now());
 
         evaluateDue(d);
 
@@ -542,6 +543,7 @@ Simulator::runTickWorld(const DonePredicate &done, Cycle limit)
             stoppedByCheck_ = true;
             return false;
         }
+        checkpointDue(main_.clock.now());
 
         evaluateAll();
 

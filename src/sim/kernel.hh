@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/checkpoint.hh"
 #include "sim/clock.hh"
 #include "sim/domain.hh"
 #include "sim/event_wheel.hh"
@@ -57,6 +58,17 @@ using DonePredicate = SmallFn<bool(), 32>;
  * composes cancellation tokens and wall-clock deadlines into one check.
  */
 using StopCheck = std::function<bool()>;
+
+/**
+ * Checkpoint notification: invoked from the run loop at deterministic
+ * boundary cycles (see setCheckpointHook). The argument is the boundary
+ * label — a multiple of the checkpoint stride on the sequential
+ * kernels, the just-completed window-barrier cycle under PDES. Like
+ * StopCheck, the hook is called at the same points for any host thread
+ * count and must not throw (the PDES coordination step is noexcept);
+ * the harness wraps user callbacks accordingly.
+ */
+using CheckpointHook = std::function<void(Cycle)>;
 
 /**
  * Cycle-exact simulator over a bitmap timing-wheel scheduler.
@@ -241,6 +253,27 @@ class Simulator
      *  (as opposed to completing or exhausting the cycle limit). */
     bool stoppedByCheck() const { return stoppedByCheck_; }
 
+    // -- Checkpoints (deterministic cut points) --------------------------
+
+    /**
+     * Install (or clear, with an empty function) the checkpoint hook,
+     * fired at deterministic boundaries roughly every @p every cycles.
+     * Sequential kernels fire at the dispatch boundary of the first
+     * evaluated cycle at or past each stride multiple, labeled with the
+     * stride multiple itself; the PDES loop fires at the first window
+     * barrier at or past it, labeled with the completed window-end
+     * cycle. Either way the label sequence is a pure function of the
+     * deterministic schedule — identical across reruns and host thread
+     * counts — which is what makes a label a valid resume cut.
+     */
+    void
+    setCheckpointHook(CheckpointHook hook, Cycle every)
+    {
+        cpHook_ = std::move(hook);
+        cpEvery_ = cpHook_ ? every : 0;
+        cpNext_ = cpEvery_;
+    }
+
     /** Number of distinct cycles at which any component was evaluated
      *  (global across domains; deduplicated at window boundaries). */
     std::uint64_t evaluatedCycles() const { return evaluatedCycles_; }
@@ -349,6 +382,10 @@ class Simulator
     bool stoppedByCheck_ = false;    ///< last run() ended by the check
     std::uint64_t stopPollClock_ = 0; ///< dispatch counter for the stride
 
+    CheckpointHook cpHook_; ///< empty = no checkpoints
+    Cycle cpEvery_ = 0;     ///< checkpoint stride (0 = off)
+    Cycle cpNext_ = 0;      ///< next boundary at or past which to fire
+
     /** Stride-gated poll of the stop check (sequential kernels). */
     bool
     stopCheckDue()
@@ -358,6 +395,23 @@ class Simulator
         if (++stopPollClock_ % kStopCheckStride != 0)
             return false;
         return stopCheck_();
+    }
+
+    /**
+     * Sequential-kernel checkpoint poll, called at the cycle-dispatch
+     * boundary (nothing of cycle @p now evaluated yet). Fires with the
+     * stride-multiple label `now - now % cpEvery_`: the first dispatch
+     * at or past label L is itself deterministic, so the label sequence
+     * is reproducible even though evaluated cycles are sparse.
+     */
+    void
+    checkpointDue(Cycle now)
+    {
+        if (cpEvery_ == 0 || now < cpNext_)
+            return;
+        const Cycle label = now - now % cpEvery_;
+        cpHook_(label);
+        cpNext_ = label + cpEvery_;
     }
 };
 

@@ -45,6 +45,12 @@ Engine::harnessParams(const RunSpec &spec)
     sp.pdes.hostThreads = spec.hostThreads;
     sp.pdes.domains = spec.pdesDomains;
     sp.pdes.partition = spec.pdes;
+
+    hp.fault.kind = spec.faultKind;
+    hp.fault.cycle = spec.faultCycle;
+    hp.fault.until = spec.faultUntil;
+    hp.fault.target = spec.faultTarget;
+    sp.fault = hp.fault; // the model only acts on KillShard/StallLink
     return hp;
 }
 
@@ -56,8 +62,10 @@ Engine::systemParams(const RunSpec &spec)
     sp.numCores = spec.runtime == rt::RuntimeKind::Serial ? 1 : hp.numCores;
     if (spec.runtime == rt::RuntimeKind::Serial) {
         // The serial baseline never touches the scheduler; a clustered
-        // topology cannot be laid out over its single core.
+        // topology cannot be laid out over its single core, and a
+        // shard/link fault has no meaning without one.
         sp.topology = {};
+        sp.fault = {};
     }
     return sp;
 }
@@ -166,14 +174,16 @@ Engine::runInspected(const RunSpec &spec, rt::TaskTrace *trace,
     }
 
     out.runtime->install(*out.system, prog);
-    rt::armControls(*out.system, controls);
+    rt::armControls(*out.system, controls, hp.fault);
+    const auto cpState = rt::armCheckpoints(*out.system, controls);
     const bool ok = out.system->run(hp.cycleLimit);
 
     rt::RunResult &res = out.result;
     res.runtime = out.runtime->name();
     res.program = prog.name;
     res.completed = ok && out.runtime->finished();
-    res.status = rt::finishStatus(*out.system, controls, res.completed);
+    res.status =
+        rt::finishStatus(*out.system, controls, res.completed, hp.fault);
     res.cycles = out.system->clock().now();
     res.serialPayload = prog.serialPayloadCycles();
     res.tasks = prog.numTasks();
@@ -184,6 +194,13 @@ Engine::runInspected(const RunSpec &spec, rt::TaskTrace *trace,
     res.workerSubmits = out.runtime->tasksSubmittedByWorkers();
     res.inlineTasks = out.runtime->tasksExecutedInline();
     rt::fillContentionStats(res, *out.system);
+    if (controls.resumeFrom != nullptr)
+        res.resumedFromCycle = controls.resumeFrom->cycle;
+    if (cpState->mismatch) {
+        res.status = rt::RunStatus::Error;
+        res.error = cpState->message;
+        res.completed = false;
+    }
     return out;
 }
 

@@ -283,6 +283,31 @@ keyTable()
          [](S &s, const std::string &v, const std::string &d) {
              s.cycleLimit = parseInt(d, v, 1, kU64Max);
          }},
+        {"fault.kind",
+         [](const S &s) {
+             return std::string(sim::faultKindName(s.faultKind));
+         },
+         [](S &s, const std::string &v, const std::string &) {
+             s.faultKind = static_cast<sim::FaultKind>(parseChoice(
+                 "fault kind", v,
+                 {{"none", 0}, {"kill-shard", 1}, {"stall-link", 2},
+                  {"drop-job", 3}}));
+         }},
+        {"fault.cycle",
+         [](const S &s) { return std::to_string(s.faultCycle); },
+         [](S &s, const std::string &v, const std::string &d) {
+             s.faultCycle = parseInt(d, v, 0, kU64Max);
+         }},
+        {"fault.until",
+         [](const S &s) { return std::to_string(s.faultUntil); },
+         [](S &s, const std::string &v, const std::string &d) {
+             s.faultUntil = parseInt(d, v, 0, kU64Max);
+         }},
+        {"fault.target",
+         [](const S &s) { return std::to_string(s.faultTarget); },
+         [](S &s, const std::string &v, const std::string &d) {
+             s.faultTarget = static_cast<unsigned>(parseInt(d, v, 0, 256));
+         }},
         // Folded away by canonicalize(), hence never serialized; kept
         // last so serialize() can simply skip the final table entry.
         {"nested",
@@ -489,6 +514,49 @@ RunSpec::canonicalize(const std::string &display_prefix)
             std::to_string(hostThreads) + " is ignored with " +
             display_prefix + "pdes=off (the unpartitioned kernel is "
                              "sequential)");
+    }
+    if (faultKind != sim::FaultKind::None) {
+        if (faultUntil != 0 && faultUntil <= faultCycle) {
+            throw SpecError(
+                display_prefix + "fault.until=" +
+                std::to_string(faultUntil) + " must exceed " +
+                display_prefix + "fault.cycle=" +
+                std::to_string(faultCycle) + " (or be 0: never restored)");
+        }
+        const bool modelFault = faultKind == sim::FaultKind::KillShard ||
+                                faultKind == sim::FaultKind::StallLink;
+        if (modelFault && schedShards == 1 && clusters == 1) {
+            throw SpecError(
+                display_prefix + "fault.kind=" +
+                sim::faultKindName(faultKind) +
+                " needs the sharded scheduler (" + display_prefix +
+                "sched-shards or " + display_prefix + "clusters > 1); "
+                "the single centralized Picos has no shard or link to "
+                "fault");
+        }
+        if (modelFault && runtime == rt::RuntimeKind::Serial) {
+            throw SpecError(
+                display_prefix + "fault.kind=" +
+                sim::faultKindName(faultKind) +
+                " is meaningless under runtime=serial (no scheduler is "
+                "built)");
+        }
+        if (faultKind == sim::FaultKind::KillShard &&
+            faultTarget >= schedShards) {
+            throw SpecError(
+                display_prefix + "fault.target=" +
+                std::to_string(faultTarget) + " is out of range for " +
+                display_prefix + "fault.kind=kill-shard (sched-shards=" +
+                std::to_string(schedShards) + ")");
+        }
+        if (faultKind == sim::FaultKind::StallLink &&
+            faultTarget >= clusters) {
+            throw SpecError(
+                display_prefix + "fault.target=" +
+                std::to_string(faultTarget) + " is out of range for " +
+                display_prefix + "fault.kind=stall-link (clusters=" +
+                std::to_string(clusters) + ")");
+        }
     }
     return warnings;
 }

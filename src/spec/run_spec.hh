@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "runtime/harness.hh"
+#include "sim/fault.hh"
 #include "spec/workload_registry.hh"
 
 namespace picosim::spec
@@ -81,6 +82,12 @@ struct RunSpec
     unsigned repeat = 1;
     std::uint64_t seed = 42; ///< fills a workload's wl.seed unless set
     Cycle cycleLimit = 50'000'000'000ull;
+
+    // -- Fault injection (fault.* keys; kind=none disables) --
+    sim::FaultKind faultKind = sim::FaultKind::None;
+    Cycle faultCycle = 0;  ///< when the fault strikes
+    Cycle faultUntil = 0;  ///< when it heals (0 = never restored)
+    unsigned faultTarget = 0; ///< shard (kill-shard) / cluster (stall-link)
 
     bool operator==(const RunSpec &) const = default;
 

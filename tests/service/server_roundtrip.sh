@@ -36,15 +36,20 @@ fail() {
 "$SERVE" --port=0 --workers=2 >"$TMP/serve.out" 2>&1 &
 SERVER_PID=$!
 
+# Bounded retry with exponential backoff: quick on the happy path
+# (first probes land within milliseconds), patient on a loaded CI box
+# (delays double up to 1s; ~25s total budget), never unbounded.
 PORT=
+DELAY=0.05
 i=0
-while [ $i -lt 100 ]; do
+while [ $i -lt 25 ]; do
     PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
                "$TMP/serve.out")
     [ -n "$PORT" ] && break
     kill -0 "$SERVER_PID" 2>/dev/null \
         || fail "server died: $(cat "$TMP/serve.out")"
-    sleep 0.1
+    sleep "$DELAY"
+    DELAY=$(awk "BEGIN { d = $DELAY * 2; print (d > 1) ? 1 : d }")
     i=$((i + 1))
 done
 [ -n "$PORT" ] || fail "server never printed its listening line"
@@ -75,13 +80,15 @@ EOF
 CLIENT_PID=$!
 
 ID=
+DELAY=0.05
 i=0
-while [ $i -lt 100 ]; do
+while [ $i -lt 25 ]; do
     "$SUBMIT" --port="$PORT" --list >"$TMP/list.out" 2>/dev/null
     ID=$(sed -n 's/^JOB \([0-9]*\) .*tag="longjob".*/\1/p' \
              "$TMP/list.out" | head -n 1)
     [ -n "$ID" ] && break
-    sleep 0.1
+    sleep "$DELAY"
+    DELAY=$(awk "BEGIN { d = $DELAY * 2; print (d > 1) ? 1 : d }")
     i=$((i + 1))
 done
 [ -n "$ID" ] || fail "long job never appeared in LIST"

@@ -9,6 +9,7 @@
  * Usage:
  *   picosim_serve [--port=N] [--host=ADDR] [--workers=N]
  *                 [--max-queued=N] [--timeout=SEC]
+ *                 [--journal=DIR] [--checkpoint-every=N]
  *
  *   --port       listen port (default 0 = ephemeral; the chosen port is
  *                printed on the "listening" line for scripts to parse)
@@ -18,10 +19,22 @@
  *   --max-queued job admission cap (default 0 = unbounded)
  *   --timeout    default per-job wall-clock budget in seconds
  *                (default 0 = none; SUBMIT timeout= overrides)
+ *   --journal    durable job journal directory: submissions and
+ *                finished runs survive a crash, and a restarted daemon
+ *                pointed at the same directory re-queues unfinished
+ *                jobs and resumes them from their last checkpoint
+ *   --checkpoint-every  checkpoint stride in simulated cycles for
+ *                journaled runs (default 0 = restart interrupted runs
+ *                from cycle zero — always correct, just slower)
  *
- * The server runs until a client sends SHUTDOWN.
+ * The server runs until a client sends SHUTDOWN (exit 0) or it receives
+ * SIGTERM/SIGINT (exit 3). Both paths drain: dispatching stops,
+ * in-flight runs checkpoint and stop at their next deterministic
+ * boundary, and the journal is flushed before the process exits —
+ * nothing submitted is lost.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,9 +52,28 @@ usage(const char *msg)
 {
     std::fprintf(stderr,
                  "%s\nusage: picosim_serve [--port=N] [--host=ADDR] "
-                 "[--workers=N] [--max-queued=N] [--timeout=SEC]\n",
+                 "[--workers=N] [--max-queued=N] [--timeout=SEC] "
+                 "[--journal=DIR] [--checkpoint-every=N]\n",
                  msg);
     std::exit(1);
+}
+
+/** Distinct exit status for a signal-initiated (drained) shutdown, so
+ *  supervisors can tell "asked to stop, wound down cleanly" from both
+ *  a client SHUTDOWN (0) and a startup/runtime failure (1). */
+constexpr int kExitDrained = 3;
+
+volatile std::sig_atomic_t g_signalled = 0;
+svc::Server *g_server = nullptr;
+
+/** Handler body is async-signal-safe: one flag store plus
+ *  Server::stop() (an atomic exchange and shutdown(2)). */
+void
+onSignal(int)
+{
+    g_signalled = 1;
+    if (g_server != nullptr)
+        g_server->stop();
 }
 
 } // namespace
@@ -80,6 +112,16 @@ main(int argc, char **argv)
                 std::strtod(value.c_str(), &end);
             if (*end != '\0' || params.manager.defaultTimeoutSec < 0)
                 usage("--timeout expects seconds");
+        } else if (key == "journal") {
+            if (value.empty())
+                usage("--journal expects a directory");
+            params.manager.journalDir = value;
+        } else if (key == "checkpoint-every") {
+            const unsigned long long v =
+                std::strtoull(value.c_str(), &end, 10);
+            if (*end != '\0')
+                usage("--checkpoint-every expects a cycle count");
+            params.manager.checkpointEvery = v;
         } else {
             usage(("unknown flag '--" + key + "'").c_str());
         }
@@ -87,6 +129,12 @@ main(int argc, char **argv)
 
     try {
         svc::Server server(params);
+        g_server = &server;
+        struct sigaction sa = {};
+        sa.sa_handler = onSignal;
+        ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGINT, &sa, nullptr);
+
         // Scripts parse this exact line (and its flush) to learn the
         // ephemeral port before connecting.
         std::printf("picosim_serve listening on %s:%u\n",
@@ -94,6 +142,16 @@ main(int argc, char **argv)
                     static_cast<unsigned>(server.port()));
         std::fflush(stdout);
         server.serveForever();
+
+        // Wind down before the manager is destroyed: in-flight runs
+        // stop at their next deterministic boundary and stay resumable
+        // (journaled mode), queued jobs stay queued in the journal.
+        server.manager().drain();
+        g_server = nullptr;
+        if (g_signalled != 0) {
+            std::printf("picosim_serve drained on signal\n");
+            return kExitDrained;
+        }
         std::printf("picosim_serve shut down\n");
         return 0;
     } catch (const std::exception &e) {

@@ -7,6 +7,7 @@
  *                  [--timeout=SEC] [--tag=T] [--print=cli|rows]
  *   picosim_submit --port=N --status=ID | --result=ID | --cancel=ID
  *                  | --list | --ping | --shutdown
+ *   picosim_submit --port=N --result=ID --spec=FILE [--print=cli|rows]
  *
  * Submitting streams the job's per-run results as they complete.
  * --print=cli (default) folds them with the shared RunPlan and prints
@@ -14,6 +15,12 @@
  * the same spec file locally (`picosim_run --spec FILE`), which the
  * server smoke test diffs. --print=rows prints the raw `ROW <idx>
  * <json>` lines instead (BENCH-style, one JSON object per run).
+ *
+ * --result=ID together with --spec=FILE re-fetches an existing job (for
+ * example one recovered from a `picosim_serve --journal` restart) and
+ * prints the same CLI report: the spec file tells the client the plan
+ * shape, so the output stays byte-identical to the local run — the CI
+ * crash-recovery smoke diffs exactly that.
  *
  * Exit code: like picosim_run, 0 only when the job finished and every
  * displayed run completed.
@@ -114,13 +121,16 @@ parseArgs(int argc, char **argv)
     }
     if (opt.port == 0)
         usage("--port is required");
-    const int actions = (opt.specPath.empty() ? 0 : 1) +
+    // --result=ID --spec=FILE is one action: re-fetch an existing job
+    // and print the CLI report the spec's plan shape implies.
+    const bool resultWithSpec = opt.resultId && !opt.specPath.empty();
+    const int actions = (opt.specPath.empty() || resultWithSpec ? 0 : 1) +
                         (opt.statusId ? 1 : 0) + (opt.resultId ? 1 : 0) +
                         (opt.cancelId ? 1 : 0) + (opt.list ? 1 : 0) +
                         (opt.ping ? 1 : 0) + (opt.shutdown ? 1 : 0);
     if (actions != 1)
         usage("exactly one of --spec/--status/--result/--cancel/--list/"
-              "--ping/--shutdown");
+              "--ping/--shutdown (--result may add --spec)");
     return opt;
 }
 
@@ -176,6 +186,49 @@ streamResult(int fd, wire::LineReader &in, std::uint64_t id,
         }
     }
     return std::nullopt;
+}
+
+/**
+ * `--result=ID --spec=FILE`: stream an existing job's rows and print
+ * them through the spec's RunPlan — the same report submitSpec ends
+ * with, for a job this process never submitted (crash recovery).
+ */
+int
+fetchResult(int fd, const Options &opt)
+{
+    std::ifstream specIn(opt.specPath);
+    if (!specIn) {
+        std::fprintf(stderr, "cannot read spec file '%s'\n",
+                     opt.specPath.c_str());
+        return 1;
+    }
+    std::ostringstream textStream;
+    textStream << specIn.rdbuf();
+
+    std::optional<svc::RunPlan> plan;
+    try {
+        plan = svc::RunPlan::make({spec::RunSpec::parse(textStream.str())});
+    } catch (const spec::SpecError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    }
+
+    wire::LineReader in(fd);
+    std::vector<rt::RunResult> results(plan->runs.size());
+    const auto state = streamResult(fd, in, *opt.resultId, &results,
+                                    opt.print == "rows");
+    if (!state)
+        return 1;
+    if (opt.print == "rows") {
+        std::printf("DONE %s\n", state->c_str());
+        return *state == "done" ? 0 : 1;
+    }
+    if (*state != "done")
+        std::fprintf(stderr, "job %llu finished as %s\n",
+                     static_cast<unsigned long long>(*opt.resultId),
+                     state->c_str());
+    const bool all_ok = svc::printPlanResults(*plan, results);
+    return (*state == "done" && all_ok) ? 0 : 1;
 }
 
 int
@@ -287,7 +340,9 @@ main(int argc, char **argv)
 
     int rc = 0;
     try {
-        if (!opt.specPath.empty()) {
+        if (opt.resultId && !opt.specPath.empty()) {
+            rc = fetchResult(fd, opt);
+        } else if (!opt.specPath.empty()) {
             rc = submitSpec(fd, opt);
         } else if (opt.statusId) {
             rc = simpleCommand(fd, "STATUS " + std::to_string(*opt.statusId),
